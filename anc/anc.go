@@ -1,0 +1,260 @@
+// Package anc is the public API of the analog network coding library, a
+// reproduction of Katti, Gollakota and Katabi, "Embracing Wireless
+// Interference: Analog Network Coding" (SIGCOMM 2007).
+//
+// The library decodes MSK transmissions that collided in the air, given
+// network-layer knowledge of one of the colliding packets: the receiver
+// solves for the two candidate phase pairs of each received sample
+// (Lemma 6.1), picks the pair consistent with the known packet's phase
+// differences, and reads the other packet out of what remains. Routers
+// forward interfered *signals* (amplify-and-forward) instead of packets,
+// halving the slot count of the canonical two-way relay.
+//
+// # Layers
+//
+//   - Modem: MSK modulation and demodulation over complex baseband
+//     samples ([Signal]).
+//   - Frames: [Packet] marshaling with the pilot/header layout that makes
+//     both forward and backward interference decoding possible ([Marshal],
+//     [Unmarshal]).
+//   - Nodes: [Node] bundles a modem, a sent-packet buffer and the
+//     interference decoder behind a network-interface-like API
+//     (Send/Receive/Overhear), including the §7.5 router policy.
+//   - Channels: [Link], [Receive] and [AmplifyForward] synthesize
+//     receptions at sample level (the library's substitute for a radio
+//     front end).
+//   - Experiments: the Run* functions and [Fig7] … [Fig13] regenerate the
+//     paper's evaluation.
+//
+// See examples/quickstart for a three-minute tour.
+package anc
+
+import (
+	"math/rand"
+
+	"repro/internal/capacity"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/dqpsk"
+	"repro/internal/dsp"
+	"repro/internal/experiments"
+	"repro/internal/frame"
+	"repro/internal/mesh"
+	"repro/internal/msk"
+	"repro/internal/radio"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Signal is a stream of complex baseband samples.
+type Signal = dsp.Signal
+
+// PhyModem is the modulation contract the interference decoder needs —
+// §4's "applicable to any phase shift keying modulation", as an
+// interface. The library ships MSK ([NewModem], the paper's choice) and
+// π/4-DQPSK ([NewDQPSKModem]).
+type PhyModem = core.PhyModem
+
+// Modem is the MSK modulator/demodulator (§5).
+type Modem = msk.Modem
+
+// NewModem returns a modem with the given options (defaults: 4 samples
+// per symbol, unit amplitude).
+func NewModem(opts ...ModemOption) *Modem { return msk.New(opts...) }
+
+// ModemOption configures an MSK Modem.
+type ModemOption = msk.Option
+
+// DQPSKModem is the π/4 differential QPSK modem — two bits per symbol,
+// constant envelope, forward interference decoding (see internal/dqpsk
+// for the mirroring caveat that reserves backward decoding to MSK).
+type DQPSKModem = dqpsk.Modem
+
+// NewDQPSKModem returns a π/4-DQPSK modem (defaults: 4 samples/symbol,
+// unit amplitude).
+func NewDQPSKModem(opts ...dqpsk.Option) *DQPSKModem { return dqpsk.New(opts...) }
+
+// WithSamplesPerSymbol sets the modem oversampling factor.
+func WithSamplesPerSymbol(s int) ModemOption { return msk.WithSamplesPerSymbol(s) }
+
+// WithAmplitude sets the constant MSK transmit amplitude.
+func WithAmplitude(a float64) ModemOption { return msk.WithAmplitude(a) }
+
+// Packet is a network-layer packet (header plus payload).
+type Packet = frame.Packet
+
+// Header identifies a packet: source, destination, sequence, length, flags.
+type Header = frame.Header
+
+// NewPacket builds a packet with a filled-in header.
+func NewPacket(src, dst uint16, seq uint32, payload []byte) Packet {
+	return frame.NewPacket(src, dst, seq, payload)
+}
+
+// Marshal produces a packet's on-air bit stream: pilot, header, whitened
+// payload with CRC, then the mirrored header and pilot (Fig. 6).
+func Marshal(p Packet) []byte { return frame.Marshal(p) }
+
+// Unmarshal parses an on-air bit stream back into a packet, verifying
+// both CRCs.
+func Unmarshal(bs []byte) (Packet, error) { return frame.Unmarshal(bs) }
+
+// FrameBits returns the on-air frame size in bits for a payload of n
+// bytes.
+func FrameBits(n int) int { return frame.FrameBits(n) }
+
+// Node is a radio endpoint or router: it frames and modulates outgoing
+// packets (remembering them for interference cancellation), runs the full
+// receive pipeline of Algorithm 1, snoops the medium, and makes the §7.5
+// router decision.
+type Node = radio.Node
+
+// Result is a receive-pipeline outcome: the recovered packet, its raw
+// frame bits for error accounting, CRC flags, and whether decoding ran
+// clean, forward, or backward.
+type Result = core.Result
+
+// RouterAction is a §7.5 router decision.
+type RouterAction = radio.RouterAction
+
+// Router decisions.
+const (
+	ActionDrop           = radio.ActionDrop
+	ActionDecode         = radio.ActionDecode
+	ActionAmplifyForward = radio.ActionAmplifyForward
+)
+
+// NodeOption adjusts a node's decoder configuration.
+type NodeOption = func(*core.Config)
+
+// WithFixedFrameSize tells the decoder the network's fixed frame size (in
+// payload bytes): when a recovered frame's header fails its CRC, the bit
+// stream is still normalized to that length so FEC can repair header and
+// payload errors alike. Networks with a fixed MTU should set this.
+func WithFixedFrameSize(payloadBytes int) NodeOption {
+	return func(c *core.Config) { c.FallbackFrameBits = frame.FrameBits(payloadBytes) }
+}
+
+// NewNode builds a node. noiseFloor is the receiver's calibrated noise
+// power (linear); it parameterizes the §7.1 detectors.
+func NewNode(id uint16, m PhyModem, noiseFloor float64, opts ...NodeOption) *Node {
+	return radio.NewNode(id, m, noiseFloor, opts...)
+}
+
+// SentRecord is a transmission a node remembers so it can later cancel it
+// out of an interfered reception.
+type SentRecord = frame.SentRecord
+
+// Link is a point-to-point channel: amplitude attenuation, phase shift,
+// and residual carrier-frequency offset.
+type Link = channel.Link
+
+// Transmission is one sender's contribution to a reception.
+type Transmission = channel.Transmission
+
+// NoiseSource generates circularly-symmetric complex AWGN.
+type NoiseSource = dsp.NoiseSource
+
+// NewNoiseSource returns a deterministic noise source with the given
+// average sample power.
+func NewNoiseSource(power float64, seed int64) *NoiseSource {
+	return dsp.NewNoiseSource(power, seed)
+}
+
+// Receive superposes concurrent transmissions as seen by one receiver,
+// pads the window with trailing noise, and adds receiver noise — the
+// library's wireless medium.
+func Receive(noise *NoiseSource, tailPad int, txs ...Transmission) Signal {
+	return channel.Receive(noise, tailPad, txs...)
+}
+
+// AmplifyForward rescales a received (possibly interfered) signal to the
+// router's transmit power — the §2 relay operation. It amplifies the
+// embedded noise along with the signals, which is the low-SNR penalty the
+// capacity analysis quantifies.
+func AmplifyForward(rx Signal, power float64) Signal {
+	return channel.AmplifyTo(rx, power)
+}
+
+// RandomLink draws a channel realization: mean power gain with uniform
+// dB jitter and a uniform random phase.
+func RandomLink(rng *rand.Rand, meanPowerGain, jitterDB float64) Link {
+	return channel.RandomLink(rng, meanPowerGain, jitterDB)
+}
+
+// CapacityPoint is one row of the Fig. 7 capacity series.
+type CapacityPoint = capacity.Point
+
+// CapacitySweep evaluates the Theorem 8.1 bounds (routing upper bound,
+// ANC lower bound) over an SNR range in dB.
+func CapacitySweep(fromDB, toDB, stepDB float64) []CapacityPoint {
+	return capacity.Sweep(fromDB, toDB, stepDB)
+}
+
+// SimConfig parameterizes one simulated evaluation run.
+type SimConfig = sim.Config
+
+// Metrics aggregates a run's throughput, BER and overlap statistics.
+type Metrics = sim.Metrics
+
+// DefaultSimConfig returns the repository-default evaluation parameters
+// (4 samples/symbol, 128-byte payloads, 25 dB SNR, ≈80% mean overlap).
+func DefaultSimConfig() SimConfig { return sim.DefaultConfig() }
+
+// The evaluation runners (§11). Each simulates one run of its schedule at
+// complex-baseband sample level and returns throughput/BER metrics.
+var (
+	RunAliceBobANC         = sim.RunAliceBobANC
+	RunAliceBobTraditional = sim.RunAliceBobTraditional
+	RunAliceBobCOPE        = sim.RunAliceBobCOPE
+	RunChainANC            = sim.RunChainANC
+	RunChainTraditional    = sim.RunChainTraditional
+	RunXANC                = sim.RunXANC
+	RunXTraditional        = sim.RunXTraditional
+	RunXCOPE               = sim.RunXCOPE
+)
+
+// ExperimentOptions configures a figure-regeneration campaign.
+type ExperimentOptions = experiments.Options
+
+// GainResult holds a topology campaign's gain and BER distributions.
+type GainResult = experiments.GainResult
+
+// Figure regeneration entry points (see DESIGN.md's experiment index).
+var (
+	Fig9    = experiments.Fig9
+	Fig10   = experiments.Fig10
+	Fig12   = experiments.Fig12
+	Fig13   = experiments.Fig13
+	Fig7    = experiments.Fig7
+	Summary = experiments.Summary
+)
+
+// TopologyConfig controls channel realizations for the canonical
+// topologies.
+type TopologyConfig = topology.Config
+
+// Topology is a directed link graph over nodes.
+type Topology = topology.Graph
+
+// Canonical topology builders (Figs. 1, 2, 11).
+var (
+	NewAliceBobTopology = topology.AliceBob
+	NewChainTopology    = topology.Chain
+	NewXTopology        = topology.X
+)
+
+// MeshConfig parameterizes a closed-loop trigger-protocol session.
+type MeshConfig = mesh.Config
+
+// MeshStats summarizes a closed-loop session.
+type MeshStats = mesh.Stats
+
+// MeshSession is the Alice–Bob network run by its own protocol machinery:
+// the §7.6 trigger schedules the simultaneous transmissions and the §7.5
+// router decision procedure chooses between amplify-and-forward,
+// decode-and-forward, and drop — no experiment-side orchestration.
+type MeshSession = mesh.Session
+
+// NewMeshSession builds a closed-loop session.
+func NewMeshSession(cfg MeshConfig) *MeshSession { return mesh.NewSession(cfg) }

@@ -1,0 +1,53 @@
+package anc
+
+import (
+	"repro/internal/bits"
+	"repro/internal/fec"
+	"repro/internal/frame"
+)
+
+// The paper compensates ANC's residual 2–4% BER with error-correcting
+// redundancy (§11.2, §11.4). These exports provide the coded path: a
+// Hamming(7,4) codec with a block interleaver for burst resilience, raw
+// access to a recovered frame's payload bits (bypassing the CRC gate), and
+// the BER→overhead accounting model the evaluation charges.
+
+// BitsFromBytes expands packed bytes into one-bit-per-element form.
+func BitsFromBytes(data []byte) []byte { return bits.FromBytes(data) }
+
+// BitsToBytes packs a bit slice (length must be a multiple of 8).
+func BitsToBytes(bs []byte) ([]byte, error) { return bits.ToBytes(bs) }
+
+// FECEncode applies Hamming(7,4) to a bit slice (zero-padded to a
+// multiple of 4); the output is 7/4 the input length.
+func FECEncode(data []byte) []byte { return fec.Encode(data) }
+
+// FECDecode corrects up to one error per 7-bit block and strips the
+// coding, returning the data bits and the number of corrected blocks.
+func FECDecode(coded []byte) ([]byte, int, error) { return fec.Decode(coded) }
+
+// Interleave spreads bursts of up to depth adjacent errors across
+// distinct codewords; Deinterleave inverts it given the original length.
+func Interleave(data []byte, depth int) []byte { return fec.Interleave(data, depth) }
+
+// Deinterleave inverts Interleave.
+func Deinterleave(data []byte, depth, origLen int) []byte {
+	return fec.Deinterleave(data, depth, origLen)
+}
+
+// FECOverhead is the codec's expansion factor (7/4).
+const FECOverhead = fec.Overhead
+
+// ExtractPayloadBits returns the dewhitened payload bits of a recovered
+// frame bit stream (Result.WantedBits) without CRC verification, so a
+// coded payload can be error-corrected even when the frame CRC failed.
+func ExtractPayloadBits(frameBits []byte, payloadBytes int) ([]byte, error) {
+	return frame.ExtractBody(frameBits, payloadBytes)
+}
+
+// RedundancyModel charges throughput the BER-dependent FEC overhead the
+// paper's evaluation applies (8% at the 4% BER operating point).
+type RedundancyModel = fec.RedundancyModel
+
+// DefaultRedundancy returns the paper-calibrated accounting model.
+func DefaultRedundancy() RedundancyModel { return fec.DefaultRedundancy() }

@@ -1,0 +1,400 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the paper's evaluation. One benchmark per figure: each iteration runs
+// one paired experiment run (ANC plus its baselines on the same channel
+// realization), so
+//
+//	go test -bench Fig9 -benchtime 40x
+//
+// reproduces the paper's 40-run campaign; the default -benchtime runs a
+// smaller one. Aggregate results are attached as custom benchmark metrics
+// (gain/traditional, gain/COPE, BER, overlap), and each figure's full
+// series is printed once per process. Micro-benchmarks at the bottom
+// profile the decoder's hot paths; Ablation* benchmarks print the design
+// ablation tables from DESIGN.md §5.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/capacity"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/dqpsk"
+	"repro/internal/dsp"
+	"repro/internal/experiments"
+	"repro/internal/frame"
+	"repro/internal/mesh"
+	"repro/internal/msk"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// benchSim is the per-iteration run size: large enough for stable
+// statistics, small enough that default -benchtime finishes promptly.
+func benchSim() sim.Config { return sim.Config{Packets: 10} }
+
+// benchOpts sizes the printed series campaigns.
+func benchOpts(b *testing.B) experiments.Options {
+	runs := 10
+	if testing.Short() {
+		runs = 3
+	}
+	return experiments.Options{Runs: runs, Sim: sim.Config{Packets: 8}, Seed: 7}
+}
+
+var (
+	printFig7    sync.Once
+	printFig9    sync.Once
+	printFig10   sync.Once
+	printFig12   sync.Once
+	printFig13   sync.Once
+	printSummary sync.Once
+	printAblMat  sync.Once
+	printAblSub  sync.Once
+	printAblEst  sync.Once
+	printAblOvl  sync.Once
+)
+
+// BenchmarkFig7Capacity regenerates the capacity-bound series of Fig. 7.
+func BenchmarkFig7Capacity(b *testing.B) {
+	var pts []capacity.Point
+	for i := 0; i < b.N; i++ {
+		pts = capacity.Sweep(0, 55, 1)
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.Gain, "gain@55dB")
+	b.ReportMetric(capacity.CrossoverDB(0, 55), "crossover-dB")
+	printFig7.Do(func() { fmt.Print(experiments.Fig7(0, 55, 5)) })
+}
+
+// gainBench runs paired ANC/baseline runs, one pair per iteration.
+func gainBench(b *testing.B, anc, trad, cope func(sim.Config, int64) sim.Metrics) {
+	cfg := benchSim()
+	gTrad := stats.NewSample(nil)
+	gCope := stats.NewSample(nil)
+	ber := stats.NewSample(nil)
+	ovl := stats.NewSample(nil)
+	for i := 0; i < b.N; i++ {
+		seed := int64(1000 + i)
+		a := anc(cfg, seed)
+		t := trad(cfg, seed)
+		gTrad.Add(stats.GainRatio(a.Throughput(), t.Throughput()))
+		if cope != nil {
+			c := cope(cfg, seed)
+			gCope.Add(stats.GainRatio(a.Throughput(), c.Throughput()))
+		}
+		ber.Add(a.MeanBER())
+		ovl.Add(a.MeanOverlap())
+	}
+	b.ReportMetric(gTrad.Mean(), "gain/traditional")
+	if cope != nil {
+		b.ReportMetric(gCope.Mean(), "gain/COPE")
+	}
+	b.ReportMetric(ber.Mean(), "BER")
+	b.ReportMetric(ovl.Mean(), "overlap")
+}
+
+// BenchmarkFig9aAliceBobGain regenerates the Fig. 9(a) gain CDFs.
+func BenchmarkFig9aAliceBobGain(b *testing.B) {
+	gainBench(b, sim.RunAliceBobANC, sim.RunAliceBobTraditional, sim.RunAliceBobCOPE)
+	opts := benchOpts(b)
+	printFig9.Do(func() { fmt.Print(experiments.Fig9(opts).FormatGain(15)) })
+}
+
+// BenchmarkFig9bAliceBobBER regenerates the Fig. 9(b) BER CDF.
+func BenchmarkFig9bAliceBobBER(b *testing.B) {
+	cfg := benchSim()
+	ber := stats.NewSample(nil)
+	for i := 0; i < b.N; i++ {
+		m := sim.RunAliceBobANC(cfg, int64(2000+i))
+		for _, x := range m.BERs {
+			ber.Add(x)
+		}
+	}
+	b.ReportMetric(ber.Mean(), "BER-mean")
+	b.ReportMetric(ber.Quantile(0.9), "BER-p90")
+	opts := benchOpts(b)
+	printFig9.Do(func() { fmt.Print(experiments.Fig9(opts).FormatBER(15)) })
+}
+
+// BenchmarkFig10aXGain regenerates the Fig. 10(a) gain CDFs for the "X".
+func BenchmarkFig10aXGain(b *testing.B) {
+	gainBench(b, sim.RunXANC, sim.RunXTraditional, sim.RunXCOPE)
+	opts := benchOpts(b)
+	printFig10.Do(func() { fmt.Print(experiments.Fig10(opts).FormatGain(15)) })
+}
+
+// BenchmarkFig10bXBER regenerates the Fig. 10(b) BER CDF (including the
+// elevated tail caused by imperfect overhearing).
+func BenchmarkFig10bXBER(b *testing.B) {
+	cfg := benchSim()
+	ber := stats.NewSample(nil)
+	for i := 0; i < b.N; i++ {
+		m := sim.RunXANC(cfg, int64(3000+i))
+		for _, x := range m.BERs {
+			ber.Add(x)
+		}
+	}
+	b.ReportMetric(ber.Mean(), "BER-mean")
+	b.ReportMetric(ber.Max(), "BER-max")
+	opts := benchOpts(b)
+	printFig10.Do(func() { fmt.Print(experiments.Fig10(opts).FormatBER(15)) })
+}
+
+// BenchmarkFig12aChainGain regenerates Fig. 12(a); COPE does not apply to
+// the unidirectional chain.
+func BenchmarkFig12aChainGain(b *testing.B) {
+	gainBench(b, sim.RunChainANC, sim.RunChainTraditional, nil)
+	opts := benchOpts(b)
+	printFig12.Do(func() { fmt.Print(experiments.Fig12(opts).FormatGain(15)) })
+}
+
+// BenchmarkFig12bChainBER regenerates Fig. 12(b): the chain's BER sits
+// below the Alice–Bob topology's because no relay re-amplifies the noise.
+func BenchmarkFig12bChainBER(b *testing.B) {
+	cfg := benchSim()
+	ber := stats.NewSample(nil)
+	for i := 0; i < b.N; i++ {
+		m := sim.RunChainANC(cfg, int64(4000+i))
+		for _, x := range m.BERs {
+			ber.Add(x)
+		}
+	}
+	b.ReportMetric(ber.Mean(), "BER-mean")
+	opts := benchOpts(b)
+	printFig12.Do(func() { fmt.Print(experiments.Fig12(opts).FormatBER(15)) })
+}
+
+// BenchmarkFig13BERvsSIR regenerates the Fig. 13 sweep. Each iteration is
+// one full −3..+4 dB sweep.
+func BenchmarkFig13BERvsSIR(b *testing.B) {
+	cfg := sim.Config{Packets: 4}
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		pts := sim.SIRSweep(cfg, int64(5000+i*17), -3, 4, 1)
+		worst = 0
+		for _, p := range pts {
+			if p.MeanBER > worst {
+				worst = p.MeanBER
+			}
+		}
+	}
+	b.ReportMetric(worst, "BER-max-over-sweep")
+	printFig13.Do(func() {
+		fmt.Print(experiments.Fig13(experiments.Options{Runs: 1, Sim: sim.Config{Packets: 8}, Seed: 7}, -3, 4, 1))
+	})
+}
+
+// BenchmarkSummaryTable regenerates the §11.3 headline table.
+func BenchmarkSummaryTable(b *testing.B) {
+	cfg := benchSim()
+	for i := 0; i < b.N; i++ {
+		_ = sim.RunAliceBobANC(cfg, int64(6000+i))
+	}
+	opts := benchOpts(b)
+	printSummary.Do(func() { fmt.Print(experiments.Summary(opts)) })
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkAblationMatcher(b *testing.B) {
+	cfg := benchSim()
+	cfg.DecoderTweak = func(c *core.Config) {
+		c.NoConditioningWeights = true
+		c.NoMSKPrior = true
+		c.NoBranchContinuity = true
+	}
+	literal := stats.NewSample(nil)
+	for i := 0; i < b.N; i++ {
+		literal.Add(sim.RunAliceBobANC(cfg, int64(7000+i)).MeanBER())
+	}
+	b.ReportMetric(literal.Mean(), "BER-paper-literal")
+	printAblMat.Do(func() { fmt.Print(experiments.AblationMatcher(benchOpts(b))) })
+}
+
+func BenchmarkAblationSubtraction(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationSubtraction(int64(8000 + i))
+	}
+	_ = out
+	printAblSub.Do(func() { fmt.Print(experiments.AblationSubtraction(3)) })
+}
+
+func BenchmarkAblationEstimator(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = experiments.AblationEstimator(int64(9000 + i))
+	}
+	_ = out
+	printAblEst.Do(func() { fmt.Print(experiments.AblationEstimator(4)) })
+}
+
+func BenchmarkAblationOverlap(b *testing.B) {
+	cfg := benchSim()
+	for i := 0; i < b.N; i++ {
+		_ = sim.RunAliceBobANC(cfg, int64(9500+i))
+	}
+	printAblOvl.Do(func() {
+		fmt.Print(experiments.AblationOverlap(experiments.Options{Runs: 3, Sim: sim.Config{Packets: 6}, Seed: 5}))
+	})
+}
+
+// --- Micro-benchmarks: the decoder's hot paths ---
+
+func benchBits(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+func BenchmarkModulate(b *testing.B) {
+	m := msk.New()
+	bs := benchBits(1024, 1)
+	b.SetBytes(int64(len(bs)) / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Modulate(bs)
+	}
+}
+
+func BenchmarkDemodulateMLSE(b *testing.B) {
+	m := msk.New()
+	s := m.Modulate(benchBits(1024, 2))
+	b.SetBytes(1024 / 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Demodulate(s)
+	}
+}
+
+func BenchmarkSolvePhases(b *testing.B) {
+	y := complex(0.7, -0.4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = core.SolvePhases(y, 1.0, 0.8)
+	}
+}
+
+func BenchmarkEstimateAmplitudes(b *testing.B) {
+	m1 := msk.New()
+	m2 := msk.New(msk.WithAmplitude(0.7))
+	mix := m1.Modulate(benchBits(1000, 3)).Add(m2.Modulate(benchBits(1000, 4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = core.EstimateAmplitudes(mix)
+	}
+}
+
+// BenchmarkInterferenceDecode measures one full Algorithm 1 decode of a
+// relayed Alice–Bob collision (detection, alignment, amplitude
+// estimation, phase matching, deframing).
+func BenchmarkInterferenceDecode(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m := msk.New()
+	payloadA := make([]byte, 128)
+	payloadB := make([]byte, 128)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	pktA := frame.NewPacket(1, 2, 1, payloadA)
+	pktB := frame.NewPacket(2, 1, 1, payloadB)
+	bitsA := frame.Marshal(pktA)
+	sigA := m.Modulate(bitsA)
+	sigB := m.Modulate(frame.Marshal(pktB))
+
+	mix := sigA.Scale(complex(0.8, 0)).Add(applyCFO(sigB, 0.01).Delay(1200))
+	rx := dsp.NewNoiseSource(1e-3, 6).AddTo(mix.PadTo(len(mix) + 500))
+
+	buf := frame.NewSentBuffer(0)
+	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	dec := core.NewDecoder(core.DefaultConfig(m, 1e-3))
+	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(rx, buf.Get); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func applyCFO(s dsp.Signal, cfo float64) dsp.Signal {
+	return channel.Link{Gain: 1, Phase: 0.9, FreqOffset: cfo}.Apply(s)
+}
+
+// BenchmarkModulationGenerality exercises §4's claim that the decoding
+// technique applies to any phase-shift keying: one full forward
+// interference decode per iteration over π/4-DQPSK instead of MSK.
+func BenchmarkModulationGenerality(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	m := dqpsk.New()
+	payloadA := make([]byte, 64)
+	payloadB := make([]byte, 64)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	pktA := frame.NewPacket(1, 2, 1, payloadA)
+	pktB := frame.NewPacket(2, 1, 1, payloadB)
+	bitsA := frame.Marshal(pktA)
+	bitsB := frame.Marshal(pktB)
+	sigA := m.Modulate(bitsA)
+	sigB := m.Modulate(bitsB)
+	mix := sigA.Scale(complex(0.8, 0)).Add(applyCFO(sigB, 0.012).Scale(complex(0.75, 0)).Delay(1100))
+	rx := dsp.NewNoiseSource(1e-3, 12).AddTo(mix.PadTo(len(mix) + 500))
+	buf := frame.NewSentBuffer(0)
+	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA})
+	dec := core.NewDecoder(core.DefaultConfig(m, 1e-3))
+	var lastBER float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dec.Decode(rx, buf.Get)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastBER = berOf(bitsB, res.WantedBits)
+	}
+	b.ReportMetric(lastBER, "BER-dqpsk")
+}
+
+func berOf(sent, got []byte) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	n := len(got)
+	if n > len(sent) {
+		n = len(sent)
+	}
+	errs := len(sent) - n
+	for i := 0; i < n; i++ {
+		if sent[i] != got[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(sent))
+}
+
+// BenchmarkClosedLoop runs one full trigger-protocol cycle pair per
+// iteration — the §7.5/§7.6 machinery operating end to end.
+func BenchmarkClosedLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := mesh.NewSession(mesh.Config{Cycles: 2, Seed: int64(13 + i)})
+		rng := rand.New(rand.NewSource(int64(i)))
+		pay := func() [][]byte {
+			out := make([][]byte, 2)
+			for j := range out {
+				out[j] = make([]byte, 96)
+				rng.Read(out[j])
+			}
+			return out
+		}
+		s.Enqueue(pay(), pay())
+		st := s.Run()
+		if st.Delivered == 0 {
+			b.Fatal("closed loop delivered nothing")
+		}
+	}
+}

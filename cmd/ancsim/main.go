@@ -1,0 +1,72 @@
+// Command ancsim regenerates the paper's evaluation figures from the
+// simulation campaigns.
+//
+// Usage:
+//
+//	ancsim -exp summary                 # §11.3 headline table
+//	ancsim -exp fig9  -runs 40          # Alice–Bob gain + BER CDFs
+//	ancsim -exp fig10                   # "X" topology
+//	ancsim -exp fig12                   # chain topology
+//	ancsim -exp fig13                   # BER vs SIR sweep
+//	ancsim -exp fig7                    # capacity bounds (analysis)
+//
+// Every campaign is deterministic in -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "summary", "experiment: fig7|fig9|fig10|fig12|fig13|summary|ablation")
+		runs    = flag.Int("runs", 40, "independent runs per campaign (paper: 40)")
+		packets = flag.Int("packets", 0, "packets per run (0 = default)")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		snr     = flag.Float64("snr", 25, "per-link SNR in dB")
+		maxRows = flag.Int("rows", 25, "max CDF rows to print")
+	)
+	flag.Parse()
+
+	cfg := sim.DefaultConfig()
+	cfg.SNRdB = *snr
+	if *packets > 0 {
+		cfg.Packets = *packets
+	}
+	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed}
+
+	switch *exp {
+	case "fig7":
+		fmt.Print(experiments.Fig7(0, 55, 2.5))
+	case "fig9":
+		res := experiments.Fig9(opts)
+		fmt.Print(res.FormatGain(*maxRows))
+		fmt.Print(res.FormatBER(*maxRows))
+	case "fig10":
+		res := experiments.Fig10(opts)
+		fmt.Print(res.FormatGain(*maxRows))
+		fmt.Print(res.FormatBER(*maxRows))
+	case "fig12":
+		res := experiments.Fig12(opts)
+		fmt.Print(res.FormatGain(*maxRows))
+		fmt.Print(res.FormatBER(*maxRows))
+	case "fig13":
+		fmt.Print(experiments.Fig13(opts, -3, 4, 1))
+	case "summary":
+		fmt.Print(experiments.Summary(opts))
+	case "ablation":
+		fmt.Print(experiments.AblationMatcher(opts))
+		fmt.Print(experiments.AblationSubtraction(*seed))
+		fmt.Print(experiments.AblationEstimator(*seed))
+		fmt.Print(experiments.AblationOverlap(opts))
+	default:
+		fmt.Fprintf(os.Stderr, "ancsim: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,95 @@
+// Alice–Bob: the paper's headline scenario (Fig. 1d). Alice and Bob
+// exchange packets through a relay in TWO slots instead of four: they
+// transmit simultaneously, the router amplifies and forwards the collision
+// without decoding it, and each endpoint subtracts what it knows — its own
+// packet — to recover the other's.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/anc"
+)
+
+const noiseFloor = 1e-3
+
+func main() {
+	modem := anc.NewModem()
+	alice := anc.NewNode(1, modem, 2*noiseFloor)
+	bob := anc.NewNode(2, modem, 2*noiseFloor)
+
+	rng := rand.New(rand.NewSource(11))
+	payloadA := make([]byte, 64)
+	payloadB := make([]byte, 64)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+
+	// Building a frame also stores it in the node's sent-packet buffer —
+	// the knowledge that later cancels the interference (§7.3).
+	recA := alice.BuildFrame(anc.NewPacket(1, 2, 1, payloadA))
+	recB := bob.BuildFrame(anc.NewPacket(2, 1, 1, payloadB))
+
+	// SLOT 1 — both transmit; the router hears the sum. Bob starts ~1100
+	// samples late (the §7.2 random delay), which keeps the pilots at the
+	// packet edges interference free.
+	routerRx := anc.Receive(anc.NewNoiseSource(noiseFloor, 1), 400,
+		anc.Transmission{Signal: recA.Samples, Link: anc.Link{Gain: 0.8, Phase: 0.6, FreqOffset: 0.006}},
+		anc.Transmission{Signal: recB.Samples, Link: anc.Link{Gain: 0.76, Phase: -0.8, FreqOffset: -0.007}, Delay: 1100},
+	)
+
+	// SLOT 2 — amplify-and-forward. The router never decodes.
+	relayed := anc.AmplifyForward(routerRx, 1)
+
+	for _, end := range []struct {
+		name string
+		node *anc.Node
+		want []byte
+		gain float64
+		seed int64
+	}{
+		{"Alice", alice, payloadB, 0.7, 2},
+		{"Bob", bob, payloadA, 0.72, 3},
+	} {
+		rx := anc.Receive(anc.NewNoiseSource(noiseFloor, end.seed), 400,
+			anc.Transmission{Signal: relayed, Link: anc.Link{Gain: end.gain, Phase: 1.0}})
+		res, err := end.node.Receive(rx)
+		if err != nil {
+			log.Fatalf("%s: %v", end.name, err)
+		}
+		dir := "forward"
+		if res.Backward {
+			dir = "backward"
+		}
+		fmt.Printf("%s decoded %s: header=%v A=%.2f B=%.2f crc=%v\n",
+			end.name, dir, res.Packet.Header, res.Amplitudes.A, res.Amplitudes.B, res.BodyOK)
+		if res.BodyOK {
+			match := string(res.Packet.Payload) == string(end.want)
+			fmt.Printf("  payload matches counterpart: %v\n", match)
+		} else {
+			// The paper's system sees the same thing: a small residual
+			// BER, corrected by FEC (see examples/fecprotect).
+			truth := anc.Marshal(anc.NewPacket(res.Packet.Header.Src, res.Packet.Header.Dst, res.Packet.Header.Seq, end.want))
+			fmt.Printf("  residual frame BER %.4f — FEC territory (§11.4)\n", frameBER(truth, res.WantedBits))
+		}
+	}
+	fmt.Println("\n2 slots used; traditional routing needs 4, COPE needs 3 (Fig. 1).")
+}
+
+func frameBER(sent, got []byte) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	n := len(got)
+	if n > len(sent) {
+		n = len(sent)
+	}
+	errs := len(sent) - n
+	for i := 0; i < n; i++ {
+		if sent[i] != got[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(sent))
+}

@@ -1,0 +1,65 @@
+// Chain relay: the unidirectional scenario of Fig. 2, where digital
+// network coding cannot help but ANC can. N2 forwards packet p_i to N3;
+// in the next slot N1 sends the fresh p_{i+1} while N3 simultaneously
+// forwards p_i onward — a collision at N2. N2 knows p_i (it forwarded it)
+// and cancels it, recovering p_{i+1} directly from the interfered signal:
+// the hidden terminal becomes harmless.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/anc"
+)
+
+const noiseFloor = 1e-3
+
+func main() {
+	modem := anc.NewModem()
+	n2 := anc.NewNode(2, modem, noiseFloor)
+	n4 := anc.NewNode(4, modem, noiseFloor)
+
+	rng := rand.New(rand.NewSource(5))
+	oldPayload := make([]byte, 64)
+	newPayload := make([]byte, 64)
+	rng.Read(oldPayload)
+	rng.Read(newPayload)
+
+	// p_i: the packet N2 already relayed — it knows every bit of it.
+	pktOld := anc.NewPacket(1, 4, 100, oldPayload)
+	recOld := anc.SentRecord{Packet: pktOld, Bits: anc.Marshal(pktOld)}
+	recOld.Samples = modem.Modulate(recOld.Bits)
+	n2.Remember(recOld)
+
+	// p_{i+1}: N1's fresh packet, unknown to everyone downstream.
+	pktNew := anc.NewPacket(1, 4, 101, newPayload)
+	newSamples := modem.Modulate(anc.Marshal(pktNew))
+
+	// The collision slot: N1→N2 and N3→N4 transmit together. N2 hears
+	// both (N3 is its neighbor); N4 is out of N1's radio range and hears
+	// only N3.
+	rxN2 := anc.Receive(anc.NewNoiseSource(noiseFloor, 6), 400,
+		anc.Transmission{Signal: newSamples, Link: anc.Link{Gain: 0.75, Phase: 0.4, FreqOffset: 0.005}},
+		anc.Transmission{Signal: recOld.Samples, Link: anc.Link{Gain: 0.7, Phase: -1.2, FreqOffset: -0.008}, Delay: 1150},
+	)
+	rxN4 := anc.Receive(anc.NewNoiseSource(noiseFloor, 7), 400,
+		anc.Transmission{Signal: recOld.Samples, Link: anc.Link{Gain: 0.72, Phase: 0.9}, Delay: 1150})
+
+	resN2, err := n2.Receive(rxN2)
+	if err != nil {
+		log.Fatalf("N2: %v", err)
+	}
+	fmt.Printf("N2 cancelled %v and recovered %v (crc=%v)\n",
+		resN2.KnownHeader, resN2.Packet.Header, resN2.BodyOK)
+
+	resN4, err := n4.Receive(rxN4)
+	if err != nil {
+		log.Fatalf("N4: %v", err)
+	}
+	fmt.Printf("N4 received %v cleanly (crc=%v) — it never heard N1\n",
+		resN4.Packet.Header, resN4.BodyOK)
+
+	fmt.Println("\nPer delivered packet: 2 slots with ANC vs 3 with routing — a 1.5× bound (§2b).")
+}

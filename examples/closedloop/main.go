@@ -1,0 +1,38 @@
+// Closed loop: the Alice–Bob network run by its own protocol machinery.
+// The other examples orchestrate who transmits when; here the §7.6
+// trigger protocol does the scheduling and the router makes its §7.5
+// decision — amplify-and-forward, decode, or drop — by peeking at the
+// headers it can reach in the interfered signal, with no outside help.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/anc"
+)
+
+func main() {
+	session := anc.NewMeshSession(anc.MeshConfig{Cycles: 8, Seed: 42})
+
+	rng := rand.New(rand.NewSource(7))
+	mk := func(n int) [][]byte {
+		out := make([][]byte, n)
+		for i := range out {
+			out[i] = make([]byte, 96)
+			rng.Read(out[i])
+		}
+		return out
+	}
+	// Eight packets in each direction.
+	session.Enqueue(mk(8), mk(8))
+
+	stats := session.Run()
+	fmt.Println("closed-loop Alice–Bob session:")
+	fmt.Printf("  trigger rounds with both endpoints responding: %d\n", stats.Triggered)
+	fmt.Printf("  router chose amplify-and-forward (§7.5):        %d\n", stats.RouterForwards)
+	fmt.Printf("  router drops:                                   %d\n", stats.RouterDrops)
+	fmt.Printf("  packets delivered / lost:                       %d / %d\n", stats.Delivered, stats.Lost)
+	fmt.Printf("  mean BER of delivered packets:                  %.4f\n", stats.MeanBER())
+	fmt.Println("\nEvery forwarding decision above was made from the received signal alone.")
+}

@@ -1,0 +1,88 @@
+// FEC-protected ANC: the full coded pipeline. ANC decodes interfered
+// packets with a small residual bit error rate (the paper measures 2–4%
+// and pays ~8% redundancy to fix it, §11.4). This example protects the
+// payload with interleaved Hamming(7,4) before transmission and corrects
+// the residual errors after the interference decode — exact data out,
+// despite the frame CRC failing on the raw decode.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/anc"
+)
+
+const noiseFloor = 1.5e-3
+
+func main() {
+	modem := anc.NewModem()
+
+	message := []byte("analog network coding: forward signals, not packets.")
+	fmt.Printf("message (%d bytes): %q\n", len(message), message)
+
+	// Encode: bits → Hamming(7,4) → depth-7 interleaver → payload bytes.
+	const depth = 7
+	coded := anc.Interleave(anc.FECEncode(anc.BitsFromBytes(message)), depth)
+	for len(coded)%8 != 0 {
+		coded = append(coded, 0)
+	}
+	payload, err := anc.BitsToBytes(coded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FEC-coded payload: %d bytes (overhead %.0f%%)\n\n",
+		len(payload), (anc.FECOverhead-1)*100)
+
+	// Fixed-MTU nodes: even a header hit by residual errors leaves a
+	// correctly sized, forward-oriented bit stream for FEC to repair.
+	alice := anc.NewNode(1, modem, 2*noiseFloor, anc.WithFixedFrameSize(len(payload)))
+	bob := anc.NewNode(2, modem, 2*noiseFloor, anc.WithFixedFrameSize(len(payload)))
+
+	// Bob's counterpart traffic, so there is something to collide with.
+	rng := rand.New(rand.NewSource(3))
+	other := make([]byte, len(payload))
+	rng.Read(other)
+
+	recA := alice.BuildFrame(anc.NewPacket(1, 2, 1, other))
+	recB := bob.BuildFrame(anc.NewPacket(2, 1, 1, payload))
+
+	// The usual two-slot exchange.
+	routerRx := anc.Receive(anc.NewNoiseSource(noiseFloor, 4), 400,
+		anc.Transmission{Signal: recA.Samples, Link: anc.Link{Gain: 0.8, Phase: 0.3, FreqOffset: 0.006}},
+		anc.Transmission{Signal: recB.Samples, Link: anc.Link{Gain: 0.74, Phase: -0.7, FreqOffset: -0.008}, Delay: 1300},
+	)
+	relayed := anc.AmplifyForward(routerRx, 1)
+	rxA := anc.Receive(anc.NewNoiseSource(noiseFloor, 5), 400,
+		anc.Transmission{Signal: relayed, Link: anc.Link{Gain: 0.7, Phase: 1.4}})
+
+	res, err := alice.Receive(rxA)
+	if err != nil {
+		log.Fatalf("decode: %v", err)
+	}
+	fmt.Printf("ANC decode: header=%v  raw frame CRC ok: %v\n", res.Packet.Header, res.BodyOK)
+
+	// Reach the raw payload bits (CRC gate bypassed), de-interleave,
+	// correct.
+	rawBits, err := anc.ExtractPayloadBits(res.WantedBits, len(payload))
+	if err != nil {
+		log.Fatalf("extract: %v", err)
+	}
+	codedRx := anc.Deinterleave(rawBits, depth, len(coded))
+	dataBits, corrections, err := anc.FECDecode(codedRx)
+	if err != nil {
+		log.Fatalf("fec: %v", err)
+	}
+	packed, err := anc.BitsToBytes(dataBits[:len(message)*8])
+	if err != nil {
+		log.Fatalf("pack: %v", err)
+	}
+	fmt.Printf("FEC corrected %d block(s)\n", corrections)
+	fmt.Printf("recovered: %q\n", packed)
+	if string(packed) == string(message) {
+		fmt.Println("exact recovery ✓")
+	} else {
+		fmt.Println("MISMATCH — residual errors exceeded the code's strength")
+	}
+}

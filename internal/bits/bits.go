@@ -1,0 +1,173 @@
+// Package bits provides bit-slice utilities shared by the ANC stack:
+// packing and unpacking between bytes and bit slices, pseudo-random bit
+// sequences (whitening per §6.2 of the paper and pilot generation per §7.2),
+// CRC-16 integrity checks, and bit-error accounting.
+//
+// Throughout the module a "bit slice" is a []byte whose elements are 0 or 1,
+// one bit per element. This representation trades memory for clarity: the
+// modem and the interference decoder operate bit-by-bit, and profiling shows
+// the per-sample complex arithmetic dominates end to end.
+package bits
+
+import "fmt"
+
+// FromBytes expands packed bytes into a bit slice, most significant bit
+// first. The result has len(data)*8 elements, each 0 or 1.
+func FromBytes(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (b>>uint(i))&1)
+		}
+	}
+	return out
+}
+
+// ToBytes packs a bit slice (MSB first) into bytes. The bit slice length
+// must be a multiple of 8; ToBytes returns an error otherwise so framing
+// bugs surface at the call site rather than as silent truncation.
+func ToBytes(bs []byte) ([]byte, error) {
+	if len(bs)%8 != 0 {
+		return nil, fmt.Errorf("bits: length %d is not a multiple of 8", len(bs))
+	}
+	out := make([]byte, len(bs)/8)
+	for i, b := range bs {
+		if b > 1 {
+			return nil, fmt.Errorf("bits: element %d has non-binary value %d", i, b)
+		}
+		out[i/8] |= b << uint(7-i%8)
+	}
+	return out, nil
+}
+
+// MustToBytes is ToBytes for callers that construct the slice themselves
+// and can guarantee its shape; it panics on malformed input.
+func MustToBytes(bs []byte) []byte {
+	out, err := ToBytes(bs)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// FromUint16 returns the 16 bits of v, MSB first.
+func FromUint16(v uint16) []byte {
+	out := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		out[i] = byte(v>>uint(15-i)) & 1
+	}
+	return out
+}
+
+// ToUint16 interprets the first 16 elements of bs (MSB first) as a uint16.
+// It panics if bs has fewer than 16 elements.
+func ToUint16(bs []byte) uint16 {
+	var v uint16
+	for i := 0; i < 16; i++ {
+		v = v<<1 | uint16(bs[i]&1)
+	}
+	return v
+}
+
+// FromUint32 returns the 32 bits of v, MSB first.
+func FromUint32(v uint32) []byte {
+	out := make([]byte, 32)
+	for i := 0; i < 32; i++ {
+		out[i] = byte(v>>uint(31-i)) & 1
+	}
+	return out
+}
+
+// ToUint32 interprets the first 32 elements of bs (MSB first) as a uint32.
+// It panics if bs has fewer than 32 elements.
+func ToUint32(bs []byte) uint32 {
+	var v uint32
+	for i := 0; i < 32; i++ {
+		v = v<<1 | uint32(bs[i]&1)
+	}
+	return v
+}
+
+// Xor returns the element-wise XOR of equal-length bit slices a and b.
+// It panics if the lengths differ: XOR-combining packets of different sizes
+// is a framing error in the COPE baseline, never a recoverable condition.
+func Xor(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bits: xor length mismatch %d != %d", len(a), len(b)))
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = (a[i] ^ b[i]) & 1
+	}
+	return out
+}
+
+// Reverse returns a new bit slice with the elements of bs in reverse order.
+// Bob's backward decoding (§7.4) reverses both samples and recovered bits.
+func Reverse(bs []byte) []byte {
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		out[len(bs)-1-i] = b
+	}
+	return out
+}
+
+// Equal reports whether two bit slices are identical in length and content.
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HammingDistance counts positions where a and b differ. Slices must have
+// equal length.
+func HammingDistance(a, b []byte) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bits: hamming distance length mismatch %d != %d", len(a), len(b)))
+	}
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// BER returns the bit error rate between a transmitted and received bit
+// slice: HammingDistance / length. If the received slice is shorter (e.g. a
+// truncated decode) the missing tail counts as errors, matching how the
+// paper's evaluation charges undelivered bits.
+func BER(sent, got []byte) float64 {
+	if len(sent) == 0 {
+		return 0
+	}
+	n := len(got)
+	if n > len(sent) {
+		n = len(sent)
+	}
+	errs := len(sent) - n // missing bits count as errors
+	for i := 0; i < n; i++ {
+		if sent[i] != got[i] {
+			errs++
+		}
+	}
+	return float64(errs) / float64(len(sent))
+}
+
+// OnesCount returns the number of 1 bits in bs.
+func OnesCount(bs []byte) int {
+	n := 0
+	for _, b := range bs {
+		if b&1 == 1 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package bits
+
+// PRBS is a pseudo-random binary sequence generator built on a Fibonacci
+// linear-feedback shift register. The ANC stack uses it in two places:
+//
+//   - Whitening (§6.2): payload bits are XORed with a PRBS at the sender and
+//     again at the receiver so that E[cos(θ−φ)] ≈ 0 holds even for
+//     pathological payloads (long runs of equal bits), which the amplitude
+//     estimator depends on.
+//   - Pilot generation (§7.2): the 64-bit pilot attached to both ends of
+//     every frame is a fixed pseudo-random sequence known network-wide.
+//
+// The polynomial is x^31 + x^28 + 1 (PRBS-31), full period 2^31−1.
+type PRBS struct {
+	state uint32
+}
+
+// NewPRBS returns a generator seeded with the given value. A zero seed is
+// replaced with 1 because the all-zero LFSR state is absorbing.
+func NewPRBS(seed uint32) *PRBS {
+	if seed == 0 {
+		seed = 1
+	}
+	return &PRBS{state: seed & 0x7FFFFFFF}
+}
+
+// Next returns the next bit (0 or 1) of the sequence.
+func (p *PRBS) Next() byte {
+	// Taps at bits 31 and 28 (1-indexed), i.e. indices 30 and 27.
+	newBit := ((p.state >> 30) ^ (p.state >> 27)) & 1
+	p.state = ((p.state << 1) | newBit) & 0x7FFFFFFF
+	return byte(newBit)
+}
+
+// Bits returns the next n bits of the sequence.
+func (p *PRBS) Bits(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = p.Next()
+	}
+	return out
+}
+
+// WhitenSeed is the network-wide seed both ends of a link use for payload
+// whitening. Any nonzero value works; it is a protocol constant, not a
+// secret.
+const WhitenSeed uint32 = 0x1ACFFC1D
+
+// Whiten XORs bs with the PRBS stream from seed and returns the result.
+// Whitening is an involution: Whiten(Whiten(x, s), s) == x.
+func Whiten(bs []byte, seed uint32) []byte {
+	p := NewPRBS(seed)
+	out := make([]byte, len(bs))
+	for i, b := range bs {
+		out[i] = (b ^ p.Next()) & 1
+	}
+	return out
+}
+
+// PilotSeed seeds the 64-bit pilot sequence of §7.2. Like WhitenSeed it is
+// a protocol constant shared by every node.
+const PilotSeed uint32 = 0x2545F491
+
+// PilotLength is the pilot length in bits used by the paper (§7.2).
+const PilotLength = 64
+
+// Pilot returns the n-bit network-wide pilot sequence.
+func Pilot(n int) []byte {
+	return NewPRBS(PilotSeed).Bits(n)
+}

@@ -1,0 +1,118 @@
+// Package capacity implements the Theorem 8.1 analysis of §8: an upper
+// (cut-set) bound on the Alice–Bob 2-way relay capacity under traditional
+// routing, and an achievable lower bound under analog network coding with
+// an amplify-and-forward relay, both for half-duplex nodes over AWGN
+// channels. It regenerates Fig. 7 and the asymptotic 2× gain claim.
+package capacity
+
+import "math"
+
+// log2 of (1+x), the AWGN capacity kernel in bits/s/Hz.
+func c(x float64) float64 { return math.Log2(1 + x) }
+
+// Alpha is the paper's time-sharing constant α. Theorem 8.1 leaves it
+// unspecified (it cancels in the gain ratio); we fix α = 1/8 — fair time
+// sharing between the two flows on top of the 1/4 slot factors of Eq. 21 —
+// which reproduces Fig. 7's absolute scale (ANC lower bound ≈ 8–9 b/s/Hz
+// at 55 dB).
+const Alpha = 0.125
+
+// Traditional returns the upper bound on the sum capacity of the Alice–Bob
+// network under routing (Theorem 8.1):
+//
+//	C_traditional = α·(log(1+2·SNR) + log(1+SNR))
+//
+// The 2·SNR term is the multiple-access cut into the relay (both
+// endpoints' signals reach it), the SNR term the broadcast cut out of it.
+func Traditional(snr float64) float64 {
+	if snr < 0 {
+		snr = 0
+	}
+	return Alpha * (c(2*snr) + c(snr))
+}
+
+// ANC returns the achievable lower bound under analog network coding
+// (Theorem 8.1):
+//
+//	C_anc = 4·α·log(1 + SNR²/(3·SNR+1))
+//
+// The effective SNR²/(3·SNR+1) term is the end-to-end SNR after the relay
+// re-amplifies signal and noise together (Eqs. 22–26 with symmetric unit
+// channel gains): A² = P/(2P+1), and the received SNR at each endpoint is
+// A²P/(A²+1) = P²/(3P+1).
+func ANC(snr float64) float64 {
+	if snr < 0 {
+		snr = 0
+	}
+	return 4 * Alpha * c(snr*snr/(3*snr+1))
+}
+
+// EffectiveANCSNR returns the post-relay SNR an endpoint sees for a given
+// link SNR: SNR²/(3·SNR+1). Exposed for tests and the low-SNR discussion.
+func EffectiveANCSNR(snr float64) float64 {
+	if snr <= 0 {
+		return 0
+	}
+	return snr * snr / (3*snr + 1)
+}
+
+// Gain returns C_anc / C_traditional at the given SNR (0 if the
+// traditional bound is 0, i.e. at SNR 0).
+func Gain(snr float64) float64 {
+	t := Traditional(snr)
+	if t == 0 {
+		return 0
+	}
+	return ANC(snr) / t
+}
+
+// CrossoverDB returns the SNR (in dB) above which the ANC lower bound
+// exceeds the traditional upper bound — the boundary of the low-SNR region
+// of Fig. 7 where amplified noise makes ANC worse. Found by bisection over
+// [lo, hi] dB; returns NaN if there is no crossing in the range.
+func CrossoverDB(loDB, hiDB float64) float64 {
+	f := func(db float64) float64 {
+		snr := math.Pow(10, db/10)
+		return ANC(snr) - Traditional(snr)
+	}
+	lo, hi := loDB, hiDB
+	if f(lo) >= 0 || f(hi) <= 0 {
+		return math.NaN()
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Point is one row of the Fig. 7 series.
+type Point struct {
+	SNRdB       float64
+	Traditional float64 // b/s/Hz, upper bound for routing
+	ANC         float64 // b/s/Hz, lower bound for ANC
+	Gain        float64 // ANC / Traditional
+}
+
+// Sweep evaluates both bounds over an SNR range in dB (inclusive ends,
+// fixed step). This regenerates the Fig. 7 series.
+func Sweep(fromDB, toDB, stepDB float64) []Point {
+	if stepDB <= 0 {
+		panic("capacity: non-positive step")
+	}
+	var out []Point
+	for db := fromDB; db <= toDB+1e-9; db += stepDB {
+		snr := math.Pow(10, db/10)
+		out = append(out, Point{
+			SNRdB:       db,
+			Traditional: Traditional(snr),
+			ANC:         ANC(snr),
+			Gain:        Gain(snr),
+		})
+	}
+	return out
+}

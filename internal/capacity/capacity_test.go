@@ -1,0 +1,126 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGainApproachesTwo(t *testing.T) {
+	// Theorem 8.1: the capacity gain asymptotically approaches 2.
+	for _, db := range []float64{30, 40, 50, 60, 80} {
+		snr := math.Pow(10, db/10)
+		g := Gain(snr)
+		if g >= 2 {
+			t.Errorf("%v dB: gain %v ≥ 2 (must approach from below)", db, g)
+		}
+	}
+	// Convergence is logarithmic (the ratio behaves like
+	// 2·(1 − c/log SNR)), so only extreme SNR gets close to 2.
+	if g := Gain(math.Pow(10, 13)); g < 1.9 {
+		t.Errorf("130 dB: gain %v, want ≥ 1.9", g)
+	}
+	// Monotone approach over the high-SNR region.
+	prev := Gain(math.Pow(10, 2))
+	for db := 25.0; db <= 80; db += 5 {
+		g := Gain(math.Pow(10, db/10))
+		if g < prev {
+			t.Errorf("gain not increasing at %v dB: %v < %v", db, g, prev)
+		}
+		prev = g
+	}
+}
+
+func TestLowSNRRoutingWins(t *testing.T) {
+	// Fig. 7: at 0–8 dB the ANC lower bound sits below the routing upper
+	// bound (amplified noise), crossing in the vicinity of 8 dB.
+	for _, db := range []float64{0, 2, 4, 6} {
+		snr := math.Pow(10, db/10)
+		if ANC(snr) >= Traditional(snr) {
+			t.Errorf("%v dB: ANC %v ≥ routing %v, want routing ahead", db, ANC(snr), Traditional(snr))
+		}
+	}
+	for _, db := range []float64{12, 20, 30} {
+		snr := math.Pow(10, db/10)
+		if ANC(snr) <= Traditional(snr) {
+			t.Errorf("%v dB: ANC %v ≤ routing %v, want ANC ahead", db, ANC(snr), Traditional(snr))
+		}
+	}
+}
+
+func TestCrossoverNearEightDB(t *testing.T) {
+	x := CrossoverDB(0, 55)
+	if math.IsNaN(x) {
+		t.Fatal("no crossover found")
+	}
+	if x < 5 || x > 11 {
+		t.Errorf("crossover at %.2f dB, paper places it around 8 dB", x)
+	}
+}
+
+func TestCrossoverNoCrossing(t *testing.T) {
+	if !math.IsNaN(CrossoverDB(20, 30)) {
+		t.Error("crossover reported in a range with none")
+	}
+}
+
+func TestFig7Endpoints(t *testing.T) {
+	// Fig. 7 tops out near 9 b/s/Hz for the ANC lower bound at 55 dB,
+	// with the routing upper bound at roughly half that.
+	snr := math.Pow(10, 5.5)
+	if tr := Traditional(snr); tr < 4 || tr > 5.5 {
+		t.Errorf("Traditional(55 dB) = %v, want ≈ 4.7", tr)
+	}
+	if a := ANC(snr); a < 7.5 || a > 9.5 {
+		t.Errorf("ANC(55 dB) = %v, Fig. 7 shows ≈ 8.5–9", a)
+	}
+	if Traditional(0) != 0 || ANC(0) != 0 {
+		t.Error("zero SNR must give zero capacity")
+	}
+}
+
+func TestEffectiveANCSNR(t *testing.T) {
+	// P²/(3P+1) at P=10: 100/31.
+	if got, want := EffectiveANCSNR(10), 100.0/31.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("EffectiveANCSNR(10) = %v, want %v", got, want)
+	}
+	if EffectiveANCSNR(0) != 0 || EffectiveANCSNR(-5) != 0 {
+		t.Error("non-positive SNR must map to 0")
+	}
+	// Effective SNR always below the raw link SNR (relay amplifies noise).
+	for _, p := range []float64{0.1, 1, 10, 1000} {
+		if EffectiveANCSNR(p) >= p {
+			t.Errorf("effective SNR %v ≥ link SNR %v", EffectiveANCSNR(p), p)
+		}
+	}
+}
+
+func TestSweepShape(t *testing.T) {
+	pts := Sweep(0, 55, 5)
+	if len(pts) != 12 {
+		t.Fatalf("sweep length %d, want 12", len(pts))
+	}
+	if pts[0].SNRdB != 0 || pts[11].SNRdB != 55 {
+		t.Errorf("sweep ends %v..%v", pts[0].SNRdB, pts[11].SNRdB)
+	}
+	// Both curves are nondecreasing in SNR.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Traditional < pts[i-1].Traditional || pts[i].ANC < pts[i-1].ANC {
+			t.Errorf("capacity decreased at %v dB", pts[i].SNRdB)
+		}
+	}
+}
+
+func TestSweepPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero step did not panic")
+		}
+	}()
+	Sweep(0, 10, 0)
+}
+
+func TestNegativeSNRClamped(t *testing.T) {
+	if Traditional(-1) != 0 || ANC(-1) != 0 {
+		t.Error("negative SNR not clamped to 0")
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/dsp"
+)
+
+// DefaultPilotMaxErrors is how many of the 64 pilot bits may disagree and
+// still count as a match. The pilot is pseudo-random, so a false match at
+// this tolerance is vanishingly unlikely (P < 1e-9 per offset).
+const DefaultPilotMaxErrors = 6
+
+// FindPilot scans a decoded bit stream for the network pilot sequence,
+// tolerating up to maxErrors bit errors, and returns the bit index where
+// the pilot begins, or -1. This is the matching process of Fig. 5: "she
+// tries to match the known pilot sequence with every sequence of 64 bits."
+func FindPilot(stream []byte, maxErrors int) int {
+	return FindPattern(stream, bits.Pilot(bits.PilotLength), maxErrors)
+}
+
+// FindPattern returns the first index where pattern occurs in stream with
+// at most maxErrors mismatches, or -1.
+func FindPattern(stream, pattern []byte, maxErrors int) int {
+	idx, _ := FindPatternScored(stream, pattern, maxErrors)
+	return idx
+}
+
+// FindPatternScored is FindPattern returning also the number of mismatched
+// bits at the match (meaningless when the index is -1). The decoder uses
+// the score to choose among competing sub-symbol alignments.
+func FindPatternScored(stream, pattern []byte, maxErrors int) (int, int) {
+	if len(pattern) == 0 || len(pattern) > len(stream) {
+		return -1, 0
+	}
+	for i := 0; i+len(pattern) <= len(stream); i++ {
+		errs := 0
+		for j, p := range pattern {
+			if stream[i+j] != p {
+				errs++
+				if errs > maxErrors {
+					break
+				}
+			}
+		}
+		if errs <= maxErrors {
+			return i, errs
+		}
+	}
+	return -1, 0
+}
+
+// FindDiffAlignment locates an expected per-sample phase-difference
+// pattern inside a stream of recovered ∆φ estimates over [lo, hi)
+// candidate start offsets. The score at offset o is the normalized
+// correlation
+//
+//	Σ_m sin(diffs[o+m])·sin(exp[m]) / Σ_m sin²(exp[m])
+//
+// which is ≈1 at the true alignment, ≈0 at random offsets, and works for
+// any phase modulation: transitions whose expected difference is 0 (as
+// most of a π/4-DQPSK symbol's are) simply do not contribute. Callers
+// should require a score comfortably above 0 before trusting the result.
+//
+// This is how Alice detects the beginning of Bob's packet (§7.2): once
+// her decoder starts emitting ∆φ estimates, the estimates are noise until
+// Bob's signal begins, at which point they correlate with Bob's pilot.
+func FindDiffAlignment(diffs []float64, exp []float64, lo, hi int) (offset int, score float64) {
+	if len(exp) == 0 {
+		return -1, -2
+	}
+	expSin := make([]float64, len(exp))
+	var norm float64
+	for m, e := range exp {
+		expSin[m] = math.Sin(e)
+		norm += expSin[m] * expSin[m]
+	}
+	if norm == 0 {
+		return -1, -2
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(diffs)-len(exp)+1 {
+		hi = len(diffs) - len(exp) + 1
+	}
+	bestOff, bestScore := -1, -2.0
+	for o := lo; o < hi; o++ {
+		var s float64
+		for m, es := range expSin {
+			if es != 0 {
+				s += math.Sin(diffs[o+m]) * es
+			}
+		}
+		s /= norm
+		if s > bestScore {
+			bestOff, bestScore = o, s
+		}
+	}
+	return bestOff, bestScore
+}
+
+// ConjReverse returns the conjugated, time-reversed copy of a signal. The
+// transformation has the property that per-sample phase differences of the
+// output equal the input's differences in reverse order *without* sign
+// flip, so standard MSK demodulation of ConjReverse(s) yields the frame's
+// bits in reverse order. Backward decoding (§7.4) is therefore the forward
+// pipeline applied to ConjReverse of the reception.
+func ConjReverse(s dsp.Signal) dsp.Signal {
+	out := make(dsp.Signal, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = complex(real(v), -imag(v))
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/dsp"
+	"repro/internal/msk"
+)
+
+func TestFindPilotExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	stream := append(randomBits(rng, 200), bits.Pilot(bits.PilotLength)...)
+	stream = append(stream, randomBits(rng, 100)...)
+	if got := FindPilot(stream, 0); got != 200 {
+		t.Errorf("pilot at %d, want 200", got)
+	}
+}
+
+func TestFindPilotWithErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pilot := bits.Pilot(bits.PilotLength)
+	noisy := append([]byte(nil), pilot...)
+	for _, i := range []int{3, 17, 42, 60} {
+		noisy[i] ^= 1
+	}
+	stream := append(randomBits(rng, 150), noisy...)
+	if got := FindPilot(stream, DefaultPilotMaxErrors); got != 150 {
+		t.Errorf("pilot with 4 errors at %d, want 150", got)
+	}
+	if got := FindPilot(stream, 2); got != -1 {
+		t.Errorf("pilot found at %d despite tight tolerance", got)
+	}
+}
+
+func TestFindPilotNoFalsePositives(t *testing.T) {
+	// 10k random bits should not contain a 64-bit pilot match at ≤6
+	// errors (probability < 1e-5).
+	rng := rand.New(rand.NewSource(3))
+	if got := FindPilot(randomBits(rng, 10000), DefaultPilotMaxErrors); got != -1 {
+		t.Errorf("false pilot match at %d", got)
+	}
+}
+
+func TestFindPatternDegenerate(t *testing.T) {
+	if got := FindPattern([]byte{1, 0}, nil, 0); got != -1 {
+		t.Errorf("empty pattern matched at %d", got)
+	}
+	if got := FindPattern([]byte{1}, []byte{1, 0}, 0); got != -1 {
+		t.Errorf("oversized pattern matched at %d", got)
+	}
+}
+
+func TestFindDiffAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := msk.New()
+	// Construct a diff stream: noise, then the pilot's expected per-sample
+	// differences with some jitter, then noise.
+	exp := m.PhaseDiffs(bits.Pilot(bits.PilotLength))
+	diffs := make([]float64, 3000)
+	for i := range diffs {
+		diffs[i] = rng.NormFloat64() * 0.5
+	}
+	const at = 1234
+	for i, e := range exp {
+		diffs[at+i] = e + rng.NormFloat64()*0.1
+	}
+	off, score := FindDiffAlignment(diffs, exp, 0, len(diffs))
+	if off != at {
+		t.Errorf("alignment at %d (score %.2f), want %d", off, score, at)
+	}
+	if score < 0.8 {
+		t.Errorf("score = %v, want high confidence", score)
+	}
+}
+
+func TestFindDiffAlignmentRespectsRange(t *testing.T) {
+	m := msk.New(msk.WithSamplesPerSymbol(2))
+	pattern := []byte{1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1}
+	exp := m.PhaseDiffs(pattern)
+	diffs := make([]float64, 500)
+	copy(diffs[100:], exp)
+	off, _ := FindDiffAlignment(diffs, exp, 200, 400)
+	if off == 100 {
+		t.Error("alignment found outside the search range")
+	}
+	off, score := FindDiffAlignment(diffs, exp, 50, 150)
+	if off != 100 || score < 0.99 {
+		t.Errorf("alignment = %d score %.2f, want 100 / 1.0", off, score)
+	}
+}
+
+func TestFindDiffAlignmentDegenerate(t *testing.T) {
+	if off, _ := FindDiffAlignment(make([]float64, 10), nil, 0, 10); off != -1 {
+		t.Errorf("empty pattern aligned at %d", off)
+	}
+	// An all-zero expected pattern (no phase transitions at all) carries
+	// no alignment information and must be rejected.
+	if off, _ := FindDiffAlignment(make([]float64, 10), make([]float64, 4), 0, 10); off != -1 {
+		t.Errorf("zero pattern aligned at %d", off)
+	}
+}
+
+func TestConjReverseDiffProperty(t *testing.T) {
+	// The per-sample phase differences of ConjReverse(s) must equal the
+	// forward differences reversed, with no sign flip — the property
+	// backward decoding (§7.4) rests on.
+	m := msk.New()
+	rng := rand.New(rand.NewSource(5))
+	in := randomBits(rng, 64)
+	s := m.Modulate(in)
+	fwd := make([]float64, len(s)-1)
+	for i := range fwd {
+		fwd[i] = dsp.PhaseDiff(s[i], s[i+1])
+	}
+	cr := ConjReverse(s)
+	for i := 0; i < len(cr)-1; i++ {
+		want := fwd[len(fwd)-1-i]
+		got := dsp.PhaseDiff(cr[i], cr[i+1])
+		if math.Abs(dsp.WrapPhase(got-want)) > 1e-9 {
+			t.Fatalf("diff %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestConjReverseDemodulatesReversedBits(t *testing.T) {
+	m := msk.New()
+	rng := rand.New(rand.NewSource(6))
+	in := randomBits(rng, 128)
+	got := m.Demodulate(ConjReverse(m.Modulate(in)))
+	if !bits.Equal(got, bits.Reverse(in)) {
+		t.Error("ConjReverse demodulation is not the reversed bit stream")
+	}
+}
+
+func TestConjReverseInvolution(t *testing.T) {
+	s := dsp.Signal{1 + 2i, -3i, 0.5}
+	got := ConjReverse(ConjReverse(s))
+	for i := range s {
+		if got[i] != s[i] {
+			t.Error("ConjReverse is not an involution")
+		}
+	}
+}

@@ -1,0 +1,621 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/bits"
+	"repro/internal/dsp"
+	"repro/internal/frame"
+)
+
+// Config parameterizes a Decoder.
+type Config struct {
+	// Modem is the phase-shift-keying modem used for all (de)modulation
+	// (MSK in the paper; any PhyModem works, per §4).
+	Modem PhyModem
+	// Detector holds the §7.1 thresholds.
+	Detector DetectorConfig
+	// NoiseFloor is the receiver's known noise power (linear). Real
+	// receivers calibrate it from idle air time; the simulator passes it
+	// in directly.
+	NoiseFloor float64
+	// PilotMaxErrors tolerated when matching the pilot in decoded bits.
+	PilotMaxErrors int
+	// FallbackFrameBits, when positive, is the network's fixed frame
+	// size. If the wanted packet's header fails its CRC, the recovered
+	// bit stream is still trimmed (and, for backward decodes, flipped
+	// back to forward orientation) to this length so FEC or the
+	// evaluation harness can work with it — residual bit errors in the
+	// header are corrected the same way payload errors are. Zero means
+	// no fallback: a failed header leaves the raw stream untouched.
+	FallbackFrameBits int
+
+	// Ablation switches (all default off = full decoder). They disable
+	// the refinements this implementation adds on top of the paper's
+	// per-sample matcher; the matcher ablation benchmark quantifies each
+	// one's contribution.
+	NoConditioningWeights bool // weight all per-sample ∆φ equally
+	NoMSKPrior            bool // drop the ±π/(2S) prior on ∆φ candidates
+	NoBranchContinuity    bool // choose solution branches independently
+}
+
+// DefaultConfig returns the configuration used across the repository for
+// the given modem and noise floor.
+func DefaultConfig(m PhyModem, noiseFloor float64) Config {
+	return Config{
+		Modem:          m,
+		Detector:       DefaultDetectorConfig(4 * m.SamplesPerSymbol() * 8),
+		NoiseFloor:     noiseFloor,
+		PilotMaxErrors: DefaultPilotMaxErrors,
+	}
+}
+
+// KnownLookup resolves a header key to the sent (or overheard) packet that
+// can cancel the interference — the Sent Packet Buffer access of §7.3.
+type KnownLookup func(frame.Key) (frame.SentRecord, bool)
+
+// Result is the outcome of decoding one reception.
+type Result struct {
+	// Detection reports what the §7.1 detectors saw.
+	Detection Detection
+	// Clean is true when the reception carried a single signal and was
+	// decoded with standard MSK demodulation.
+	Clean bool
+	// Backward is true when the packet was recovered by running the
+	// pipeline over the conjugated time-reversed stream (§7.4).
+	Backward bool
+	// KnownHeader identifies the packet that was cancelled out (unset for
+	// clean receptions).
+	KnownHeader frame.Header
+	// Packet is the recovered packet. Header is valid when HeaderOK;
+	// Payload when BodyOK.
+	Packet frame.Packet
+	// WantedBits is the recovered on-air frame bit stream of the wanted
+	// signal in forward orientation, for bit-error accounting. When
+	// HeaderOK is false the stream is untrimmed and may carry garbage
+	// bits past the true frame end.
+	WantedBits []byte
+	HeaderOK   bool
+	BodyOK     bool
+	// Amplitudes holds the Eq. 5/6 estimates (interfered decodes only).
+	Amplitudes AmplitudeEstimate
+}
+
+// Decoder errors.
+var (
+	ErrNoPacket     = errors.New("core: no packet detected")
+	ErrNoPilot      = errors.New("core: pilot sequence not found")
+	ErrUnknown      = errors.New("core: interfered signal matches no known packet")
+	ErrNoAlignment  = errors.New("core: wanted signal alignment failed")
+	ErrShortOverlap = errors.New("core: interfered region too short to estimate amplitudes")
+)
+
+// Decoder runs Algorithm 1 over reception windows.
+type Decoder struct {
+	cfg Config
+}
+
+// NewDecoder returns a decoder for the given configuration.
+func NewDecoder(cfg Config) *Decoder {
+	if cfg.Modem == nil {
+		panic("core: Config.Modem is nil")
+	}
+	if cfg.PilotMaxErrors <= 0 {
+		cfg.PilotMaxErrors = DefaultPilotMaxErrors
+	}
+	return &Decoder{cfg: cfg}
+}
+
+// Decode processes one reception window: it detects the packet, classifies
+// interference, and runs either the standard demodulator or the
+// interference decoder (forward, then backward) as Algorithm 1 prescribes.
+func (d *Decoder) Decode(rx dsp.Signal, lookup KnownLookup) (*Result, error) {
+	det := Detect(rx, d.cfg.NoiseFloor, d.cfg.Detector)
+	if !det.Present {
+		return nil, ErrNoPacket
+	}
+	if !det.Interfered {
+		return d.decodeClean(rx, det, false)
+	}
+	if lookup == nil {
+		return nil, ErrUnknown
+	}
+	res, errFwd := d.decodeInterfered(rx, det, lookup, false)
+	if errFwd == nil {
+		return res, nil
+	}
+	rxb := ConjReverse(rx)
+	detb := Detect(rxb, d.cfg.NoiseFloor, d.cfg.Detector)
+	if !detb.Present || !detb.Interfered {
+		return nil, errFwd
+	}
+	res, errBwd := d.decodeInterfered(rxb, detb, lookup, true)
+	if errBwd != nil {
+		return nil, fmt.Errorf("forward: %w; backward: %v", errFwd, errBwd)
+	}
+	return res, nil
+}
+
+// TryClean attempts a standard (single-signal) decode regardless of the
+// interference classification. The "X" topology's destinations use it for
+// opportunistic overhearing: a weak concurrent transmitter may corrupt the
+// overheard packet, and the CRC flags (HeaderOK/BodyOK) report whether the
+// snoop succeeded (§11.5).
+func (d *Decoder) TryClean(rx dsp.Signal) (*Result, error) {
+	det := Detect(rx, d.cfg.NoiseFloor, d.cfg.Detector)
+	if !det.Present {
+		return nil, ErrNoPacket
+	}
+	return d.decodeClean(rx, det, false)
+}
+
+// TryCleanBackward is TryClean over the conjugated time-reversed stream:
+// it decodes the *last-ending* transmission in the window instead of the
+// first-starting one. A snooping node uses it when the packet it wants to
+// overhear started second in a collision.
+func (d *Decoder) TryCleanBackward(rx dsp.Signal) (*Result, error) {
+	rxb := ConjReverse(rx)
+	det := Detect(rxb, d.cfg.NoiseFloor, d.cfg.Detector)
+	if !det.Present {
+		return nil, ErrNoPacket
+	}
+	return d.decodeClean(rxb, det, true)
+}
+
+// PeekHeaders decodes the headers reachable without interference
+// cancellation: the one at the head of the stream (first-starting packet)
+// and the one at the tail (last-ending packet, read backward). Routers use
+// the pair to choose between decode, amplify-and-forward, and drop (§7.5).
+// Either pointer may be nil if that header did not decode.
+func (d *Decoder) PeekHeaders(rx dsp.Signal) (first, last *frame.Header) {
+	det := Detect(rx, d.cfg.NoiseFloor, d.cfg.Detector)
+	if !det.Present {
+		return nil, nil
+	}
+	if h, _, _, err := d.findHead(rx, det.Start, headLimit(det, len(rx))); err == nil {
+		first = &h
+	}
+	rxb := ConjReverse(rx)
+	detb := Detect(rxb, d.cfg.NoiseFloor, d.cfg.Detector)
+	if detb.Present {
+		if h, _, _, err := d.findHead(rxb, detb.Start, headLimit(detb, len(rxb))); err == nil {
+			last = &h
+		}
+	}
+	return first, last
+}
+
+// headLimit bounds how far into the stream the clean-head search may read:
+// up to the interference onset (plus a margin) for interfered receptions,
+// or the packet end for clean ones.
+func headLimit(det Detection, n int) int {
+	lim := det.End
+	if det.Interfered {
+		lim = det.IStart
+	}
+	if lim > n {
+		lim = n
+	}
+	return lim
+}
+
+// findHead locates the pilot and decodes the header in the clean head of a
+// stream. It searches all sub-symbol sample offsets because the energy
+// detector's start estimate is only window-accurate. It returns the
+// decoded header, the sample index of the frame's reference sample, and
+// the demodulated head bits from the frame start onward.
+func (d *Decoder) findHead(rx dsp.Signal, start, limit int) (frame.Header, int, []byte, error) {
+	m := d.cfg.Modem
+	sps := m.SamplesPerSymbol()
+	if limit > len(rx) {
+		limit = len(rx)
+	}
+	// Every sub-symbol offset is scored by pilot bit errors and the best
+	// one wins: a half-symbol misalignment often still demodulates the
+	// pilot, but would skew the phase-difference matcher downstream.
+	type candidate struct {
+		h        frame.Header
+		frameRef int
+		bits     []byte
+		errs     int
+	}
+	best := candidate{errs: 1 << 30}
+	pilot := bits.Pilot(bits.PilotLength)
+	for off := 0; off < sps; off++ {
+		lo := start + off
+		if lo >= limit {
+			break
+		}
+		bs := m.Demodulate(rx[lo:limit])
+		k, errs := FindPatternScored(bs, pilot, d.cfg.PilotMaxErrors)
+		if k < 0 || errs >= best.errs {
+			continue
+		}
+		h, err := frame.DecodeHeader(bs[k+bits.PilotLength:])
+		if err != nil {
+			continue
+		}
+		// k is a bit index; the frame reference sits k/bitsPerSymbol
+		// symbols into the stream (a non-symbol-aligned k is a false
+		// match whose header would have failed above).
+		ref := lo + k/m.BitsPerSymbol()*sps
+		best = candidate{h: h, frameRef: ref, bits: bs[k:], errs: errs}
+	}
+	if best.errs == 1<<30 {
+		return frame.Header{}, 0, nil, ErrNoPilot
+	}
+	// Bit-level pilot matching can succeed at half-symbol misalignments
+	// when the SNR is high, so refine the reference at sample resolution:
+	// slide within ±1 symbol and keep the shift whose per-sample phase
+	// differences best correlate with the pilot's known differences.
+	ref := d.refineRef(rx, best.frameRef, limit)
+	if ref != best.frameRef {
+		best.frameRef = ref
+		bs := m.Demodulate(rx[ref:limit])
+		if len(bs) > 0 {
+			best.bits = bs
+		}
+	}
+	return best.h, best.frameRef, best.bits, nil
+}
+
+// refineRef returns the sample shift of ref (within ±1 symbol) that
+// maximizes Σ cos(observed ∆ − expected ∆) over the pilot region.
+func (d *Decoder) refineRef(rx dsp.Signal, ref, limit int) int {
+	m := d.cfg.Modem
+	sps := m.SamplesPerSymbol()
+	pilotDiffs := m.PhaseDiffs(bits.Pilot(bits.PilotLength))
+	bestRef, bestScore := ref, math.Inf(-1)
+	for shift := -sps + 1; shift < sps; shift++ {
+		r := ref + shift
+		if r < 0 || r+len(pilotDiffs)+1 > limit {
+			continue
+		}
+		var score float64
+		for mi, want := range pilotDiffs {
+			score += math.Cos(dsp.PhaseDiff(rx[r+mi], rx[r+mi+1]) - want)
+		}
+		if score > bestScore {
+			bestRef, bestScore = r, score
+		}
+	}
+	return bestRef
+}
+
+// alignWanted locates the wanted frame's reference sample in the
+// recovered ∆φ stream: at every candidate offset it decodes one pilot's
+// worth of symbols with the modem's decision rule and Hamming-matches the
+// known pilot — the §7.2 matching process ("she tries to match the known
+// pilot sequence with every sequence of 64 bits"), applied to the
+// interference-decoded stream. The decoded-bit criterion discriminates
+// far more sharply than any soft correlation: a random offset produces
+// ≈32 of 64 wrong bits, the true one a handful.
+//
+// In backward orientation the stream's leading pilot is the frame's
+// mirrored tail read in reverse, i.e. the bit-reversed pilot decoded from
+// the reversed difference sequence.
+func (d *Decoder) alignWanted(m PhyModem, diffs []float64, lo, hi int, backward bool) (int, int) {
+	pilot := bits.Pilot(bits.PilotLength)
+	if backward {
+		// What leads the backward stream is the mirrored pilot; for
+		// one-bit-per-symbol modulations the reversed stream decodes to
+		// the forward pilot directly, so this branch only matters for
+		// multi-bit PSK (whose backward decoding the frame format does
+		// not yet support — the pilot search will simply fail there).
+		pilot = bits.Pilot(bits.PilotLength)
+	}
+	sps := m.SamplesPerSymbol()
+	need := len(pilot) / m.BitsPerSymbol() * sps
+	if lo < 0 {
+		lo = 0
+	}
+	// The pilot sits right at the interference onset — the stretch where
+	// the amplitude estimates are weakest — so the alignment tolerance is
+	// looser than the clean-head pilot search's. Even at 12 of 64 errors
+	// a false match costs P(Binom(64,½) ≤ 12) ≈ 4e−8 per offset.
+	maxErrs := 2 * d.cfg.PilotMaxErrors
+	best, bestErrs := -1, maxErrs+1
+	for o := lo; o < hi && o+need <= len(diffs); o++ {
+		got := m.DecideDiffs(diffs[o:o+need], nil)
+		errs := 0
+		for i, p := range pilot {
+			if i >= len(got) || got[i] != p {
+				errs++
+				if errs >= bestErrs {
+					break
+				}
+			}
+		}
+		if errs < bestErrs {
+			best, bestErrs = o, errs
+		}
+	}
+	if best < 0 {
+		return best, bestErrs
+	}
+	// Sub-symbol refinement: the bit-level match tolerates ±1-sample
+	// misalignments that would corrupt the rest of the frame. Slide
+	// within one symbol maximizing the soft agreement with the pilot's
+	// known difference profile.
+	// In both orientations the stream's leading wanted region decodes to
+	// the forward pilot (that is what the coarse match above verified),
+	// so the soft profile is the pilot's forward difference sequence.
+	exp := m.PhaseDiffs(pilot)
+	bestRef, bestScore := best, math.Inf(-1)
+	for shift := -sps + 1; shift < sps; shift++ {
+		o := best + shift
+		if o < 0 || o+len(exp) > len(diffs) {
+			continue
+		}
+		var score float64
+		for mi, e := range exp {
+			score += math.Cos(diffs[o+mi] - e)
+		}
+		if score > bestScore {
+			bestRef, bestScore = o, score
+		}
+	}
+	return bestRef, bestErrs
+}
+
+// decodeClean demodulates a single-signal reception. With backward set,
+// the caller passed a conjugate-reversed stream; the frame is flipped to
+// forward orientation before body extraction, exactly as in the
+// interfered backward path.
+func (d *Decoder) decodeClean(rx dsp.Signal, det Detection, backward bool) (*Result, error) {
+	h, _, frameBits, err := d.findHead(rx, det.Start, det.End)
+	if err != nil {
+		return nil, err
+	}
+	exact := normalizeFrame(frameBits, frame.FrameBits(int(h.Len)), backward)
+	res := &Result{Detection: det, Clean: true, Backward: backward, HeaderOK: true, WantedBits: exact}
+	res.Packet.Header = h
+	payload, err := frame.UnmarshalBody(h, exact)
+	if err == nil {
+		res.BodyOK = true
+		res.Packet.Payload = payload
+	}
+	return res, nil
+}
+
+// decodeInterfered runs the §6 algorithm over a stream whose known packet
+// starts first in the given orientation. The backward flag only controls
+// how the known record's bits are oriented and how the recovered frame is
+// flipped back; the caller passes the already conjugate-reversed stream.
+func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLookup, backward bool) (*Result, error) {
+	m := d.cfg.Modem
+	sps := m.SamplesPerSymbol()
+	w := d.cfg.Detector.Window
+
+	// 1. Clean-head decode: our own pilot and header (§7.2, Fig. 5).
+	hdr, frameRef, _, err := d.findHead(rx, det.Start, headLimit(det, len(rx))+4*sps)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok := lookup(hdr.Key())
+	if !ok {
+		return nil, fmt.Errorf("%w: header %v", ErrUnknown, hdr)
+	}
+	knownDiffs := m.PhaseDiffs(rec.Bits)
+	if backward {
+		// Conjugate time reversal reverses the per-sample difference
+		// sequence without negating it (see ConjReverse).
+		reverseFloats(knownDiffs)
+	}
+	knownEnd := frameRef + 1 + len(knownDiffs) // one past the known signal
+
+	// 2. Amplitude estimation (§6.2) over the doubly-occupied region,
+	// with a window-sized guard against edge bias, and assignment of the
+	// known amplitude from the interference-free head power.
+	lo, hi := det.IStart, det.IEnd
+	if lo < frameRef {
+		lo = frameRef
+	}
+	if hi > knownEnd {
+		hi = knownEnd
+	}
+	if hi-lo > 4*w {
+		lo += w
+		hi -= w
+	}
+	if hi-lo < 64 {
+		return nil, ErrShortOverlap
+	}
+	est, err := EstimateAmplitudes(rx[lo:hi])
+	if err != nil {
+		return nil, err
+	}
+	headHi := det.IStart
+	if headHi > knownEnd {
+		headHi = knownEnd
+	}
+	headPower := rx.Slice(frameRef, headHi).Power() - d.cfg.NoiseFloor
+	if headPower < 0 {
+		headPower = 0
+	}
+	est = AssignAmplitudes(est, headPower)
+
+	// 3. Per-transition ∆φ estimates. Inside the known signal's span the
+	// Lemma 6.1 candidates are disambiguated by the known phase
+	// differences (Eqs. 7–8); past its end only the wanted signal
+	// remains and plain differential phases apply. When the two
+	// amplitudes are too close for the head-power assignment to be
+	// trustworthy, both assignments are tried and the one whose known
+	// signal matches better (lower mean residual) wins — a wrong
+	// assignment mirrors the solution geometry and shows up as a large
+	// matching residual.
+	end := det.End
+	if end > len(rx) {
+		end = len(rx)
+	}
+	diffs, weights, residual := d.extractDiffs(rx, est, knownDiffs, frameRef, knownEnd, end)
+	if gap := math.Abs(est.A-est.B) / math.Max(est.A, est.B); gap < 0.15 {
+		swapped := est
+		swapped.A, swapped.B = est.B, est.A
+		d2, w2, r2 := d.extractDiffs(rx, swapped, knownDiffs, frameRef, knownEnd, end)
+		if r2 < residual {
+			diffs, weights, est = d2, w2, swapped
+		}
+	}
+
+	// 4. Locate the wanted frame's start in the ∆φ stream by pilot
+	// correlation (§7.2: "Once Bob's signal starts, the estimated phase
+	// differences will correspond to the pilot sequence").
+	searchLo := det.IStart - 3*w
+	if searchLo < frameRef {
+		searchLo = frameRef
+	}
+	searchHi := det.IStart + 3*w
+	r0, errs := d.alignWanted(m, diffs, searchLo, searchHi, backward)
+	if r0 < 0 {
+		return nil, fmt.Errorf("%w: best pilot match %d errors", ErrNoAlignment, errs)
+	}
+
+	// 5. Per-symbol decision: sum the S per-sample differences of each
+	// symbol; non-negative means 1 (§6.4).
+	wanted := m.DecideDiffs(diffs[r0:], weights[r0:])
+
+	res := &Result{
+		Detection:   det,
+		Backward:    backward,
+		KnownHeader: hdr,
+		Amplitudes:  est,
+		WantedBits:  wanted,
+	}
+
+	// 6. Parse the wanted frame. In backward orientation the recovered
+	// stream is the true frame reversed; its mirrored tail presents
+	// pilot+header first, so header decoding is identical, and the full
+	// frame is flipped before body extraction.
+	wh, err := frame.DecodeHeader(wanted[bits.PilotLength:])
+	if err != nil {
+		// Header unusable; with a configured fixed frame size the bit
+		// stream is still normalized for downstream error correction.
+		if d.cfg.FallbackFrameBits > 0 {
+			res.WantedBits = normalizeFrame(wanted, d.cfg.FallbackFrameBits, backward)
+		}
+		return res, nil
+	}
+	res.HeaderOK = true
+	res.Packet.Header = wh
+	exact := normalizeFrame(wanted, frame.FrameBits(int(wh.Len)), backward)
+	res.WantedBits = exact
+	if payload, err := frame.UnmarshalBody(wh, exact); err == nil {
+		res.BodyOK = true
+		res.Packet.Payload = payload
+	}
+	return res, nil
+}
+
+// reverseFloats reverses a float slice in place.
+func reverseFloats(xs []float64) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// normalizeFrame trims or zero-pads a recovered bit stream to the frame
+// length and flips backward-oriented streams to forward order. Trimming
+// happens before the flip because the garbage is at the decode-order tail.
+func normalizeFrame(stream []byte, frameBits int, backward bool) []byte {
+	exact := stream
+	if len(exact) > frameBits {
+		exact = exact[:frameBits]
+	} else if len(exact) < frameBits {
+		padded := make([]byte, frameBits)
+		copy(padded, exact)
+		exact = padded
+	}
+	if backward {
+		exact = bits.Reverse(exact)
+	}
+	return exact
+}
+
+// branchContinuityPenalty is the matcher's cost for switching solution
+// branches between consecutive samples. Tuned empirically: large enough to
+// suppress noise-driven flips in ill-conditioned stretches, small enough
+// (≪ π/4) never to override a clear phase-difference match.
+const branchContinuityPenalty = 0.3
+
+// extractDiffs runs the Eq. 7–8 matching loop over [frameRef, end),
+// returning the per-transition ∆φ estimates of the wanted signal, their
+// conditioning weights, and the mean matching residual of the known
+// signal (the quantity an amplitude mis-assignment inflates).
+func (d *Decoder) extractDiffs(rx dsp.Signal, est AmplitudeEstimate, knownDiffs []float64, frameRef, knownEnd, end int) ([]float64, []float64, float64) {
+	m := d.cfg.Modem
+	diffs := make([]float64, end-1)
+	weights := make([]float64, end-1)
+	var prev [2]PhasePair
+	prevCond := 0.0
+	prevChoice := 0
+	havePrev := false
+	var residualSum float64
+	var residualN int
+	for n := frameRef; n+1 < end; n++ {
+		if n+1 >= knownEnd {
+			diffs[n] = dsp.PhaseDiff(rx[n], rx[n+1])
+			weights[n] = 1
+			continue
+		}
+		if !havePrev {
+			prev = SolvePhases(rx[n], est.A, est.B)
+			prevCond = conditioning(rx[n], est.A, est.B)
+			havePrev = true
+		}
+		cur := SolvePhases(rx[n+1], est.A, est.B)
+		curCond := conditioning(rx[n+1], est.A, est.B)
+		kd := knownDiffs[n-frameRef]
+		bestCost := math.Inf(1)
+		bestErr := 0.0
+		bestX := 0
+		var bestDiff float64
+		for x := 0; x < 2; x++ {
+			for y := 0; y < 2; y++ {
+				dphi := dsp.WrapPhase(cur[x].Phi - prev[y].Phi)
+				// Cost: mismatch of the known signal's phase difference
+				// (Eq. 8), plus a prior that the wanted difference must
+				// itself be a legal per-sample step of the modulation.
+				// The prior is symmetric in sign so it cannot bias the
+				// bit decision; it only rejects mirror-branch artifacts.
+				// A small continuity bonus prefers re-selecting the
+				// previous sample's solution branch: the physical
+				// configuration (which side of y the known vector lies)
+				// evolves continuously, so branch flips should be rare.
+				e := math.Abs(dsp.WrapPhase(cur[x].Theta - prev[y].Theta - kd))
+				cost := e
+				if !d.cfg.NoMSKPrior {
+					cost += 0.5 * m.StepPrior(dphi)
+				}
+				if y != prevChoice && !d.cfg.NoBranchContinuity {
+					cost += branchContinuityPenalty
+				}
+				if cost < bestCost {
+					bestCost = cost
+					bestErr = e
+					bestDiff = dphi
+					bestX = x
+				}
+			}
+		}
+		prevChoice = bestX
+		diffs[n] = bestDiff
+		residualSum += bestErr
+		residualN++
+		// Where the circles of Fig. 4 are nearly tangent (|sin(θ−φ)|
+		// small) the φ estimate is ill-conditioned; its contribution to
+		// the symbol decision is weighted down accordingly.
+		if d.cfg.NoConditioningWeights {
+			weights[n] = 1
+		} else {
+			weights[n] = math.Min(prevCond, curCond) + 0.05
+		}
+		prev, prevCond = cur, curCond
+	}
+	if residualN == 0 {
+		return diffs, weights, math.Inf(1)
+	}
+	return diffs, weights, residualSum / float64(residualN)
+}

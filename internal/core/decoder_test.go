@@ -1,0 +1,352 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/dsp"
+	"repro/internal/frame"
+	"repro/internal/msk"
+)
+
+// abExchange synthesizes one full Alice–Bob ANC exchange (Fig. 1d): both
+// transmit simultaneously (with Bob offset by bobDelay samples), the relay
+// receives the superposition plus its own noise, re-amplifies to unit
+// power, and both endpoints receive the broadcast through their own links
+// plus their own noise.
+type abExchange struct {
+	modem        *msk.Modem
+	pktA, pktB   frame.Packet
+	bitsA, bitsB []byte
+	rxA, rxB     dsp.Signal
+	floorA       float64
+	floorB       float64
+	bufA, bufB   *frame.SentBuffer
+}
+
+// abConfig returns the decoder configuration the exchange tests use: the
+// defaults plus the fixed frame size, so a header hit by residual bit
+// errors still yields forward-oriented, frame-aligned bits for BER
+// accounting (exactly how the simulator configures its nodes).
+func abConfig(m *msk.Modem, floor float64) Config {
+	cfg := DefaultConfig(m, floor)
+	cfg.FallbackFrameBits = frame.FrameBits(64)
+	return cfg
+}
+
+func makeABExchange(t *testing.T, seed int64, bobDelay int, ampA, ampB float64) *abExchange {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := msk.New()
+
+	payloadA := make([]byte, 64)
+	payloadB := make([]byte, 64)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	pktA := frame.NewPacket(1, 2, 100, payloadA) // Alice → Bob
+	pktB := frame.NewPacket(2, 1, 200, payloadB) // Bob → Alice
+	bitsA := frame.Marshal(pktA)
+	bitsB := frame.Marshal(pktB)
+
+	modA := msk.New(msk.WithAmplitude(ampA))
+	modB := msk.New(msk.WithAmplitude(ampB))
+	sigA := modA.Modulate(bitsA)
+	sigB := modB.Modulate(bitsB)
+
+	// Uplink: both signals interfere at the router.
+	routerNoise := dsp.NewNoiseSource(1e-3, seed+1)
+	// The two uplinks carry distinct residual carrier offsets, as any two
+	// physical oscillators do. The relative CFO sweeps the inter-signal
+	// phase across the packet, which the Eq. 5/6 amplitude estimator
+	// depends on (see mixedMSK in amplitude_test.go).
+	routerRx := channel.Receive(routerNoise, 200,
+		channel.Transmission{Signal: sigA, Link: channel.Link{Gain: 0.8, Phase: 0.7, FreqOffset: 0.006}},
+		channel.Transmission{Signal: sigB, Link: channel.Link{Gain: 0.75, Phase: -1.1, FreqOffset: -0.008}, Delay: bobDelay},
+	)
+	// The router amplifies the interfered signal to unit transmit power
+	// and broadcasts (§2) — noise and all.
+	relayed := channel.AmplifyTo(routerRx, 1)
+
+	// Downlink to each endpoint.
+	floorA, floorB := 1e-3, 1e-3
+	rxA := channel.Receive(dsp.NewNoiseSource(floorA, seed+2), 300,
+		channel.Transmission{Signal: relayed, Link: channel.Link{Gain: 0.7, Phase: 2.2}, Delay: 50})
+	rxB := channel.Receive(dsp.NewNoiseSource(floorB, seed+3), 300,
+		channel.Transmission{Signal: relayed, Link: channel.Link{Gain: 0.72, Phase: 0.4}, Delay: 80})
+
+	bufA := frame.NewSentBuffer(0)
+	bufA.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	bufB := frame.NewSentBuffer(0)
+	bufB.Put(frame.SentRecord{Packet: pktB, Bits: bitsB, Samples: sigB})
+
+	return &abExchange{
+		modem: m, pktA: pktA, pktB: pktB, bitsA: bitsA, bitsB: bitsB,
+		rxA: rxA, rxB: rxB, floorA: floorA, floorB: floorB,
+		bufA: bufA, bufB: bufB,
+	}
+}
+
+func TestDecodeAliceRecoversBob(t *testing.T) {
+	ex := makeABExchange(t, 1, 900, 1, 1)
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2)) // floor: own + relayed noise
+	res, err := d.Decode(ex.rxA, ex.bufA.Get)
+	if err != nil {
+		t.Fatalf("Alice decode: %v", err)
+	}
+	if res.Clean {
+		t.Fatal("interfered reception decoded as clean")
+	}
+	if res.Backward {
+		t.Error("Alice (first transmitter) should decode forward")
+	}
+	if res.KnownHeader != ex.pktA.Header {
+		t.Errorf("known header = %v, want Alice's", res.KnownHeader)
+	}
+	if !res.HeaderOK {
+		t.Fatal("wanted header failed")
+	}
+	if res.Packet.Header != ex.pktB.Header {
+		t.Errorf("recovered header = %v, want Bob's %v", res.Packet.Header, ex.pktB.Header)
+	}
+	// The paper's system delivers ANC packets with a residual 2–4% BER
+	// and corrects them with FEC (§11.2); the raw decode is judged by
+	// BER, and payload equality only when the CRC happened to pass.
+	if ber := bits.BER(ex.bitsB, res.WantedBits); ber > 0.02 {
+		t.Errorf("frame BER = %.4f, want ≤ 0.02", ber)
+	}
+	if res.BodyOK && string(res.Packet.Payload) != string(ex.pktB.Payload) {
+		t.Error("payload mismatch despite CRC pass")
+	}
+}
+
+func TestDecodeBobRecoversAliceBackward(t *testing.T) {
+	ex := makeABExchange(t, 2, 900, 1, 1)
+	d := NewDecoder(abConfig(ex.modem, ex.floorB*2))
+	res, err := d.Decode(ex.rxB, ex.bufB.Get)
+	if err != nil {
+		t.Fatalf("Bob decode: %v", err)
+	}
+	if !res.Backward {
+		t.Error("Bob (second transmitter) should decode backward")
+	}
+	if res.KnownHeader != ex.pktB.Header {
+		t.Errorf("known header = %v, want Bob's", res.KnownHeader)
+	}
+	if res.HeaderOK && res.Packet.Header != ex.pktA.Header {
+		t.Fatalf("recovered header = %v, want Alice's", res.Packet.Header)
+	}
+	if ber := bits.BER(ex.bitsA, res.WantedBits); ber > 0.02 {
+		t.Errorf("frame BER = %.4f, want ≤ 0.02", ber)
+	}
+	if res.BodyOK && string(res.Packet.Payload) != string(ex.pktA.Payload) {
+		t.Error("payload mismatch despite CRC pass")
+	}
+}
+
+func TestDecodeFrameBERLow(t *testing.T) {
+	// The recovered frame bits should have BER in the paper's 2–4% range
+	// or better at these SNRs.
+	var total, count float64
+	for seed := int64(10); seed < 16; seed++ {
+		ex := makeABExchange(t, seed, 1000, 1, 1)
+		d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+		res, err := d.Decode(ex.rxA, ex.bufA.Get)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		total += bits.BER(ex.bitsB, res.WantedBits)
+		count++
+	}
+	if avg := total / count; avg > 0.04 {
+		t.Errorf("average frame BER = %.4f, want ≤ 0.04", avg)
+	}
+}
+
+func TestDecodeAsymmetricAmplitudes(t *testing.T) {
+	// SIR −3 dB at the composite: Bob's signal twice Alice's power. The
+	// paper reports ANC decodes down to −3 dB SIR (§11.7).
+	ex := makeABExchange(t, 3, 950, 1, 1.41)
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	res, err := d.Decode(ex.rxA, ex.bufA.Get)
+	if err != nil {
+		t.Fatalf("decode at −3 dB SIR: %v", err)
+	}
+	if ber := bits.BER(ex.bitsB, res.WantedBits); ber > 0.05 {
+		t.Errorf("BER at −3 dB SIR = %.3f, want ≤ 0.05 (Fig. 13)", ber)
+	}
+}
+
+func TestDecodeCleanPath(t *testing.T) {
+	// A single transmission must route through standard demodulation.
+	rng := rand.New(rand.NewSource(4))
+	m := msk.New()
+	payload := make([]byte, 32)
+	rng.Read(payload)
+	pkt := frame.NewPacket(5, 6, 7, payload)
+	sig := m.Modulate(frame.Marshal(pkt))
+	floor := 1e-3
+	rx := channel.Receive(dsp.NewNoiseSource(floor, 5), 300,
+		channel.Transmission{Signal: sig, Link: channel.Link{Gain: 0.8, Phase: 1.0}, Delay: 120})
+	d := NewDecoder(DefaultConfig(m, floor))
+	res, err := d.Decode(rx, nil)
+	if err != nil {
+		t.Fatalf("clean decode: %v", err)
+	}
+	if !res.Clean || !res.BodyOK {
+		t.Fatalf("clean=%v bodyOK=%v", res.Clean, res.BodyOK)
+	}
+	if string(res.Packet.Payload) != string(payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestDecodeUnknownInterference(t *testing.T) {
+	// A node that knows neither packet cannot decode the mixture.
+	ex := makeABExchange(t, 6, 900, 1, 1)
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	empty := frame.NewSentBuffer(0)
+	if _, err := d.Decode(ex.rxA, empty.Get); !errors.Is(err, ErrUnknown) {
+		t.Errorf("err = %v, want ErrUnknown", err)
+	}
+	if _, err := d.Decode(ex.rxA, nil); !errors.Is(err, ErrUnknown) {
+		t.Errorf("nil lookup err = %v, want ErrUnknown", err)
+	}
+}
+
+func TestDecodeNoPacket(t *testing.T) {
+	d := NewDecoder(DefaultConfig(msk.New(), 1e-3))
+	rx := dsp.NewNoiseSource(1e-3, 7).Samples(4000)
+	if _, err := d.Decode(rx, nil); !errors.Is(err, ErrNoPacket) {
+		t.Errorf("err = %v, want ErrNoPacket", err)
+	}
+}
+
+func TestPeekHeaders(t *testing.T) {
+	ex := makeABExchange(t, 8, 900, 1, 1)
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	first, last := d.PeekHeaders(ex.rxA)
+	if first == nil || *first != ex.pktA.Header {
+		t.Errorf("first header = %v, want Alice's", first)
+	}
+	if last == nil || *last != ex.pktB.Header {
+		t.Errorf("last header = %v, want Bob's", last)
+	}
+}
+
+func TestTryCleanOnInterferedReception(t *testing.T) {
+	// Opportunistic overhearing: a strong wanted signal with a weak
+	// interferer still decodes via the clean path; CRC reports success.
+	rng := rand.New(rand.NewSource(9))
+	m := msk.New()
+	payload := make([]byte, 48)
+	rng.Read(payload)
+	pkt := frame.NewPacket(1, 4, 1, payload)
+	want := m.Modulate(frame.Marshal(pkt))
+	other := msk.New(msk.WithAmplitude(1)).Modulate(frame.Marshal(frame.NewPacket(3, 2, 1, payload)))
+	floor := 1e-4
+	rx := channel.Receive(dsp.NewNoiseSource(floor, 10), 300,
+		channel.Transmission{Signal: want, Link: channel.Link{Gain: 0.9}},
+		// Far-away interferer: 22 dB below the wanted signal.
+		channel.Transmission{Signal: other, Link: channel.Link{Gain: 0.07, Phase: 1.3}, Delay: 700},
+	)
+	d := NewDecoder(DefaultConfig(m, floor))
+	res, err := d.TryClean(rx)
+	if err != nil {
+		t.Fatalf("TryClean: %v", err)
+	}
+	if !res.BodyOK {
+		t.Error("strong overheard packet failed CRC")
+	}
+}
+
+func TestDecodeOverheardKnown(t *testing.T) {
+	// "X" topology: the canceller knows the packet only as overheard bits
+	// (no sample record). Decoding must not depend on Samples.
+	ex := makeABExchange(t, 11, 900, 1, 1)
+	buf := frame.NewSentBuffer(0)
+	buf.Put(frame.SentRecord{Packet: ex.pktA, Bits: ex.bitsA}) // no Samples
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	res, err := d.Decode(ex.rxA, buf.Get)
+	if err != nil {
+		t.Fatalf("decode with overheard record: %v", err)
+	}
+	if ber := bits.BER(ex.bitsB, res.WantedBits); ber > 0.02 {
+		t.Errorf("overheard-known decode BER = %.4f", ber)
+	}
+}
+
+func TestDecodeVariedDelays(t *testing.T) {
+	// Robustness across the random-delay range, including offsets that
+	// are not multiples of the symbol length.
+	for _, delay := range []int{800, 901, 1002, 1203, 1500} {
+		ex := makeABExchange(t, int64(20+delay), delay, 1, 1)
+		d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+		res, err := d.Decode(ex.rxA, ex.bufA.Get)
+		if err != nil {
+			t.Fatalf("delay %d: %v", delay, err)
+		}
+		if ber := bits.BER(ex.bitsB, res.WantedBits); ber > 0.05 {
+			t.Errorf("delay %d: BER %.3f", delay, ber)
+		}
+	}
+}
+
+func TestNewDecoderValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil modem did not panic")
+		}
+	}()
+	NewDecoder(Config{})
+}
+
+func TestDecodeRobustToTruncation(t *testing.T) {
+	// Receptions cut off mid-packet (receiver stopped listening, buffer
+	// overrun) must produce errors, never panics or hangs.
+	ex := makeABExchange(t, 30, 900, 1, 1)
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	for _, frac := range []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95} {
+		n := int(float64(len(ex.rxA)) * frac)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic at frac %v: %v", frac, r)
+				}
+			}()
+			d.Decode(ex.rxA[:n], ex.bufA.Get) // errors are acceptable
+		}()
+	}
+}
+
+func TestDecodeWithCorruptedKnownRecord(t *testing.T) {
+	// A stale or corrupted sent-packet buffer entry (wrong bits under the
+	// right key) must not panic; the decode degrades to garbage or error.
+	ex := makeABExchange(t, 31, 900, 1, 1)
+	bad := frame.NewSentBuffer(0)
+	corrupt := append([]byte(nil), ex.bitsA...)
+	for i := 200; i < 400; i++ {
+		corrupt[i] ^= 1
+	}
+	bad.Put(frame.SentRecord{Packet: ex.pktA, Bits: corrupt})
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	res, err := d.Decode(ex.rxA, bad.Get)
+	if err == nil && res.BodyOK {
+		// With 200 flipped reference bits the cancellation reference is
+		// wrong for a quarter of the frame; a clean CRC pass would mean
+		// the corruption had no effect, which cannot happen.
+		t.Error("decode claimed success with a corrupted cancellation reference")
+	}
+}
+
+func TestDecodeShortOverlap(t *testing.T) {
+	// Nearly disjoint packets: the doubly-occupied region is too short to
+	// estimate amplitudes and the decode must fail cleanly.
+	ex := makeABExchange(t, 32, 3400, 1, 1) // frame is 3457 samples
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	if _, err := d.Decode(ex.rxA, ex.bufA.Get); err == nil {
+		t.Error("near-zero overlap decoded successfully")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import "repro/internal/dsp"
+
+// PhyModem is the modulation contract the interference decoder needs. §4
+// of the paper argues the technique applies to any phase-shift-keying
+// modulation; this interface is that claim made concrete. The repository
+// ships two implementations: MSK (internal/msk, the paper's choice) and
+// π/4-DQPSK (internal/dqpsk, the §4 generality demonstration).
+//
+// The requirements on an implementation are exactly the properties §6
+// exploits:
+//
+//   - constant envelope (the §7.1 interference detector and the §6.2
+//     amplitude estimator both assume it), and
+//   - all information carried in phase *differences* between consecutive
+//     samples (channel attenuation and phase shift cancel, Eq. 1).
+type PhyModem interface {
+	// SamplesPerSymbol is the oversampling factor S.
+	SamplesPerSymbol() int
+	// BitsPerSymbol is the number of bits one symbol carries.
+	BitsPerSymbol() int
+	// NumSamples returns the signal length Modulate produces for n bits.
+	NumSamples(nbits int) int
+	// NumBits returns how many whole bits fit in a signal of n samples.
+	NumBits(nsamples int) int
+	// Modulate maps bits to complex baseband samples, beginning with one
+	// phase-reference sample.
+	Modulate(bs []byte) dsp.Signal
+	// Demodulate recovers bits from a clean (single-signal) reception.
+	Demodulate(s dsp.Signal) []byte
+	// PhaseDiffs returns the transmitted per-sample phase differences
+	// for a bit stream: entry m is the phase change from sample m to
+	// m+1. The interference matcher compares candidates against these
+	// (Eq. 8).
+	PhaseDiffs(bs []byte) []float64
+	// DecideDiffs maps a stream of recovered per-sample phase-difference
+	// estimates (aligned to a frame reference, with per-estimate
+	// confidence weights in [0,1]) back to bits (§6.4).
+	DecideDiffs(diffs, weights []float64) []byte
+	// StepPrior returns the wrapped distance from dphi to the nearest
+	// phase difference the modulation can legally produce between two
+	// consecutive samples. The matcher uses it to reject mirror-branch
+	// artifacts; it must be symmetric under sign change of the
+	// underlying data so it cannot bias decisions.
+	StepPrior(dphi float64) float64
+}

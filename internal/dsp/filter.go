@@ -1,0 +1,121 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// CrossCorrelate returns the magnitude of the complex cross-correlation of
+// haystack with needle at every lag where the needle fits entirely:
+// out[k] = |Σ_n haystack[k+n]·conj(needle[n])|. The pilot aligner uses the
+// decoded-bit matcher of §7.2 as its primary mechanism, but sample-level
+// correlation is exposed for diagnostics and the alignment ablation.
+func CrossCorrelate(haystack, needle Signal) []float64 {
+	if len(needle) == 0 || len(needle) > len(haystack) {
+		return nil
+	}
+	out := make([]float64, len(haystack)-len(needle)+1)
+	for k := range out {
+		var acc complex128
+		for n, w := range needle {
+			acc += haystack[k+n] * cmplx.Conj(w)
+		}
+		out[k] = cmplx.Abs(acc)
+	}
+	return out
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 for empty
+// input. Ties resolve to the earliest index, which for correlation peaks
+// means the earliest alignment.
+func ArgMax(xs []float64) int {
+	best := -1
+	bestV := math.Inf(-1)
+	for i, x := range xs {
+		if x > bestV {
+			best, bestV = i, x
+		}
+	}
+	return best
+}
+
+// FIR is a finite-impulse-response filter with fixed real taps. The modem
+// uses a short boxcar FIR as a matched filter when SamplesPerSymbol > 1:
+// averaging the samples of one symbol interval before taking phase
+// differences buys an SNR gain of the oversampling factor.
+type FIR struct {
+	taps []float64
+}
+
+// NewFIR returns a filter with the given taps. At least one tap is
+// required.
+func NewFIR(taps []float64) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: FIR with no taps")
+	}
+	out := make([]float64, len(taps))
+	copy(out, taps)
+	return &FIR{taps: out}
+}
+
+// Boxcar returns an n-tap moving-average filter with unit DC gain.
+func Boxcar(n int) *FIR {
+	if n <= 0 {
+		panic(fmt.Sprintf("dsp: boxcar length %d", n))
+	}
+	taps := make([]float64, n)
+	for i := range taps {
+		taps[i] = 1 / float64(n)
+	}
+	return &FIR{taps: taps}
+}
+
+// Apply convolves s with the filter taps, returning a signal of the same
+// length (the leading edge uses the partial overlap, i.e. zero-padded
+// history). out[n] = Σ_k taps[k]·s[n−k].
+func (f *FIR) Apply(s Signal) Signal {
+	out := make(Signal, len(s))
+	for n := range s {
+		var acc complex128
+		for k, t := range f.taps {
+			if n-k < 0 {
+				break
+			}
+			acc += complex(t, 0) * s[n-k]
+		}
+		out[n] = acc
+	}
+	return out
+}
+
+// Downsample keeps every factor-th sample of s starting at offset.
+func Downsample(s Signal, factor, offset int) Signal {
+	if factor <= 0 {
+		panic(fmt.Sprintf("dsp: downsample factor %d", factor))
+	}
+	if offset < 0 {
+		panic(fmt.Sprintf("dsp: downsample offset %d", offset))
+	}
+	var out Signal
+	for i := offset; i < len(s); i += factor {
+		out = append(out, s[i])
+	}
+	return out
+}
+
+// Upsample inserts factor−1 zeros after every sample of s. Together with a
+// smoothing FIR this is the textbook interpolator the transmitter front end
+// (§5.1, "the wireless transmitter interpolates the samples") corresponds
+// to; the modem uses phase-continuous generation instead but the primitive
+// is exposed for completeness and tests.
+func Upsample(s Signal, factor int) Signal {
+	if factor <= 0 {
+		panic(fmt.Sprintf("dsp: upsample factor %d", factor))
+	}
+	out := make(Signal, len(s)*factor)
+	for i, v := range s {
+		out[i*factor] = v
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestCrossCorrelatePeakAtTrueOffset(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	needle := make(Signal, 32)
+	for i := range needle {
+		needle[i] = cmplx.Exp(complex(0, rng.Float64()*2*math.Pi))
+	}
+	const offset = 77
+	haystack := make(Signal, 256)
+	for i := range haystack {
+		haystack[i] = complex(rng.NormFloat64()*0.1, rng.NormFloat64()*0.1)
+	}
+	for i, v := range needle {
+		haystack[offset+i] += v
+	}
+	corr := CrossCorrelate(haystack, needle)
+	if got := ArgMax(corr); got != offset {
+		t.Errorf("correlation peak at %d, want %d", got, offset)
+	}
+}
+
+func TestCrossCorrelatePhaseInvariance(t *testing.T) {
+	// A channel rotation of the haystack must not move the peak.
+	needle := make(Signal, 16)
+	for i := range needle {
+		needle[i] = cmplx.Exp(complex(0, 0.7*float64(i)))
+	}
+	haystack := needle.Delay(40).PadTo(100)
+	rotated := haystack.Scale(cmplx.Exp(complex(0, 1.234)))
+	if got := ArgMax(CrossCorrelate(rotated, needle)); got != 40 {
+		t.Errorf("peak under rotation at %d, want 40", got)
+	}
+}
+
+func TestCrossCorrelateDegenerate(t *testing.T) {
+	if got := CrossCorrelate(Signal{1, 2}, Signal{}); got != nil {
+		t.Errorf("empty needle = %v", got)
+	}
+	if got := CrossCorrelate(Signal{1}, Signal{1, 2}); got != nil {
+		t.Errorf("needle longer than haystack = %v", got)
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if got := ArgMax(nil); got != -1 {
+		t.Errorf("ArgMax(nil) = %d", got)
+	}
+	if got := ArgMax([]float64{1, 3, 3, 2}); got != 1 {
+		t.Errorf("ArgMax tie = %d, want earliest (1)", got)
+	}
+}
+
+func TestBoxcarDCGain(t *testing.T) {
+	f := Boxcar(4)
+	s := make(Signal, 16)
+	for i := range s {
+		s[i] = complex(2, -1)
+	}
+	out := f.Apply(s)
+	// After the filter fills, output equals input for a constant signal.
+	for i := 4; i < len(out); i++ {
+		if cmplx.Abs(out[i]-complex(2, -1)) > 1e-12 {
+			t.Fatalf("boxcar steady state out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestFIRReducesNoise(t *testing.T) {
+	// A boxcar over white noise cuts power by roughly its length.
+	ns := NewNoiseSource(1, 5)
+	noise := ns.Samples(50000)
+	filtered := Boxcar(8).Apply(noise)
+	ratio := noise.Power() / filtered.Slice(8, len(filtered)).Power()
+	if ratio < 6 || ratio > 10 {
+		t.Errorf("noise suppression = %vx, want ~8x", ratio)
+	}
+}
+
+func TestFIRImpulseResponse(t *testing.T) {
+	f := NewFIR([]float64{0.5, 0.25, 0.125})
+	s := Signal{1, 0, 0, 0}
+	out := f.Apply(s)
+	want := []float64{0.5, 0.25, 0.125, 0}
+	for i, w := range want {
+		if math.Abs(real(out[i])-w) > 1e-12 || imag(out[i]) != 0 {
+			t.Errorf("impulse response[%d] = %v, want %v", i, out[i], w)
+		}
+	}
+}
+
+func TestUpsampleDownsampleRoundTrip(t *testing.T) {
+	s := Signal{1, 2i, 3, 4i}
+	up := Upsample(s, 3)
+	if len(up) != 12 || up[0] != 1 || up[1] != 0 || up[3] != 2i {
+		t.Errorf("Upsample = %v", up)
+	}
+	down := Downsample(up, 3, 0)
+	for i := range s {
+		if down[i] != s[i] {
+			t.Error("up/down round trip failed")
+		}
+	}
+}
+
+func TestDownsampleOffset(t *testing.T) {
+	s := Signal{0, 1, 2, 3, 4, 5}
+	got := Downsample(s, 2, 1)
+	if len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("Downsample offset = %v", got)
+	}
+}
+
+func TestFilterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty FIR":          func() { NewFIR(nil) },
+		"boxcar 0":           func() { Boxcar(0) },
+		"downsample 0":       func() { Downsample(Signal{1}, 0, 0) },
+		"downsample neg off": func() { Downsample(Signal{1}, 1, -1) },
+		"upsample 0":         func() { Upsample(Signal{1}, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,101 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNoisePowerMatchesConfiguration(t *testing.T) {
+	for _, p := range []float64{0.01, 0.5, 1, 4} {
+		ns := NewNoiseSource(p, 1)
+		got := ns.Samples(200000).Power()
+		if math.Abs(got-p)/p > 0.05 {
+			t.Errorf("noise power = %v, want %v", got, p)
+		}
+	}
+}
+
+func TestNoiseZeroMean(t *testing.T) {
+	ns := NewNoiseSource(1, 2)
+	var sum complex128
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += ns.Sample()
+	}
+	mean := sum / complex(n, 0)
+	if math.Abs(real(mean)) > 0.02 || math.Abs(imag(mean)) > 0.02 {
+		t.Errorf("noise mean = %v, want ~0", mean)
+	}
+}
+
+func TestNoiseCircularSymmetry(t *testing.T) {
+	// Real and imaginary parts carry equal power.
+	ns := NewNoiseSource(2, 3)
+	var re, im float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s := ns.Sample()
+		re += real(s) * real(s)
+		im += imag(s) * imag(s)
+	}
+	if math.Abs(re-im)/re > 0.05 {
+		t.Errorf("dimension powers %v vs %v not balanced", re/n, im/n)
+	}
+}
+
+func TestNoiseDeterministicBySeed(t *testing.T) {
+	a := NewNoiseSource(1, 7).Samples(64)
+	b := NewNoiseSource(1, 7).Samples(64)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different noise")
+		}
+	}
+	c := NewNoiseSource(1, 8).Samples(64)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}
+
+func TestAddToZeroPower(t *testing.T) {
+	ns := NewNoiseSource(0, 1)
+	s := Signal{1, 2i}
+	got := ns.AddTo(s)
+	for i := range s {
+		if got[i] != s[i] {
+			t.Error("zero-power AddTo modified signal")
+		}
+	}
+	got[0] = 99
+	if s[0] == 99 {
+		t.Error("AddTo aliases input")
+	}
+}
+
+func TestAddToRaisesPower(t *testing.T) {
+	ns := NewNoiseSource(1, 4)
+	s := make(Signal, 100000)
+	for i := range s {
+		s[i] = 1 // unit-power carrier
+	}
+	got := ns.AddTo(s).Power()
+	if math.Abs(got-2) > 0.1 {
+		t.Errorf("signal+noise power = %v, want ~2", got)
+	}
+}
+
+func TestNegativeNoisePowerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative power did not panic")
+		}
+	}()
+	NewNoiseSource(-1, 1)
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// smallOpts keeps campaign tests quick.
+func smallOpts() Options {
+	return Options{Runs: 4, Sim: sim.Config{Packets: 5}, Seed: 3}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res := Fig9(smallOpts())
+	if res.GainOverTrad.Len() != 4 || res.GainOverCOPE.Len() != 4 {
+		t.Fatalf("gain samples %d/%d, want 4/4", res.GainOverTrad.Len(), res.GainOverCOPE.Len())
+	}
+	if g := res.GainOverTrad.Mean(); g < 1.3 || g > 1.9 {
+		t.Errorf("mean gain over routing = %.3f", g)
+	}
+	if g := res.GainOverCOPE.Mean(); g < 1.0 || g > 1.5 {
+		t.Errorf("mean gain over COPE = %.3f", g)
+	}
+	if res.BER.Len() == 0 {
+		t.Error("no BER samples collected")
+	}
+	if ovl := res.Overlap.Mean(); ovl < 0.7 || ovl > 0.9 {
+		t.Errorf("mean overlap = %.3f", ovl)
+	}
+}
+
+func TestFig12NoCOPE(t *testing.T) {
+	res := Fig12(smallOpts())
+	if res.GainOverCOPE != nil {
+		t.Error("chain campaign has a COPE column; COPE does not apply (§2b)")
+	}
+	if g := res.GainOverTrad.Mean(); g < 1.1 || g > 1.55 {
+		t.Errorf("chain mean gain = %.3f", g)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	res := Fig9(smallOpts())
+	gain := res.FormatGain(10)
+	if !strings.Contains(gain, "gain over traditional") || !strings.Contains(gain, "gain over COPE") {
+		t.Errorf("gain text missing series:\n%s", gain)
+	}
+	ber := res.FormatBER(10)
+	if !strings.Contains(ber, "ANC packet BER") {
+		t.Errorf("BER text missing series:\n%s", ber)
+	}
+}
+
+func TestFig7Text(t *testing.T) {
+	out := Fig7(0, 55, 5)
+	if !strings.Contains(out, "crossover") {
+		t.Errorf("Fig 7 output missing crossover line:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got < 14 {
+		t.Errorf("Fig 7 output too short (%d lines)", got)
+	}
+}
+
+func TestFig13Text(t *testing.T) {
+	out := Fig13(Options{Runs: 1, Sim: sim.Config{Packets: 3}, Seed: 5}, -3, 4, 1)
+	if strings.Count(out, "\n") < 10 {
+		t.Errorf("Fig 13 output too short:\n%s", out)
+	}
+	if !strings.Contains(out, "SIR") {
+		t.Error("Fig 13 header missing")
+	}
+}
+
+func TestSummaryText(t *testing.T) {
+	out := Summary(smallOpts())
+	for _, want := range []string{"alice-bob", "x", "chain", "n/a", "paper:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDeterministicCampaign(t *testing.T) {
+	a := Fig9(smallOpts())
+	b := Fig9(smallOpts())
+	if a.GainOverTrad.Mean() != b.GainOverTrad.Mean() {
+		t.Error("same options produced different campaign results")
+	}
+}

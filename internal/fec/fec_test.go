@@ -1,0 +1,219 @@
+package fec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+)
+
+func randomBits(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 * (1 + rng.Intn(100))
+		data := randomBits(rng, n)
+		got, corrections, err := Decode(Encode(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if corrections != 0 {
+			t.Errorf("clean round trip applied %d corrections", corrections)
+		}
+		if !bits.Equal(got, data) {
+			t.Fatalf("trial %d: round trip failed", trial)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		data := make([]byte, (len(raw)/4)*4)
+		for i := range data {
+			data[i] = raw[i] & 1
+		}
+		got, _, err := Decode(Encode(data))
+		return err == nil && bits.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodePadsTo4(t *testing.T) {
+	data := []byte{1, 0, 1} // padded with one 0
+	coded := Encode(data)
+	if len(coded) != 7 {
+		t.Fatalf("coded length %d, want 7", len(coded))
+	}
+	got, _, err := Decode(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(got[:3], data) || got[3] != 0 {
+		t.Errorf("decoded %v", got)
+	}
+}
+
+func TestSingleErrorPerBlockCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := randomBits(rng, 200)
+	coded := Encode(data)
+	// Flip one bit in every 7-bit block.
+	for i := 0; i < len(coded); i += 7 {
+		coded[i+rng.Intn(7)] ^= 1
+	}
+	got, corrections, err := Decode(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corrections != len(coded)/7 {
+		t.Errorf("corrections = %d, want %d", corrections, len(coded)/7)
+	}
+	if !bits.Equal(got, data) {
+		t.Error("single errors per block not all corrected")
+	}
+}
+
+func TestDoubleErrorNotCorrectable(t *testing.T) {
+	data := []byte{1, 0, 1, 1}
+	coded := Encode(data)
+	coded[0] ^= 1
+	coded[3] ^= 1
+	got, _, err := Decode(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits.Equal(got, data) {
+		t.Error("double error unexpectedly corrected (Hamming distance 3 code)")
+	}
+}
+
+func TestDecodeRejectsBadLength(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 8)); err == nil {
+		t.Error("length 8 accepted")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, depth := range []int{1, 2, 7, 16} {
+		for trial := 0; trial < 10; trial++ {
+			n := 1 + rng.Intn(300)
+			data := randomBits(rng, n)
+			got := Deinterleave(Interleave(data, depth), depth, n)
+			if !bits.Equal(got, data) {
+				t.Fatalf("depth %d n %d: round trip failed", depth, n)
+			}
+		}
+	}
+}
+
+func TestInterleaveSpreadsBursts(t *testing.T) {
+	// A burst of `depth` adjacent errors in the interleaved domain must
+	// land in `depth` distinct codewords after deinterleaving, so
+	// interleaved Hamming corrects bursts the bare code cannot.
+	rng := rand.New(rand.NewSource(4))
+	const depth = 7
+	data := randomBits(rng, 280) // 70 codewords
+	coded := Encode(data)
+	tx := Interleave(coded, depth)
+	// One burst of 7 adjacent flips.
+	at := 100
+	for i := 0; i < depth; i++ {
+		tx[at+i] ^= 1
+	}
+	rxCoded := Deinterleave(tx, depth, len(coded))
+	got, _, err := Decode(rxCoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bits.Equal(got, data) {
+		t.Error("interleaved code failed to correct a depth-length burst")
+	}
+	// Control: without interleaving the same burst is uncorrectable.
+	coded2 := Encode(data)
+	for i := 0; i < depth; i++ {
+		coded2[at+i] ^= 1
+	}
+	got2, _, _ := Decode(coded2)
+	if bits.Equal(got2, data) {
+		t.Error("bare code unexpectedly corrected a burst (test is vacuous)")
+	}
+}
+
+func TestCodedBERImprovement(t *testing.T) {
+	// At 1% channel BER, Hamming(7,4) should cut residual BER by an
+	// order of magnitude.
+	rng := rand.New(rand.NewSource(5))
+	data := randomBits(rng, 40000)
+	coded := Encode(data)
+	for i := range coded {
+		if rng.Float64() < 0.01 {
+			coded[i] ^= 1
+		}
+	}
+	got, _, err := Decode(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residual := bits.BER(data, got)
+	if residual > 0.002 {
+		t.Errorf("residual BER %v at 1%% channel BER, want < 0.002", residual)
+	}
+}
+
+func TestOverheadConstant(t *testing.T) {
+	if Overhead != 1.75 {
+		t.Errorf("Overhead = %v", Overhead)
+	}
+	data := make([]byte, 400)
+	if got := float64(len(Encode(data))) / float64(len(data)); got != Overhead {
+		t.Errorf("actual expansion %v", got)
+	}
+}
+
+func TestRedundancyModelCalibration(t *testing.T) {
+	m := DefaultRedundancy()
+	// The paper's operating point: 4% BER costs 8% redundancy.
+	if got := m.Overhead(0.04); math.Abs(got-0.08) > 1e-9 {
+		t.Errorf("Overhead(0.04) = %v, want 0.08", got)
+	}
+	if got := m.Overhead(0); got != 0 {
+		t.Errorf("Overhead(0) = %v", got)
+	}
+	// Monotone in BER up to 0.5.
+	prev := -1.0
+	for _, p := range []float64{0.001, 0.01, 0.04, 0.1, 0.3, 0.5} {
+		o := m.Overhead(p)
+		if o <= prev {
+			t.Errorf("overhead not increasing at %v", p)
+		}
+		prev = o
+	}
+	if m.Overhead(0.9) != m.Overhead(0.5) {
+		t.Error("BER beyond 0.5 not clamped")
+	}
+}
+
+func TestRedundancyGoodput(t *testing.T) {
+	m := DefaultRedundancy()
+	if got := m.Goodput(0); got != 1 {
+		t.Errorf("Goodput(0) = %v", got)
+	}
+	if got := m.Goodput(0.04); math.Abs(got-1/1.08) > 1e-9 {
+		t.Errorf("Goodput(0.04) = %v, want %v", got, 1/1.08)
+	}
+	if got := m.Goodput(0.2); got != 0 {
+		t.Errorf("Goodput above MaxBER = %v, want 0 (lost)", got)
+	}
+}

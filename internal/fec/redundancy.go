@@ -1,0 +1,58 @@
+package fec
+
+import "math"
+
+// RedundancyModel charges throughput the error-correction overhead the
+// paper's evaluation applied: "To compensate for this bit-error rate we
+// have to add 8% of extra redundancy ... compared to the traditional
+// approach" at the observed ≈4% BER (§11.4). The model scales the paper's
+// operating point by the information-theoretic cost of the measured BER:
+// the minimum redundancy to correct a BSC with crossover p is H₂(p), so we
+// charge overhead = κ·H₂(p), with κ calibrated so that p = 4% costs 8%,
+// the paper's number (κ ≈ 0.33, i.e. a code running at about 3× the
+// Shannon-minimum redundancy — typical of practical high-rate codes).
+type RedundancyModel struct {
+	// Kappa multiplies the binary entropy of the BER.
+	Kappa float64
+	// MaxBER is the residual error rate beyond which the packet is
+	// considered uncorrectable and counts as lost. The paper's CDFs show
+	// decodes up to ~35% BER that clearly did not contribute goodput.
+	MaxBER float64
+}
+
+// DefaultRedundancy returns the model calibrated to the paper: 8%
+// overhead at 4% BER, packets beyond 10% BER lost.
+func DefaultRedundancy() RedundancyModel {
+	p := 0.04
+	return RedundancyModel{Kappa: 0.08 / binaryEntropy(p), MaxBER: 0.10}
+}
+
+// binaryEntropy returns H₂(p) in bits.
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Overhead returns the fractional redundancy charged for a packet with
+// the given residual BER (0.08 at the paper's 4% operating point).
+func (m RedundancyModel) Overhead(ber float64) float64 {
+	if ber <= 0 {
+		return 0
+	}
+	if ber > 0.5 {
+		ber = 0.5
+	}
+	return m.Kappa * binaryEntropy(ber)
+}
+
+// Goodput returns the useful fraction of a delivered packet's bits after
+// paying redundancy: 1/(1+overhead), or 0 if the BER exceeds MaxBER
+// (uncorrectable — the packet is lost).
+func (m RedundancyModel) Goodput(ber float64) float64 {
+	if ber > m.MaxBER {
+		return 0
+	}
+	return 1 / (1 + m.Overhead(ber))
+}

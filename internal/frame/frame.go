@@ -1,0 +1,222 @@
+// Package frame implements the ANC frame layout of Fig. 6 and §7.2–§7.4:
+//
+//	[pilot][header][payload+CRC][reversed header][reversed pilot]
+//
+// The 64-bit pseudo-random pilot appears at the start and, mirrored, at the
+// end. A receiver whose packet starts first (Alice) locates the forward
+// pilot in the interference-free head of the signal; a receiver whose
+// packet starts second (Bob) time-reverses the received samples and finds
+// the same pilot at the head of the reversed stream, because the mirrored
+// tail reads forward under reversal. The header {Src, Dst, Seq, Len, Flags}
+// likewise appears after the pilot at both ends so either decoding
+// direction learns which sent packet cancels the interference (§7.3).
+//
+// Payload and header bits are whitened (XORed with a PRBS) per §6.2 so the
+// amplitude estimator's randomness assumption E[cos(θ−φ)] ≈ 0 holds for
+// arbitrary payloads. Pilots are never whitened — they are the known
+// sequence being searched for.
+package frame
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// Header field widths in bits.
+const (
+	srcBits   = 16
+	dstBits   = 16
+	seqBits   = 32
+	lenBits   = 16
+	flagsBits = 8
+
+	// HeaderBits is the whitened on-air header block size: the fields
+	// plus a CRC-16 so a header decodes or fails independently of the
+	// payload (§7.5 routers act on headers alone).
+	HeaderBits = srcBits + dstBits + seqBits + lenBits + flagsBits + 16
+)
+
+// FlagTrigger marks a transmission whose end triggers the marked neighbors
+// to transmit simultaneously (§7.6).
+const FlagTrigger = 1 << 0
+
+// headerWhitenSeed whitens header blocks; distinct from the payload stream
+// so the two regions decode independently.
+const headerWhitenSeed uint32 = 0x7F4A7C15
+
+// Header identifies a packet: source, destination, sequence number, the
+// payload length in bytes, and protocol flags.
+type Header struct {
+	Src   uint16
+	Dst   uint16
+	Seq   uint32
+	Len   uint16
+	Flags uint8
+}
+
+// Key identifies a packet uniquely for sent-packet-buffer lookup.
+type Key struct {
+	Src uint16
+	Dst uint16
+	Seq uint32
+}
+
+// Key returns the buffer lookup key for the header.
+func (h Header) Key() Key { return Key{Src: h.Src, Dst: h.Dst, Seq: h.Seq} }
+
+// String implements fmt.Stringer.
+func (h Header) String() string {
+	return fmt.Sprintf("src=%d dst=%d seq=%d len=%d flags=%#02x", h.Src, h.Dst, h.Seq, h.Len, h.Flags)
+}
+
+// marshalBits encodes the header fields (without CRC or whitening).
+func (h Header) marshalBits() []byte {
+	out := make([]byte, 0, HeaderBits-16)
+	out = append(out, bits.FromUint16(h.Src)...)
+	out = append(out, bits.FromUint16(h.Dst)...)
+	out = append(out, bits.FromUint32(h.Seq)...)
+	out = append(out, bits.FromUint16(h.Len)...)
+	out = append(out, bits.FromUint16(uint16(h.Flags))[8:]...)
+	return out
+}
+
+// unmarshalBits decodes header fields from the 88 field bits.
+func unmarshalBits(bs []byte) Header {
+	return Header{
+		Src:   bits.ToUint16(bs[0:16]),
+		Dst:   bits.ToUint16(bs[16:32]),
+		Seq:   bits.ToUint32(bs[32:64]),
+		Len:   bits.ToUint16(bs[64:80]),
+		Flags: byte(bits.ToUint16(append([]byte{0, 0, 0, 0, 0, 0, 0, 0}, bs[80:88]...))),
+	}
+}
+
+// EncodeHeader returns the whitened on-air header block (HeaderBits bits).
+func EncodeHeader(h Header) []byte {
+	return bits.Whiten(bits.AppendCRC16(h.marshalBits()), headerWhitenSeed)
+}
+
+// ErrBadHeader is returned when a header block fails its CRC.
+var ErrBadHeader = errors.New("frame: header CRC mismatch")
+
+// DecodeHeader parses a whitened on-air header block.
+func DecodeHeader(block []byte) (Header, error) {
+	if len(block) < HeaderBits {
+		return Header{}, fmt.Errorf("frame: header block %d bits, need %d", len(block), HeaderBits)
+	}
+	raw, ok := bits.CheckCRC16(bits.Whiten(block[:HeaderBits], headerWhitenSeed))
+	if !ok {
+		return Header{}, ErrBadHeader
+	}
+	return unmarshalBits(raw), nil
+}
+
+// Packet is a network-layer packet: a header plus payload bytes.
+type Packet struct {
+	Header  Header
+	Payload []byte
+}
+
+// NewPacket builds a packet, filling in the header length field.
+func NewPacket(src, dst uint16, seq uint32, payload []byte) Packet {
+	return Packet{
+		Header:  Header{Src: src, Dst: dst, Seq: seq, Len: uint16(len(payload))},
+		Payload: append([]byte(nil), payload...),
+	}
+}
+
+// PayloadSectionBits returns the on-air size of the whitened payload
+// section (payload plus its CRC-16) for a payload of n bytes.
+func PayloadSectionBits(n int) int { return n*8 + 16 }
+
+// FrameBits returns the total on-air frame size in bits for a payload of
+// n bytes: pilot + header + payload section + mirrored header + pilot.
+func FrameBits(n int) int {
+	return 2*bits.PilotLength + 2*HeaderBits + PayloadSectionBits(n)
+}
+
+// Marshal encodes the packet into its on-air bit representation.
+func Marshal(p Packet) []byte {
+	if int(p.Header.Len) != len(p.Payload) {
+		// Length disagreement is a construction bug, not a runtime
+		// condition; fail loudly.
+		panic(fmt.Sprintf("frame: header len %d != payload %d", p.Header.Len, len(p.Payload)))
+	}
+	pilot := bits.Pilot(bits.PilotLength)
+	hdr := EncodeHeader(p.Header)
+	body := bits.Whiten(bits.AppendCRC16(bits.FromBytes(p.Payload)), bits.WhitenSeed)
+
+	out := make([]byte, 0, FrameBits(len(p.Payload)))
+	out = append(out, pilot...)
+	out = append(out, hdr...)
+	out = append(out, body...)
+	out = append(out, bits.Reverse(hdr)...)
+	out = append(out, bits.Reverse(pilot)...)
+	return out
+}
+
+// Errors returned by Unmarshal.
+var (
+	ErrTooShort = errors.New("frame: too short")
+	ErrBadCRC   = errors.New("frame: payload CRC mismatch")
+)
+
+// Unmarshal parses a full on-air frame back into a packet, verifying both
+// CRCs. The input may carry trailing garbage (e.g. noise samples decoded
+// past the frame end); only the region implied by the header length is
+// read.
+func Unmarshal(bs []byte) (Packet, error) {
+	if len(bs) < 2*bits.PilotLength+2*HeaderBits+16 {
+		return Packet{}, ErrTooShort
+	}
+	h, err := DecodeHeader(bs[bits.PilotLength:])
+	if err != nil {
+		return Packet{}, err
+	}
+	bodyStart := bits.PilotLength + HeaderBits
+	bodyEnd := bodyStart + PayloadSectionBits(int(h.Len))
+	if bodyEnd > len(bs) {
+		return Packet{}, ErrTooShort
+	}
+	raw, ok := bits.CheckCRC16(bits.Whiten(bs[bodyStart:bodyEnd], bits.WhitenSeed))
+	if !ok {
+		return Packet{Header: h}, ErrBadCRC
+	}
+	payload, err := bits.ToBytes(raw)
+	if err != nil {
+		return Packet{Header: h}, err
+	}
+	return Packet{Header: h, Payload: payload}, nil
+}
+
+// ExtractBody returns the dewhitened payload bits of a recovered frame
+// WITHOUT verifying the CRC. Error-correcting layers use it to reach the
+// raw (possibly errored) payload bits that the CRC-gated Unmarshal path
+// refuses to hand out.
+func ExtractBody(bs []byte, payloadBytes int) ([]byte, error) {
+	bodyStart := bits.PilotLength + HeaderBits
+	bodyEnd := bodyStart + PayloadSectionBits(payloadBytes)
+	if bodyEnd > len(bs) {
+		return nil, ErrTooShort
+	}
+	raw := bits.Whiten(bs[bodyStart:bodyEnd], bits.WhitenSeed)
+	return raw[:payloadBytes*8], nil
+}
+
+// UnmarshalBody extracts and verifies only the payload section given an
+// already-decoded header. ANC decoding recovers header and body in
+// separate steps; this entry point avoids re-parsing the header.
+func UnmarshalBody(h Header, bs []byte) ([]byte, error) {
+	bodyStart := bits.PilotLength + HeaderBits
+	bodyEnd := bodyStart + PayloadSectionBits(int(h.Len))
+	if bodyEnd > len(bs) {
+		return nil, ErrTooShort
+	}
+	raw, ok := bits.CheckCRC16(bits.Whiten(bs[bodyStart:bodyEnd], bits.WhitenSeed))
+	if !ok {
+		return nil, ErrBadCRC
+	}
+	return bits.ToBytes(raw)
+}

@@ -1,0 +1,284 @@
+package frame
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	f := func(src, dst uint16, seq uint32, length uint16, flags uint8) bool {
+		h := Header{Src: src, Dst: dst, Seq: seq, Len: length, Flags: flags}
+		got, err := DecodeHeader(EncodeHeader(h))
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeaderBlockSize(t *testing.T) {
+	h := Header{Src: 1, Dst: 2, Seq: 3, Len: 4, Flags: FlagTrigger}
+	if got := len(EncodeHeader(h)); got != HeaderBits {
+		t.Errorf("header block = %d bits, want %d", got, HeaderBits)
+	}
+}
+
+func TestHeaderCRCRejectsCorruption(t *testing.T) {
+	block := EncodeHeader(Header{Src: 9, Dst: 8, Seq: 7, Len: 6})
+	for i := 0; i < len(block); i += 7 {
+		corrupt := append([]byte(nil), block...)
+		corrupt[i] ^= 1
+		if _, err := DecodeHeader(corrupt); !errors.Is(err, ErrBadHeader) {
+			t.Fatalf("bit %d corruption: err = %v, want ErrBadHeader", i, err)
+		}
+	}
+}
+
+func TestDecodeHeaderShort(t *testing.T) {
+	if _, err := DecodeHeader(make([]byte, HeaderBits-1)); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 25; trial++ {
+		payload := make([]byte, rng.Intn(300))
+		rng.Read(payload)
+		p := NewPacket(uint16(trial), uint16(trial+1), uint32(trial*7), payload)
+		got, err := Unmarshal(Marshal(p))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Header != p.Header {
+			t.Fatalf("trial %d: header %v != %v", trial, got.Header, p.Header)
+		}
+		if string(got.Payload) != string(p.Payload) {
+			t.Fatalf("trial %d: payload mismatch", trial)
+		}
+	}
+}
+
+func TestFrameBitsMatchesMarshal(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 200} {
+		p := NewPacket(1, 2, 3, make([]byte, n))
+		if got := len(Marshal(p)); got != FrameBits(n) {
+			t.Errorf("payload %d: marshal %d bits, FrameBits %d", n, got, FrameBits(n))
+		}
+	}
+}
+
+func TestFrameStructure(t *testing.T) {
+	p := NewPacket(10, 20, 30, []byte("hello"))
+	bs := Marshal(p)
+	pilot := bits.Pilot(bits.PilotLength)
+
+	// Leading pilot, forward.
+	if !bits.Equal(bs[:bits.PilotLength], pilot) {
+		t.Error("leading pilot missing")
+	}
+	// Trailing pilot, mirrored.
+	tail := bs[len(bs)-bits.PilotLength:]
+	if !bits.Equal(tail, bits.Reverse(pilot)) {
+		t.Error("trailing mirrored pilot missing")
+	}
+	// A fully reversed frame re-exposes pilot and header at its head —
+	// this is what lets Bob decode backward (§7.4).
+	rev := bits.Reverse(bs)
+	if !bits.Equal(rev[:bits.PilotLength], pilot) {
+		t.Error("reversed frame does not start with forward pilot")
+	}
+	h, err := DecodeHeader(rev[bits.PilotLength:])
+	if err != nil {
+		t.Fatalf("reversed header: %v", err)
+	}
+	if h != p.Header {
+		t.Errorf("reversed header = %v, want %v", h, p.Header)
+	}
+}
+
+func TestUnmarshalDetectsPayloadCorruption(t *testing.T) {
+	p := NewPacket(1, 2, 3, []byte{0xDE, 0xAD, 0xBE, 0xEF})
+	bs := Marshal(p)
+	// Flip a payload-region bit.
+	bs[bits.PilotLength+HeaderBits+5] ^= 1
+	_, err := Unmarshal(bs)
+	if !errors.Is(err, ErrBadCRC) {
+		t.Errorf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestUnmarshalTolerantOfTrailingGarbage(t *testing.T) {
+	p := NewPacket(1, 2, 3, []byte("payload!"))
+	bs := append(Marshal(p), 1, 0, 1, 1, 0, 0, 1, 0)
+	got, err := Unmarshal(bs)
+	if err != nil {
+		t.Fatalf("unmarshal with garbage tail: %v", err)
+	}
+	if string(got.Payload) != "payload!" {
+		t.Errorf("payload = %q", got.Payload)
+	}
+}
+
+func TestUnmarshalTooShort(t *testing.T) {
+	if _, err := Unmarshal(make([]byte, 10)); !errors.Is(err, ErrTooShort) {
+		t.Errorf("err = %v, want ErrTooShort", err)
+	}
+	// Header claims more payload than present.
+	p := NewPacket(1, 2, 3, []byte("x"))
+	bs := Marshal(p)
+	if _, err := Unmarshal(bs[:bits.PilotLength+HeaderBits+4]); !errors.Is(err, ErrTooShort) {
+		t.Errorf("truncated body err = %v, want ErrTooShort", err)
+	}
+}
+
+func TestUnmarshalBody(t *testing.T) {
+	p := NewPacket(4, 5, 6, []byte("separate header path"))
+	bs := Marshal(p)
+	got, err := UnmarshalBody(p.Header, bs)
+	if err != nil {
+		t.Fatalf("UnmarshalBody: %v", err)
+	}
+	if string(got) != "separate header path" {
+		t.Errorf("payload = %q", got)
+	}
+	if _, err := UnmarshalBody(p.Header, bs[:20]); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short body err = %v", err)
+	}
+}
+
+func TestMarshalPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Marshal(Packet{Header: Header{Len: 5}, Payload: []byte("four")})
+}
+
+func TestNewPacketCopiesPayload(t *testing.T) {
+	buf := []byte("mutate me")
+	p := NewPacket(1, 2, 3, buf)
+	buf[0] = 'X'
+	if p.Payload[0] == 'X' {
+		t.Error("NewPacket aliases caller payload")
+	}
+}
+
+func TestWhiteningRandomizesConstantPayload(t *testing.T) {
+	// A zero payload must still produce a near-balanced on-air body
+	// section (the §6.2 requirement).
+	p := NewPacket(1, 2, 3, make([]byte, 256))
+	bs := Marshal(p)
+	body := bs[bits.PilotLength+HeaderBits : len(bs)-bits.PilotLength-HeaderBits]
+	frac := float64(bits.OnesCount(body)) / float64(len(body))
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("on-air body ones fraction %v for zero payload", frac)
+	}
+}
+
+func TestSentBufferPutGet(t *testing.T) {
+	b := NewSentBuffer(4)
+	p := NewPacket(1, 2, 3, []byte("abc"))
+	b.Put(SentRecord{Packet: p, Bits: Marshal(p)})
+	rec, ok := b.Get(Key{Src: 1, Dst: 2, Seq: 3})
+	if !ok {
+		t.Fatal("stored record not found")
+	}
+	if string(rec.Packet.Payload) != "abc" {
+		t.Errorf("payload = %q", rec.Packet.Payload)
+	}
+	if _, ok := b.Get(Key{Src: 9, Dst: 9, Seq: 9}); ok {
+		t.Error("missing key reported found")
+	}
+}
+
+func TestSentBufferEviction(t *testing.T) {
+	b := NewSentBuffer(2)
+	for seq := uint32(0); seq < 3; seq++ {
+		b.Put(SentRecord{Packet: NewPacket(1, 2, seq, nil)})
+	}
+	if _, ok := b.Get(Key{Src: 1, Dst: 2, Seq: 0}); ok {
+		t.Error("oldest record not evicted")
+	}
+	if _, ok := b.Get(Key{Src: 1, Dst: 2, Seq: 2}); !ok {
+		t.Error("newest record missing")
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}
+
+func TestSentBufferRefresh(t *testing.T) {
+	b := NewSentBuffer(2)
+	b.Put(SentRecord{Packet: NewPacket(1, 2, 1, []byte("old"))})
+	b.Put(SentRecord{Packet: NewPacket(1, 2, 1, []byte("new"))})
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after refresh", b.Len())
+	}
+	rec, _ := b.Get(Key{Src: 1, Dst: 2, Seq: 1})
+	if string(rec.Packet.Payload) != "new" {
+		t.Errorf("refresh kept old payload %q", rec.Packet.Payload)
+	}
+}
+
+func TestSentBufferDefaultCapacity(t *testing.T) {
+	b := NewSentBuffer(0)
+	for seq := uint32(0); seq < DefaultSentBufferSize+10; seq++ {
+		b.Put(SentRecord{Packet: NewPacket(1, 2, seq, nil)})
+	}
+	if b.Len() != DefaultSentBufferSize {
+		t.Errorf("Len = %d, want %d", b.Len(), DefaultSentBufferSize)
+	}
+}
+
+func TestSentBufferConcurrency(t *testing.T) {
+	b := NewSentBuffer(64)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				seq := uint32(w*1000 + i)
+				b.Put(SentRecord{Packet: NewPacket(uint16(w), 2, seq, nil)})
+				b.Get(Key{Src: uint16(w), Dst: 2, Seq: seq})
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+}
+
+func TestExtractBody(t *testing.T) {
+	p := NewPacket(1, 2, 3, []byte("raw access path"))
+	bs := Marshal(p)
+	got, err := ExtractBody(bs, len(p.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := bits.ToBytes(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(packed) != "raw access path" {
+		t.Errorf("payload = %q", packed)
+	}
+	// Unlike UnmarshalBody, corruption passes through un-gated — that is
+	// the point (FEC repairs it downstream).
+	bs[bits.PilotLength+HeaderBits+3] ^= 1
+	got2, err := ExtractBody(bs, len(p.Payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits.HammingDistance(got, got2) != 1 {
+		t.Error("single-bit corruption did not pass through as one bit")
+	}
+	if _, err := ExtractBody(bs[:40], len(p.Payload)); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short frame err = %v", err)
+	}
+}

@@ -1,0 +1,102 @@
+// Package mac implements the medium-access pieces of §7.2 and §7.6: the
+// slotted random delay that enforces incomplete packet overlap, the
+// trigger marking that stimulates strategically-picked neighbors to
+// transmit simultaneously, and the idealized "optimal MAC" accounting the
+// paper grants all three compared schemes (§11.1).
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/frame"
+)
+
+// DelayConfig describes the random start delay of §7.2. The paper's nodes
+// pick a slot number between 1 and 32; the slot size depends on rate and
+// packet size. The enforced minimum separation guarantees the pilot and
+// header at the start (and, mirrored, the end) of the first packet stay
+// interference free — the paper "enforces this incomplete overlap".
+type DelayConfig struct {
+	// MinSeparation is the guaranteed offset, in samples, between the two
+	// triggered transmissions (≥ pilot+header duration plus detector
+	// margin).
+	MinSeparation int
+	// Slots is the number of random slots (paper: 32).
+	Slots int
+	// SlotSamples is the slot granularity in samples.
+	SlotSamples int
+}
+
+// Validate reports configuration errors early.
+func (c DelayConfig) Validate() error {
+	if c.MinSeparation < 0 || c.Slots <= 0 || c.SlotSamples < 0 {
+		return fmt.Errorf("mac: invalid delay config %+v", c)
+	}
+	return nil
+}
+
+// Draw returns the relative start offset of the second of two triggered
+// transmissions, in samples.
+func (c DelayConfig) Draw(rng *rand.Rand) int {
+	return c.MinSeparation + rng.Intn(c.Slots)*c.SlotSamples
+}
+
+// MaxDelay returns the largest offset Draw can produce.
+func (c DelayConfig) MaxDelay() int {
+	return c.MinSeparation + (c.Slots-1)*c.SlotSamples
+}
+
+// MeanDelay returns the expected offset.
+func (c DelayConfig) MeanDelay() float64 {
+	return float64(c.MinSeparation) + float64(c.Slots-1)/2*float64(c.SlotSamples)
+}
+
+// OverlapFraction returns the fraction of a frame of the given length that
+// overlaps its interferer when the second transmission starts delta
+// samples late — the statistic §11.4 reports as "80% of the two packets
+// interfere on average".
+func OverlapFraction(frameSamples, delta int) float64 {
+	if frameSamples <= 0 {
+		return 0
+	}
+	ovl := 1 - float64(delta)/float64(frameSamples)
+	if ovl < 0 {
+		return 0
+	}
+	return ovl
+}
+
+// MarkTrigger sets the §7.6 trigger flag on a header: the node appends a
+// trigger to its transmission, stimulating the marked neighbors to
+// transmit simultaneously right after it ends.
+func MarkTrigger(h *frame.Header) { h.Flags |= frame.FlagTrigger }
+
+// IsTrigger reports whether a header carries the trigger flag.
+func IsTrigger(h frame.Header) bool { return h.Flags&frame.FlagTrigger != 0 }
+
+// Guard returns the per-transmission turnaround overhead in samples: the
+// fixed cost (preamble, RF turnaround, processing) every transmission
+// pays regardless of scheme. The optimal MAC of §11.1 has no contention
+// or backoff, but physical turnaround remains; because ANC halves the
+// number of transmissions per delivered packet pair, this constant is one
+// of the two knobs (with the random delay) that separate practical from
+// theoretical gains.
+func Guard(frac float64, frameSamples int) int {
+	if frac < 0 {
+		return 0
+	}
+	return int(frac * float64(frameSamples))
+}
+
+// Slot accounting for the oracle-scheduled baselines (§11.1): the number
+// of transmissions each scheme uses to deliver one packet pair (Alice–Bob
+// and "X") or one packet (chain). These are Fig. 1 and Fig. 2's slot
+// counts.
+const (
+	SlotsTraditionalAliceBob = 4
+	SlotsCOPEAliceBob        = 3
+	SlotsANCAliceBob         = 2
+	SlotsTraditionalChain    = 3
+	SlotsANCChain            = 2
+)

@@ -1,0 +1,101 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/frame"
+)
+
+func TestDrawRange(t *testing.T) {
+	cfg := DelayConfig{MinSeparation: 100, Slots: 32, SlotSamples: 10}
+	rng := rand.New(rand.NewSource(1))
+	seen := map[int]bool{}
+	for i := 0; i < 2000; i++ {
+		d := cfg.Draw(rng)
+		if d < 100 || d > cfg.MaxDelay() {
+			t.Fatalf("delay %d outside [100, %d]", d, cfg.MaxDelay())
+		}
+		if (d-100)%10 != 0 {
+			t.Fatalf("delay %d not slot aligned", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 32 {
+		t.Errorf("saw %d distinct delays, want 32", len(seen))
+	}
+}
+
+func TestMeanDelay(t *testing.T) {
+	cfg := DelayConfig{MinSeparation: 100, Slots: 32, SlotSamples: 10}
+	if got, want := cfg.MeanDelay(), 100+15.5*10; got != want {
+		t.Errorf("MeanDelay = %v, want %v", got, want)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var sum float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(cfg.Draw(rng))
+	}
+	if avg := sum / n; avg < 250 || avg > 260 {
+		t.Errorf("empirical mean %v, want ≈ 255", avg)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := DelayConfig{MinSeparation: 0, Slots: 1, SlotSamples: 0}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []DelayConfig{
+		{MinSeparation: -1, Slots: 1},
+		{Slots: 0},
+		{Slots: 1, SlotSamples: -5},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("invalid config %+v accepted", bad)
+		}
+	}
+}
+
+func TestOverlapFraction(t *testing.T) {
+	if got := OverlapFraction(1000, 200); got != 0.8 {
+		t.Errorf("overlap = %v, want 0.8", got)
+	}
+	if got := OverlapFraction(1000, 1500); got != 0 {
+		t.Errorf("overlap = %v, want 0 (no overlap)", got)
+	}
+	if got := OverlapFraction(0, 10); got != 0 {
+		t.Errorf("overlap of empty frame = %v", got)
+	}
+}
+
+func TestTriggerFlag(t *testing.T) {
+	var h frame.Header
+	if IsTrigger(h) {
+		t.Error("fresh header marked as trigger")
+	}
+	MarkTrigger(&h)
+	if !IsTrigger(h) {
+		t.Error("trigger flag not set")
+	}
+}
+
+func TestGuard(t *testing.T) {
+	if got := Guard(0.08, 1000); got != 80 {
+		t.Errorf("Guard = %d, want 80", got)
+	}
+	if got := Guard(-1, 1000); got != 0 {
+		t.Errorf("negative fraction guard = %d, want 0", got)
+	}
+}
+
+func TestSlotConstants(t *testing.T) {
+	// Fig. 1 and Fig. 2's slot counts: the analytical core of the paper.
+	if SlotsTraditionalAliceBob != 4 || SlotsCOPEAliceBob != 3 || SlotsANCAliceBob != 2 {
+		t.Error("Alice–Bob slot counts wrong")
+	}
+	if SlotsTraditionalChain != 3 || SlotsANCChain != 2 {
+		t.Error("chain slot counts wrong")
+	}
+}

@@ -1,0 +1,328 @@
+// Package mesh runs the Alice–Bob relay network closed-loop: instead of
+// an experiment script orchestrating who transmits when, the §7.6 trigger
+// protocol does. The router ends each broadcast with a trigger; both
+// endpoints respond after their §7.2 random delays; the router classifies
+// what it received with the §7.5 decision procedure (peeking at the head
+// and tail headers — no oracle knowledge) and amplifies-and-forwards only
+// when it actually observes two opposite flows. Endpoints decode against
+// their sent-packet buffers and acknowledge implicitly by sending their
+// next packet.
+//
+// The package exists to show the protocol machinery *running*, not to
+// generate the paper's figures (internal/sim owns those): its tests
+// verify that triggers, router decisions, and decoding compose into a
+// working network without any experiment-side cheating.
+package mesh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/msk"
+	"repro/internal/radio"
+	"repro/internal/topology"
+)
+
+// Config parameterizes a closed-loop session.
+type Config struct {
+	// SamplesPerSymbol for the modem (default 4).
+	SamplesPerSymbol int
+	// PayloadBytes per packet (default 96).
+	PayloadBytes int
+	// SNRdB per link (default 25).
+	SNRdB float64
+	// Cycles is the number of trigger rounds to run (default 10).
+	Cycles int
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplesPerSymbol == 0 {
+		c.SamplesPerSymbol = 4
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 96
+	}
+	if c.SNRdB == 0 {
+		c.SNRdB = 25
+	}
+	if c.Cycles == 0 {
+		c.Cycles = 10
+	}
+	return c
+}
+
+// Stats summarizes a session.
+type Stats struct {
+	// Cycles completed.
+	Cycles int
+	// Triggered counts trigger rounds in which both endpoints responded.
+	Triggered int
+	// RouterForwards counts §7.5 amplify-and-forward decisions.
+	RouterForwards int
+	// RouterDrops counts receptions the router refused to forward.
+	RouterDrops int
+	// Delivered counts packets decoded end-to-end with tolerable BER.
+	Delivered int
+	// Lost counts packets that failed to decode.
+	Lost int
+	// TotalBER accumulates payload BER over delivered packets.
+	TotalBER float64
+}
+
+// MeanBER returns the average BER of delivered packets.
+func (s Stats) MeanBER() float64 {
+	if s.Delivered == 0 {
+		return 0
+	}
+	return s.TotalBER / float64(s.Delivered)
+}
+
+// Session is a running closed-loop Alice–Bob network.
+type Session struct {
+	cfg    Config
+	rng    *rand.Rand
+	modem  *msk.Modem
+	graph  *topology.Graph
+	alice  *radio.Node
+	bob    *radio.Node
+	router *radio.Node
+	floor  float64
+	delay  mac.DelayConfig
+	tail   int
+
+	// Application queues: payloads awaiting transmission.
+	queueA, queueB [][]byte
+	// Ground truth for delivery verification, keyed by header.
+	truth map[frame.Key][]byte
+}
+
+// NewSession builds the network with a fresh channel realization.
+func NewSession(cfg Config) *Session {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	modem := msk.New(msk.WithSamplesPerSymbol(cfg.SamplesPerSymbol))
+	tc := topology.DefaultConfig()
+	g := topology.AliceBob(tc, rng)
+	floor := tc.MeanPowerGain / dsp.FromDB(cfg.SNRdB)
+	mk := func(id uint16) *radio.Node {
+		return radio.NewNode(id, modem, floor, func(c *core.Config) {
+			c.FallbackFrameBits = frame.FrameBits(cfg.PayloadBytes)
+		})
+	}
+	L := modem.NumSamples(frame.FrameBits(cfg.PayloadBytes))
+	window := 4 * cfg.SamplesPerSymbol * 8
+	minSep := (bits.PilotLength+frame.HeaderBits)*cfg.SamplesPerSymbol + 3*window
+	slot := L / 640
+	if slot < 2 {
+		slot = 2
+	}
+	return &Session{
+		cfg:    cfg,
+		rng:    rng,
+		modem:  modem,
+		graph:  g,
+		alice:  mk(1),
+		bob:    mk(2),
+		router: mk(3),
+		floor:  floor,
+		delay:  mac.DelayConfig{MinSeparation: minSep, Slots: 32, SlotSamples: slot},
+		tail:   4 * window,
+		truth:  make(map[frame.Key][]byte),
+	}
+}
+
+// Enqueue adds application payloads to both endpoints' queues.
+func (s *Session) Enqueue(toBob, toAlice [][]byte) {
+	s.queueA = append(s.queueA, toBob...)
+	s.queueB = append(s.queueB, toAlice...)
+}
+
+// opposite is the router's §7.5 flow test for this 3-node network: two
+// packets whose source and destination are each other's endpoints.
+func opposite(a, b frame.Header) bool {
+	return a.Src == b.Dst && a.Dst == b.Src && a.Src != b.Src
+}
+
+// Run executes trigger rounds until the configured cycle count or both
+// queues drain.
+func (s *Session) Run() Stats {
+	var st Stats
+	for cycle := 0; cycle < s.cfg.Cycles; cycle++ {
+		if len(s.queueA) == 0 && len(s.queueB) == 0 {
+			break
+		}
+		st.Cycles++
+		s.runCycle(&st)
+	}
+	return st
+}
+
+// runCycle is one trigger round: endpoints transmit simultaneously, the
+// router classifies and (usually) forwards, endpoints decode.
+func (s *Session) runCycle(st *Stats) {
+	// The router's previous broadcast carried the trigger (§7.6); both
+	// endpoints respond, each after its own random delay. The relative
+	// offset is the difference of the two draws.
+	dA := s.delay.Draw(s.rng)
+	dB := s.delay.Draw(s.rng)
+	// Enforce the protocol's minimum separation between the two (§7.2):
+	// if the draws landed too close, the later slot number backs off by
+	// the minimum separation (a deterministic tie-break stands in for
+	// the carrier-sense the paper assumes).
+	if diff := dA - dB; diff > -s.delay.MinSeparation && diff < s.delay.MinSeparation {
+		if dA <= dB {
+			dB = dA + s.delay.MinSeparation
+		} else {
+			dA = dB + s.delay.MinSeparation
+		}
+	}
+
+	var txs []channel.Transmission
+	recA, okA := s.nextFrame(s.alice, s.bob.ID, &s.queueA)
+	recB, okB := s.nextFrame(s.bob, s.alice.ID, &s.queueB)
+	if okA {
+		link, _ := s.graph.Link(topology.Alice, topology.Router)
+		txs = append(txs, channel.Transmission{Signal: recA.Samples, Link: link, Delay: dA})
+	}
+	if okB {
+		link, _ := s.graph.Link(topology.Bob, topology.Router)
+		txs = append(txs, channel.Transmission{Signal: recB.Samples, Link: link, Delay: dB})
+	}
+	if len(txs) == 0 {
+		return
+	}
+	if len(txs) == 2 {
+		st.Triggered++
+	}
+	routerRx := channel.Receive(s.noise(), s.tail, txs...)
+
+	// §7.5: the router peeks at the reachable headers and decides.
+	switch s.router.DecideRouter(routerRx, opposite) {
+	case radio.ActionAmplifyForward:
+		st.RouterForwards++
+		relayed := channel.AmplifyTo(routerRx, 1)
+		s.deliver(st, s.alice, relayed, okB, recB)
+		s.deliver(st, s.bob, relayed, okA, recA)
+	case radio.ActionDecode:
+		// Not expected in this topology (the router never knows either
+		// packet); counted as a drop for accounting.
+		st.RouterDrops++
+		s.countLost(st, okA, okB)
+	default:
+		// A single transmission (starved queue) is routed traditionally:
+		// decode and re-send. For simplicity the cycle just counts it
+		// dropped if the router cannot identify two flows.
+		if len(txs) == 1 {
+			s.forwardSingle(st, routerRx, okA, recA, okB, recB)
+		} else {
+			st.RouterDrops++
+			s.countLost(st, okA, okB)
+		}
+	}
+}
+
+// nextFrame pops a payload and builds its frame, remembering ground truth.
+func (s *Session) nextFrame(n *radio.Node, dst uint16, queue *[][]byte) (frame.SentRecord, bool) {
+	if len(*queue) == 0 {
+		return frame.SentRecord{}, false
+	}
+	payload := (*queue)[0]
+	*queue = (*queue)[1:]
+	pkt := frame.NewPacket(n.ID, dst, n.NextSeq(), payload)
+	mac.MarkTrigger(&pkt.Header)
+	rec := n.BuildFrame(pkt)
+	s.truth[pkt.Header.Key()] = rec.Bits
+	return rec, true
+}
+
+// deliver runs one endpoint's decode of the relayed broadcast and scores
+// it against ground truth.
+func (s *Session) deliver(st *Stats, n *radio.Node, relayed dsp.Signal, wantedSent bool, wanted frame.SentRecord) {
+	if !wantedSent {
+		return
+	}
+	var from, to int
+	if n.ID == s.alice.ID {
+		from, to = topology.Router, topology.Alice
+	} else {
+		from, to = topology.Router, topology.Bob
+	}
+	link, _ := s.graph.Link(from, to)
+	rx := channel.Receive(s.noise(), s.tail,
+		channel.Transmission{Signal: relayed, Link: link})
+	res, err := n.Receive(rx)
+	if err != nil {
+		st.Lost++
+		return
+	}
+	ber := bits.BER(wanted.Bits, res.WantedBits)
+	if ber > 0.1 {
+		st.Lost++
+		return
+	}
+	st.Delivered++
+	st.TotalBER += ber
+}
+
+// forwardSingle is the traditional path for a lone uplink packet: the
+// router decodes it and retransmits a regenerated copy to its destination.
+func (s *Session) forwardSingle(st *Stats, routerRx dsp.Signal, okA bool, recA frame.SentRecord, okB bool, recB frame.SentRecord) {
+	res, err := s.router.Receive(routerRx)
+	if err != nil || !res.BodyOK {
+		st.RouterDrops++
+		s.countLost(st, okA, okB)
+		return
+	}
+	fwd := s.router.BuildFrame(frame.Packet{Header: res.Packet.Header, Payload: res.Packet.Payload})
+	var to int
+	var n *radio.Node
+	var wanted frame.SentRecord
+	if res.Packet.Header.Dst == s.alice.ID {
+		to, n = topology.Alice, s.alice
+		wanted = recB
+	} else {
+		to, n = topology.Bob, s.bob
+		wanted = recA
+	}
+	link, _ := s.graph.Link(topology.Router, to)
+	rx := channel.Receive(s.noise(), s.tail,
+		channel.Transmission{Signal: fwd.Samples, Link: link, Delay: 100})
+	got, err := n.Receive(rx)
+	if err != nil || !got.BodyOK {
+		st.Lost++
+		return
+	}
+	if !bits.Equal(got.WantedBits, wanted.Bits) {
+		// Regeneration changes nothing observable; any mismatch is a
+		// decode error downstream.
+		st.TotalBER += bits.BER(wanted.Bits, got.WantedBits)
+	}
+	st.Delivered++
+}
+
+func (s *Session) countLost(st *Stats, okA, okB bool) {
+	if okA {
+		st.Lost++
+	}
+	if okB {
+		st.Lost++
+	}
+}
+
+func (s *Session) noise() *dsp.NoiseSource {
+	return dsp.NewNoiseSource(s.floor, s.rng.Int63())
+}
+
+// String implements fmt.Stringer for quick inspection.
+func (s Stats) String() string {
+	return fmt.Sprintf("cycles=%d triggered=%d forwards=%d drops=%d delivered=%d lost=%d meanBER=%.4f",
+		s.Cycles, s.Triggered, s.RouterForwards, s.RouterDrops, s.Delivered, s.Lost, s.MeanBER())
+}

@@ -1,0 +1,97 @@
+package mesh
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func payloads(rng *rand.Rand, n, size int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = make([]byte, size)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+func TestClosedLoopDeliversBothDirections(t *testing.T) {
+	s := NewSession(Config{Cycles: 6, Seed: 1})
+	rng := rand.New(rand.NewSource(2))
+	s.Enqueue(payloads(rng, 6, 96), payloads(rng, 6, 96))
+	st := s.Run()
+	if st.Cycles != 6 {
+		t.Errorf("cycles = %d, want 6", st.Cycles)
+	}
+	if st.Triggered != 6 {
+		t.Errorf("triggered rounds = %d, want 6 (both queues full)", st.Triggered)
+	}
+	// The router must reach its forwarding decision from the signals
+	// alone — this is the §7.5 procedure under test.
+	if st.RouterForwards < 5 {
+		t.Errorf("router forwarded %d of 6 rounds", st.RouterForwards)
+	}
+	// Two packets per successful round.
+	if st.Delivered < 10 {
+		t.Errorf("delivered = %d of 12", st.Delivered)
+	}
+	if st.MeanBER() > 0.04 {
+		t.Errorf("mean BER = %.4f", st.MeanBER())
+	}
+}
+
+func TestClosedLoopAsymmetricTraffic(t *testing.T) {
+	// Bob runs out of traffic: the remaining rounds degrade to single
+	// uplinks, which the router must route traditionally (decode and
+	// regenerate) rather than amplify-forward.
+	s := NewSession(Config{Cycles: 8, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	s.Enqueue(payloads(rng, 8, 96), payloads(rng, 2, 96))
+	st := s.Run()
+	if st.Triggered != 2 {
+		t.Errorf("triggered rounds = %d, want 2", st.Triggered)
+	}
+	if st.Delivered < 8 {
+		t.Errorf("delivered = %d of 10", st.Delivered)
+	}
+}
+
+func TestClosedLoopStopsWhenDrained(t *testing.T) {
+	s := NewSession(Config{Cycles: 50, Seed: 5})
+	rng := rand.New(rand.NewSource(6))
+	s.Enqueue(payloads(rng, 3, 96), payloads(rng, 3, 96))
+	st := s.Run()
+	if st.Cycles > 4 {
+		t.Errorf("session ran %d cycles for 3 packet pairs", st.Cycles)
+	}
+}
+
+func TestClosedLoopDeterministic(t *testing.T) {
+	run := func() Stats {
+		s := NewSession(Config{Cycles: 4, Seed: 7})
+		rng := rand.New(rand.NewSource(8))
+		s.Enqueue(payloads(rng, 4, 96), payloads(rng, 4, 96))
+		return s.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Cycles: 3, Delivered: 5, TotalBER: 0.01}
+	out := st.String()
+	for _, want := range []string{"cycles=3", "delivered=5", "meanBER=0.0020"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Stats.String() missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	s := NewSession(Config{Seed: 9})
+	if s.cfg.PayloadBytes != 96 || s.cfg.Cycles != 10 || s.cfg.SNRdB != 25 {
+		t.Errorf("defaults: %+v", s.cfg)
+	}
+}

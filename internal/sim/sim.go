@@ -1,0 +1,264 @@
+// Package sim runs the paper's evaluation (§11) in simulation: it builds
+// the canonical topologies, schedules transmissions the way each compared
+// scheme would (ANC with triggered simultaneous senders, traditional
+// routing and COPE under the optimal MAC of §11.1), synthesizes every
+// reception at complex-baseband sample level, runs the full receiver
+// pipelines, and accounts throughput, overlap, and bit error rates.
+//
+// Two calibration constants connect simulated time accounting to the
+// paper's testbed (see DESIGN.md and EXPERIMENTS.md):
+//
+//   - the random-delay distribution is sized so the mean packet overlap is
+//     ≈ 80%, the figure §11.4 reports; and
+//   - every transmission pays a fixed turnaround guard (GuardFrac·frame),
+//     the per-transmission cost that remains even under an optimal MAC.
+//
+// Collision slots are charged from the first transmission's start to the
+// last sample of the union (their duration is offset + frame), which is
+// how a receiver-side throughput measurement sees them.
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/fec"
+	"repro/internal/frame"
+	"repro/internal/mac"
+	"repro/internal/msk"
+	"repro/internal/radio"
+	"repro/internal/topology"
+)
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// SamplesPerSymbol for the modem (default 4).
+	SamplesPerSymbol int
+	// PayloadBytes per packet (default 128).
+	PayloadBytes int
+	// SNRdB is the nominal per-link SNR at the mean channel gain
+	// (default 25 dB — the paper: "WLANs operate at SNR around 25-40dB").
+	SNRdB float64
+	// Topology holds the channel realization parameters.
+	Topology topology.Config
+	// Delay is the §7.2 random-delay configuration; derived from the
+	// frame length when zero (mean overlap ≈ 80%).
+	Delay mac.DelayConfig
+	// GuardFrac is the per-transmission turnaround overhead as a fraction
+	// of the frame duration (default 0.08).
+	GuardFrac float64
+	// Packets is the number of exchanges (or delivered packets, for the
+	// chain) per run (default 25; the paper used 1000 — the statistic is
+	// a mean, so the run count matters more than the per-run count).
+	Packets int
+	// Redundancy charges FEC overhead against ANC goodput.
+	Redundancy fec.RedundancyModel
+	// DecoderTweak, if set, adjusts every node's decoder configuration
+	// (used by the matcher ablations).
+	DecoderTweak func(*core.Config)
+}
+
+// DefaultConfig returns the repository-default experiment parameters.
+func DefaultConfig() Config {
+	return Config{}.withDefaults()
+}
+
+func (c Config) withDefaults() Config {
+	if c.SamplesPerSymbol == 0 {
+		c.SamplesPerSymbol = 4
+	}
+	if c.PayloadBytes == 0 {
+		c.PayloadBytes = 128
+	}
+	if c.SNRdB == 0 {
+		c.SNRdB = 25
+	}
+	if c.Topology == (topology.Config{}) {
+		c.Topology = topology.DefaultConfig()
+	}
+	if c.GuardFrac == 0 {
+		c.GuardFrac = 0.08
+	}
+	if c.Packets == 0 {
+		c.Packets = 25
+	}
+	if c.Redundancy == (fec.RedundancyModel{}) {
+		c.Redundancy = fec.DefaultRedundancy()
+	}
+	if c.Delay == (mac.DelayConfig{}) {
+		m := msk.New(msk.WithSamplesPerSymbol(c.SamplesPerSymbol))
+		L := m.NumSamples(frame.FrameBits(c.PayloadBytes))
+		// Minimum separation: pilot+header must clear interference even
+		// after detector jitter (about one detection window each way).
+		window := 4 * c.SamplesPerSymbol * 8
+		minSep := (bits.PilotLength+frame.HeaderBits)*c.SamplesPerSymbol + 3*window
+		slot := L / 640
+		if slot < 2 {
+			slot = 2
+		}
+		c.Delay = mac.DelayConfig{MinSeparation: minSep, Slots: 32, SlotSamples: slot}
+	}
+	return c
+}
+
+// Metrics aggregates one run's outcome.
+type Metrics struct {
+	// DeliveredBits is goodput: payload bits delivered, discounted by the
+	// BER-dependent redundancy charge for ANC decodes.
+	DeliveredBits float64
+	// TimeSamples is the air time consumed, in samples.
+	TimeSamples float64
+	// BERs holds the payload bit error rate of every ANC-decoded packet
+	// (the Fig. 9b/10b/12b data). Empty for the baselines.
+	BERs []float64
+	// Overlaps holds the per-collision overlap fractions (§11.4).
+	Overlaps []float64
+	// Delivered and Lost count packets.
+	Delivered, Lost int
+}
+
+// Throughput returns delivered payload bits per sample of air time.
+func (m Metrics) Throughput() float64 {
+	if m.TimeSamples == 0 {
+		return 0
+	}
+	return m.DeliveredBits / m.TimeSamples
+}
+
+// MeanBER returns the average ANC-decode BER of the run.
+func (m Metrics) MeanBER() float64 {
+	if len(m.BERs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, b := range m.BERs {
+		s += b
+	}
+	return s / float64(len(m.BERs))
+}
+
+// MeanOverlap returns the average collision overlap of the run.
+func (m Metrics) MeanOverlap() float64 {
+	if len(m.Overlaps) == 0 {
+		return 0
+	}
+	var s float64
+	for _, o := range m.Overlaps {
+		s += o
+	}
+	return s / float64(len(m.Overlaps))
+}
+
+// env is the assembled machinery for one run.
+type env struct {
+	cfg        Config
+	rng        *rand.Rand
+	modem      *msk.Modem
+	graph      *topology.Graph
+	nodes      []*radio.Node
+	noiseFloor float64
+	frameLen   int // samples per frame
+	guard      int
+	tailPad    int
+}
+
+// newEnv builds nodes and a fresh channel realization for one run. The
+// node IDs are their topology indices plus one (ID 0 is reserved).
+func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *topology.Graph) *env {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	modem := msk.New(msk.WithSamplesPerSymbol(cfg.SamplesPerSymbol))
+	g := build(cfg.Topology, rng)
+	floor := cfg.Topology.MeanPowerGain / dsp.FromDB(cfg.SNRdB)
+	fixedFrame := frame.FrameBits(cfg.PayloadBytes)
+	nodes := make([]*radio.Node, g.N)
+	for i := range nodes {
+		nodes[i] = radio.NewNode(uint16(i+1), modem, floor, func(c *core.Config) {
+			c.FallbackFrameBits = fixedFrame
+			if cfg.DecoderTweak != nil {
+				cfg.DecoderTweak(c)
+			}
+		})
+	}
+	L := modem.NumSamples(frame.FrameBits(cfg.PayloadBytes))
+	window := 4 * cfg.SamplesPerSymbol * 8
+	return &env{
+		cfg:        cfg,
+		rng:        rng,
+		modem:      modem,
+		graph:      g,
+		nodes:      nodes,
+		noiseFloor: floor,
+		frameLen:   L,
+		guard:      mac.Guard(cfg.GuardFrac, L),
+		tailPad:    4 * window,
+	}
+}
+
+// noise returns a fresh deterministic noise source for one reception.
+func (e *env) noise() *dsp.NoiseSource {
+	return dsp.NewNoiseSource(e.noiseFloor, e.rng.Int63())
+}
+
+// payload draws a random payload.
+func (e *env) payload() []byte {
+	p := make([]byte, e.cfg.PayloadBytes)
+	e.rng.Read(p)
+	return p
+}
+
+// payloadBER compares the payload section (payload bits + CRC) of a
+// recovered frame bit stream against the transmitted one; missing bits
+// count as errors. This is the paper's BER metric: errors in the decoded
+// packet relative to the payload that was sent.
+func payloadBER(truth, got []byte, payloadBytes int) float64 {
+	lo := bits.PilotLength + frame.HeaderBits
+	hi := lo + frame.PayloadSectionBits(payloadBytes)
+	if hi > len(truth) {
+		hi = len(truth)
+	}
+	t := truth[lo:hi]
+	var g []byte
+	if lo < len(got) {
+		end := hi
+		if end > len(got) {
+			end = len(got)
+		}
+		g = got[lo:end]
+	}
+	return bits.BER(t, g)
+}
+
+// newEnvForTest exposes derived run parameters to tests.
+func newEnvForTest(cfg Config, seed int64) *env {
+	return newEnv(cfg, seed, topology.AliceBob)
+}
+
+// cleanHop transmits a frame over one link and decodes it at the far end.
+func (e *env) cleanHop(rec frame.SentRecord, from, to int) (ok bool, payload []byte) {
+	link, inRange := e.graph.Link(from, to)
+	if !inRange {
+		return false, nil
+	}
+	rx := chanReceive(e, link, rec, 100)
+	res, err := e.nodes[to].Receive(rx)
+	if err != nil || !res.BodyOK {
+		return false, nil
+	}
+	return true, res.Packet.Payload
+}
+
+// WithDefaults returns the configuration with every zero field replaced
+// by its default, exposing the derived values (delay distribution, packet
+// counts) to callers that need to reason about them.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
+// FrameSamples returns the on-air sample count of one frame under the
+// configuration.
+func (c Config) FrameSamples() int {
+	c = c.withDefaults()
+	m := msk.New(msk.WithSamplesPerSymbol(c.SamplesPerSymbol))
+	return m.NumSamples(frame.FrameBits(c.PayloadBytes))
+}

@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/channel"
+	"repro/internal/frame"
+	"repro/internal/topology"
+)
+
+// SIRPoint is one row of the Fig. 13 series: the mean BER of Alice's
+// decode of Bob's packet when the received signal-to-interference ratio
+// at Alice is SIR = 10·log10(P_Bob/P_Alice) (Eq. 9 — Alice's own signal
+// counts as the interference because Bob's is the one she wants).
+type SIRPoint struct {
+	SIRdB   float64
+	MeanBER float64
+	Decoded int // packets that reached the BER measurement
+	Lost    int // alignment/header failures
+}
+
+// RunSIRPoint measures the BER at Alice for one SIR value by scaling
+// Bob's transmit power while Alice's stays fixed (§11.7). Both uplink
+// channels use the same mean gain so the transmit-power ratio equals the
+// received-power ratio.
+func RunSIRPoint(cfg Config, seed int64, sirDB float64) SIRPoint {
+	e := newEnv(cfg, seed, topology.AliceBob)
+	alice, bob := e.nodes[0], e.nodes[2]
+	// Equalize the uplink gains: Fig. 13 varies only transmit power.
+	upA, _ := e.graph.Link(topology.Alice, topology.Router)
+	upB, _ := e.graph.Link(topology.Bob, topology.Router)
+	upB.Gain = upA.Gain
+	bobScale := math.Pow(10, sirDB/20) // amplitude ratio
+
+	pt := SIRPoint{SIRdB: sirDB}
+	var sum float64
+	for i := 0; i < e.cfg.Packets; i++ {
+		pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
+		pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
+		recA := alice.BuildFrame(pktA)
+		recB := bob.BuildFrame(pktB)
+		scaledB := recB.Samples.Scale(complex(bobScale, 0))
+
+		delta := e.cfg.Delay.Draw(e.rng)
+		routerRx := channel.Receive(e.noise(), e.tailPad,
+			channel.Transmission{Signal: recA.Samples, Link: upA},
+			channel.Transmission{Signal: scaledB, Link: upB, Delay: delta},
+		)
+		relayed := channel.AmplifyTo(routerRx, 1)
+		downA, _ := e.graph.Link(topology.Router, topology.Alice)
+		rxA := channel.Receive(e.noise(), e.tailPad,
+			channel.Transmission{Signal: relayed, Link: downA})
+
+		res, err := alice.Receive(rxA)
+		if err != nil {
+			pt.Lost++
+			continue
+		}
+		sum += payloadBER(recB.Bits, res.WantedBits, int(pktB.Header.Len))
+		pt.Decoded++
+	}
+	if pt.Decoded > 0 {
+		pt.MeanBER = sum / float64(pt.Decoded)
+	}
+	return pt
+}
+
+// SIRSweep evaluates Fig. 13 over a range of SIR values.
+func SIRSweep(cfg Config, seed int64, fromDB, toDB, stepDB float64) []SIRPoint {
+	if stepDB <= 0 {
+		panic("sim: non-positive SIR step")
+	}
+	var out []SIRPoint
+	i := int64(0)
+	for db := fromDB; db <= toDB+1e-9; db += stepDB {
+		out = append(out, RunSIRPoint(cfg, seed+i, db))
+		i++
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package stats provides the empirical statistics the evaluation section
+// reports: CDFs over experiment runs (Figs. 9, 10, 12), means, quantiles,
+// and gain ratios.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Sample is a collection of scalar observations (e.g. per-run throughput
+// gains or per-packet BERs).
+type Sample struct {
+	xs []float64
+}
+
+// NewSample returns a sample over a copy of xs.
+func NewSample(xs []float64) *Sample {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	return &Sample{xs: cp}
+}
+
+// Add inserts an observation.
+func (s *Sample) Add(x float64) {
+	i := sort.SearchFloat64s(s.xs, x)
+	s.xs = append(s.xs, 0)
+	copy(s.xs[i+1:], s.xs[i:])
+	s.xs[i] = x
+}
+
+// Len returns the number of observations.
+func (s *Sample) Len() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Min returns the smallest observation (0 for empty).
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.xs[0]
+}
+
+// Max returns the largest observation (0 for empty).
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	return s.xs[len(s.xs)-1]
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s.xs[n-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// CDFPoint is one point of an empirical CDF: fraction of observations ≤ X.
+type CDFPoint struct {
+	X    float64
+	Frac float64
+}
+
+// CDF returns the full empirical CDF, one point per observation.
+func (s *Sample) CDF() []CDFPoint {
+	out := make([]CDFPoint, len(s.xs))
+	for i, x := range s.xs {
+		out[i] = CDFPoint{X: x, Frac: float64(i+1) / float64(len(s.xs))}
+	}
+	return out
+}
+
+// CDFAt returns the empirical CDF evaluated at x.
+func (s *Sample) CDFAt(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	i := sort.Search(len(s.xs), func(i int) bool { return s.xs[i] > x })
+	return float64(i) / float64(len(s.xs))
+}
+
+// FormatCDF renders the CDF as the two-column text series the paper's
+// figures plot, sampled at up to maxRows evenly spaced observations.
+func (s *Sample) FormatCDF(label string, maxRows int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: n=%d mean=%.4f median=%.4f min=%.4f max=%.4f\n",
+		label, s.Len(), s.Mean(), s.Median(), s.Min(), s.Max())
+	fmt.Fprintf(&b, "# %-12s %s\n", "value", "cum.fraction")
+	cdf := s.CDF()
+	step := 1
+	if maxRows > 0 && len(cdf) > maxRows {
+		step = (len(cdf) + maxRows - 1) / maxRows
+	}
+	for i := 0; i < len(cdf); i += step {
+		fmt.Fprintf(&b, "%-14.4f %.4f\n", cdf[i].X, cdf[i].Frac)
+	}
+	if step > 1 && (len(cdf)-1)%step != 0 {
+		last := cdf[len(cdf)-1]
+		fmt.Fprintf(&b, "%-14.4f %.4f\n", last.X, last.Frac)
+	}
+	return b.String()
+}
+
+// GainRatio returns a/b, guarding against a zero denominator (returns 0
+// so a broken baseline run shows up as an obviously-wrong gain, not a
+// panic deep inside an experiment sweep).
+func GainRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

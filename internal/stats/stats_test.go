@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanMedianMinMax(t *testing.T) {
+	s := NewSample([]float64{3, 1, 4, 1, 5})
+	if got := s.Mean(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := s.Median(); got != 3 {
+		t.Errorf("Median = %v", got)
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	s := NewSample(nil)
+	if s.Mean() != 0 || s.Median() != 0 || s.Min() != 0 || s.Max() != 0 || s.CDFAt(1) != 0 {
+		t.Error("empty sample statistics not zero")
+	}
+	if len(s.CDF()) != 0 {
+		t.Error("empty sample CDF not empty")
+	}
+}
+
+func TestAddKeepsSorted(t *testing.T) {
+	s := NewSample([]float64{2, 4})
+	s.Add(3)
+	s.Add(1)
+	s.Add(5)
+	want := []float64{1, 2, 3, 4, 5}
+	cdf := s.CDF()
+	for i, p := range cdf {
+		if p.X != want[i] {
+			t.Fatalf("CDF[%d].X = %v, want %v", i, p.X, want[i])
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := NewSample([]float64{0, 10})
+	if got := s.Quantile(0.25); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Quantile(0.25) = %v, want 2.5", got)
+	}
+	if s.Quantile(-1) != 0 || s.Quantile(2) != 10 {
+		t.Error("quantile clamping broken")
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		s := NewSample(xs)
+		cdf := s.CDF()
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i].X < cdf[i-1].X || cdf[i].Frac < cdf[i-1].Frac {
+				return false
+			}
+		}
+		return len(cdf) == 0 || cdf[len(cdf)-1].Frac == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	s := NewSample([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {2.5, 0.75}, {3, 1}, {9, 1},
+	}
+	for _, c := range cases {
+		if got := s.CDFAt(c.x); got != c.want {
+			t.Errorf("CDFAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestCDFAtMatchesDirectCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	s := NewSample(xs)
+	sort.Float64s(xs)
+	for _, probe := range []float64{-2, -0.5, 0, 0.5, 2} {
+		count := 0
+		for _, x := range xs {
+			if x <= probe {
+				count++
+			}
+		}
+		want := float64(count) / float64(len(xs))
+		if got := s.CDFAt(probe); math.Abs(got-want) > 1e-12 {
+			t.Errorf("CDFAt(%v) = %v, want %v", probe, got, want)
+		}
+	}
+}
+
+func TestFormatCDF(t *testing.T) {
+	s := NewSample([]float64{1, 2, 3, 4})
+	out := s.FormatCDF("gain", 0)
+	if !strings.Contains(out, "# gain: n=4") {
+		t.Errorf("header missing: %q", out)
+	}
+	if !strings.Contains(out, "1.0000") || !strings.Contains(out, "0.2500") {
+		t.Errorf("rows missing: %q", out)
+	}
+}
+
+func TestFormatCDFDownsamples(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	out := NewSample(xs).FormatCDF("big", 10)
+	lines := strings.Count(out, "\n")
+	if lines > 15 {
+		t.Errorf("%d lines, want ≤ 15 (downsampled)", lines)
+	}
+	// The final point (frac = 1) must survive downsampling.
+	if !strings.Contains(out, "1.0000\n") {
+		t.Errorf("last CDF point missing:\n%s", out)
+	}
+}
+
+func TestGainRatio(t *testing.T) {
+	if got := GainRatio(3, 2); got != 1.5 {
+		t.Errorf("GainRatio = %v", got)
+	}
+	if got := GainRatio(3, 0); got != 0 {
+		t.Errorf("GainRatio/0 = %v, want 0", got)
+	}
+}

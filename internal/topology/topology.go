@@ -1,0 +1,168 @@
+// Package topology constructs the paper's three canonical networks — the
+// Alice–Bob two-way relay (Fig. 1), the unidirectional chain (Fig. 2),
+// and the "X" topology (Fig. 11) — as directed link graphs with per-run
+// random channel realizations: every link gets an attenuation drawn
+// around its mean, a uniform phase, and a residual carrier offset from
+// the oscillator mismatch of its endpoints.
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/channel"
+)
+
+// Graph is a set of nodes with directed links. Absent links model nodes
+// out of radio range (the chain's N1→N4, for example).
+type Graph struct {
+	N     int
+	names []string
+	links map[[2]int]channel.Link
+	cfo   []float64 // per-node oscillator offset, rad/sample
+}
+
+// Config controls the channel realizations.
+type Config struct {
+	// MeanPowerGain is the average power attenuation of an in-range link.
+	MeanPowerGain float64
+	// GainJitterDB spreads per-link gains uniformly in dB around the mean
+	// — the run-to-run variation behind the CDF spread of Figs. 9–12.
+	GainJitterDB float64
+	// CFORange bounds each node's oscillator offset, drawn uniformly
+	// from (−CFORange, +CFORange) rad/sample. Relative CFO between
+	// concurrent senders is what decorrelates the inter-signal phase
+	// (see internal/core's amplitude estimator).
+	CFORange float64
+	// OverhearPowerGain is the mean power gain of the "X" topology's
+	// overhearing links (N1→N2, N3→N4).
+	OverhearPowerGain float64
+	// CrossPowerGain is the mean power gain of the weak interference
+	// paths in the "X" topology (N3→N2, N1→N4) that corrupt overhearing.
+	CrossPowerGain float64
+}
+
+// DefaultConfig returns the channel parameters used by the experiments.
+func DefaultConfig() Config {
+	return Config{
+		MeanPowerGain:     0.5,
+		GainJitterDB:      2,
+		CFORange:          0.012,
+		OverhearPowerGain: 0.5,
+		CrossPowerGain:    0.02,
+	}
+}
+
+func newGraph(n int, names []string, cfg Config, rng *rand.Rand) *Graph {
+	g := &Graph{
+		N:     n,
+		names: names,
+		links: make(map[[2]int]channel.Link),
+		cfo:   make([]float64, n),
+	}
+	for i := range g.cfo {
+		g.cfo[i] = (rng.Float64()*2 - 1) * cfg.CFORange
+	}
+	return g
+}
+
+// connect adds a directed link i→j with the given mean power gain.
+func (g *Graph) connect(i, j int, mean, jitterDB float64, rng *rand.Rand) {
+	g.links[[2]int{i, j}] = channel.RandomLink(rng, mean, jitterDB)
+}
+
+// connectBoth adds links in both directions (independent realizations —
+// the paper assumes similar, not identical, channels).
+func (g *Graph) connectBoth(i, j int, mean, jitterDB float64, rng *rand.Rand) {
+	g.connect(i, j, mean, jitterDB, rng)
+	g.connect(j, i, mean, jitterDB, rng)
+}
+
+// Link returns the directed channel i→j with the relative carrier offset
+// of the endpoints applied, and whether the nodes are in range.
+func (g *Graph) Link(i, j int) (channel.Link, bool) {
+	l, ok := g.links[[2]int{i, j}]
+	if !ok {
+		return channel.Link{}, false
+	}
+	l.FreqOffset = g.cfo[i] - g.cfo[j]
+	return l, true
+}
+
+// InRange reports whether i can be heard by j.
+func (g *Graph) InRange(i, j int) bool {
+	_, ok := g.links[[2]int{i, j}]
+	return ok
+}
+
+// Name returns a node's human-readable role.
+func (g *Graph) Name(i int) string {
+	if i < 0 || i >= len(g.names) {
+		return fmt.Sprintf("node%d", i)
+	}
+	return g.names[i]
+}
+
+// Node indices for the Alice–Bob topology (Fig. 1).
+const (
+	Alice  = 0
+	Router = 1
+	Bob    = 2
+)
+
+// AliceBob builds the two-way relay of Fig. 1: Alice and Bob each reach
+// the router but not each other.
+func AliceBob(cfg Config, rng *rand.Rand) *Graph {
+	g := newGraph(3, []string{"alice", "router", "bob"}, cfg, rng)
+	g.connectBoth(Alice, Router, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.connectBoth(Bob, Router, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	return g
+}
+
+// Node indices for the chain topology (Fig. 2): N1 → N2 → N3 → N4.
+const (
+	ChainN1 = 0
+	ChainN2 = 1
+	ChainN3 = 2
+	ChainN4 = 3
+)
+
+// Chain builds the 3-hop chain of Fig. 2. Adjacent nodes are connected;
+// nodes two hops apart interfere weakly (N3's transmission reaches N2 at
+// full strength — they are adjacent — while N1 and N4 are out of range of
+// each other).
+func Chain(cfg Config, rng *rand.Rand) *Graph {
+	g := newGraph(4, []string{"n1", "n2", "n3", "n4"}, cfg, rng)
+	g.connectBoth(ChainN1, ChainN2, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.connectBoth(ChainN2, ChainN3, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.connectBoth(ChainN3, ChainN4, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	return g
+}
+
+// Node indices for the "X" topology (Fig. 11): N1→N4 and N3→N2 cross at
+// the center router N5.
+const (
+	X1      = 0
+	X2      = 1
+	X3      = 2
+	X4      = 3
+	XRouter = 4
+)
+
+// X builds Fig. 11: four edge nodes around a center router. N2 overhears
+// N1 and N4 overhears N3 (that is what replaces Alice's "I sent it
+// myself" knowledge), while the opposite-corner cross paths are weak
+// interference that occasionally corrupts the overhearing (§11.5).
+func X(cfg Config, rng *rand.Rand) *Graph {
+	g := newGraph(5, []string{"n1", "n2", "n3", "n4", "router"}, cfg, rng)
+	for _, edge := range []int{X1, X2, X3, X4} {
+		g.connectBoth(edge, XRouter, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	}
+	// Overhearing links.
+	g.connect(X1, X2, cfg.OverhearPowerGain, cfg.GainJitterDB, rng)
+	g.connect(X3, X4, cfg.OverhearPowerGain, cfg.GainJitterDB, rng)
+	// Weak cross interference.
+	g.connect(X3, X2, cfg.CrossPowerGain, cfg.GainJitterDB, rng)
+	g.connect(X1, X4, cfg.CrossPowerGain, cfg.GainJitterDB, rng)
+	return g
+}

@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAliceBobConnectivity(t *testing.T) {
+	g := AliceBob(DefaultConfig(), rand.New(rand.NewSource(1)))
+	if g.N != 3 {
+		t.Fatalf("N = %d", g.N)
+	}
+	for _, pair := range [][2]int{{Alice, Router}, {Router, Alice}, {Bob, Router}, {Router, Bob}} {
+		if !g.InRange(pair[0], pair[1]) {
+			t.Errorf("%s → %s missing", g.Name(pair[0]), g.Name(pair[1]))
+		}
+	}
+	// The defining constraint: Alice and Bob cannot hear each other.
+	if g.InRange(Alice, Bob) || g.InRange(Bob, Alice) {
+		t.Error("Alice and Bob are in range — not the Fig. 1 topology")
+	}
+}
+
+func TestChainConnectivity(t *testing.T) {
+	g := Chain(DefaultConfig(), rand.New(rand.NewSource(2)))
+	if !g.InRange(ChainN1, ChainN2) || !g.InRange(ChainN2, ChainN3) || !g.InRange(ChainN3, ChainN4) {
+		t.Error("adjacent chain links missing")
+	}
+	// N3 and N2 are adjacent: N3's forwarding interferes at N2. N1 and
+	// N4 are 3 hops apart and out of range (the hidden-terminal setup).
+	if !g.InRange(ChainN3, ChainN2) {
+		t.Error("N3 → N2 missing")
+	}
+	if g.InRange(ChainN1, ChainN4) || g.InRange(ChainN1, ChainN3) {
+		t.Error("distant chain nodes should be out of range")
+	}
+}
+
+func TestXConnectivity(t *testing.T) {
+	g := X(DefaultConfig(), rand.New(rand.NewSource(3)))
+	for _, edge := range []int{X1, X2, X3, X4} {
+		if !g.InRange(edge, XRouter) || !g.InRange(XRouter, edge) {
+			t.Errorf("edge %s not connected to router", g.Name(edge))
+		}
+	}
+	if !g.InRange(X1, X2) || !g.InRange(X3, X4) {
+		t.Error("overhearing links missing")
+	}
+	if !g.InRange(X3, X2) || !g.InRange(X1, X4) {
+		t.Error("weak cross-interference links missing")
+	}
+	if g.InRange(X2, X1) {
+		t.Error("overhearing should be directional (X1→X2 only)")
+	}
+}
+
+func TestLinkCFOIsRelative(t *testing.T) {
+	g := AliceBob(DefaultConfig(), rand.New(rand.NewSource(4)))
+	up, _ := g.Link(Alice, Router)
+	down, _ := g.Link(Router, Alice)
+	// cfo(i→j) = cfo_i − cfo_j, so the two directions are negatives.
+	if math.Abs(up.FreqOffset+down.FreqOffset) > 1e-15 {
+		t.Errorf("CFOs not antisymmetric: %v vs %v", up.FreqOffset, down.FreqOffset)
+	}
+	// Two concurrent senders have distinct CFOs at a common receiver.
+	a, _ := g.Link(Alice, Router)
+	b, _ := g.Link(Bob, Router)
+	if a.FreqOffset == b.FreqOffset {
+		t.Error("Alice and Bob share an oscillator")
+	}
+}
+
+func TestLinkMissing(t *testing.T) {
+	g := AliceBob(DefaultConfig(), rand.New(rand.NewSource(5)))
+	if _, ok := g.Link(Alice, Bob); ok {
+		t.Error("out-of-range link returned")
+	}
+}
+
+func TestGainsVaryAcrossRealizations(t *testing.T) {
+	g1 := AliceBob(DefaultConfig(), rand.New(rand.NewSource(6)))
+	g2 := AliceBob(DefaultConfig(), rand.New(rand.NewSource(7)))
+	l1, _ := g1.Link(Alice, Router)
+	l2, _ := g2.Link(Alice, Router)
+	if l1.Gain == l2.Gain && l1.Phase == l2.Phase {
+		t.Error("different seeds produced identical channels")
+	}
+}
+
+func TestOverhearStrongerThanCross(t *testing.T) {
+	cfg := DefaultConfig()
+	g := X(cfg, rand.New(rand.NewSource(8)))
+	over, _ := g.Link(X1, X2)
+	cross, _ := g.Link(X3, X2)
+	// Overhearing must dominate cross interference on average; with 2 dB
+	// jitter around means 0.5 vs 0.02 this holds for every realization.
+	if over.PowerGain() <= cross.PowerGain() {
+		t.Errorf("overhear gain %v not above cross gain %v", over.PowerGain(), cross.PowerGain())
+	}
+}
+
+func TestNames(t *testing.T) {
+	g := Chain(DefaultConfig(), rand.New(rand.NewSource(9)))
+	if g.Name(ChainN1) != "n1" || g.Name(ChainN4) != "n4" {
+		t.Error("names wrong")
+	}
+	if g.Name(99) != "node99" {
+		t.Errorf("out-of-range name = %q", g.Name(99))
+	}
+}
