@@ -214,6 +214,46 @@ var (
 	RunXCOPE               = sim.RunXCOPE
 )
 
+// Scenario is one simulated workload plugged into the scenario engine: a
+// topology plus the per-slot schedule of every scheme it supports. The
+// paper's three evaluation topologies and the engine-unlocked extras ship
+// registered; register your own with RegisterScenario.
+type Scenario = sim.Scenario
+
+// Scheme identifies a compared transmission scheme.
+type Scheme = sim.Scheme
+
+// The compared schemes.
+const (
+	SchemeANC     = sim.SchemeANC
+	SchemeRouting = sim.SchemeRouting
+	SchemeCOPE    = sim.SchemeCOPE
+)
+
+// Engine runs scenarios: per-run seeding, channel realization, node
+// lifecycle, reusable reception buffers and the campaign worker pool.
+type Engine = sim.Engine
+
+// NewEngine returns a scenario engine for the given configuration.
+func NewEngine(cfg SimConfig) *Engine { return sim.NewEngine(cfg) }
+
+// Env is the per-run environment a scenario's schedule runs against:
+// nodes, the channel realization, the run RNG and the reception buffers.
+type Env = sim.Env
+
+// Stepper advances one run by one schedule cycle.
+type Stepper = sim.Stepper
+
+// StepFunc adapts a function to the Stepper interface.
+type StepFunc = sim.StepFunc
+
+// Scenario registry access.
+var (
+	RegisterScenario = sim.Register
+	LookupScenario   = sim.LookupScenario
+	Scenarios        = sim.Scenarios
+)
+
 // ExperimentOptions configures a figure-regeneration campaign.
 type ExperimentOptions = experiments.Options
 
@@ -228,6 +268,9 @@ var (
 	Fig13   = experiments.Fig13
 	Fig7    = experiments.Fig7
 	Summary = experiments.Summary
+	// ScenarioCampaign runs ANC versus baselines for any registered
+	// scenario by name.
+	ScenarioCampaign = experiments.ScenarioCampaign
 )
 
 // TopologyConfig controls channel realizations for the canonical
@@ -237,12 +280,23 @@ type TopologyConfig = topology.Config
 // Topology is a directed link graph over nodes.
 type Topology = topology.Graph
 
-// Canonical topology builders (Figs. 1, 2, 11).
+// Canonical topology builders (Figs. 1, 2, 11) plus the engine-unlocked
+// variants.
 var (
-	NewAliceBobTopology = topology.AliceBob
-	NewChainTopology    = topology.Chain
-	NewXTopology        = topology.X
+	NewAliceBobTopology      = topology.AliceBob
+	NewChainTopology         = topology.Chain
+	NewXTopology             = topology.X
+	NewXCrossTopology        = topology.XCross
+	NewParallelPairsTopology = topology.ParallelPairs
 )
+
+// NewTopology builds an empty custom graph of n nodes; Connect and
+// ConnectBoth realize its links with the same per-run randomization as
+// the canonical topologies. This is how custom scenarios describe
+// arbitrary networks.
+func NewTopology(n int, names []string, cfg TopologyConfig, rng *rand.Rand) *Topology {
+	return topology.New(n, names, cfg, rng)
+}
 
 // MeshConfig parameterizes a closed-loop trigger-protocol session.
 type MeshConfig = mesh.Config

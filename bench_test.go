@@ -70,27 +70,47 @@ func BenchmarkFig7Capacity(b *testing.B) {
 	printFig7.Do(func() { fmt.Print(experiments.Fig7(0, 55, 5)) })
 }
 
+// figureIteration is one paired campaign iteration: ANC plus its
+// baselines on the same seed (the same channel realization), through the
+// scenario engine with caller-owned reception buffers. Shared by the
+// gain benchmarks and TestBenchSmoke.
+func figureIteration(eng *sim.Engine, scratch *sim.Scratch, sc sim.Scenario, seed int64) (a, t, c sim.Metrics) {
+	a = engineRun(eng, scratch, sc, sim.SchemeANC, seed)
+	t = engineRun(eng, scratch, sc, sim.SchemeRouting, seed)
+	if sim.HasScheme(sc, sim.SchemeCOPE) {
+		c = engineRun(eng, scratch, sc, sim.SchemeCOPE, seed)
+	}
+	return a, t, c
+}
+
+func engineRun(eng *sim.Engine, scratch *sim.Scratch, sc sim.Scenario, scheme sim.Scheme, seed int64) sim.Metrics {
+	m, err := eng.RunReusing(sc, scheme, seed, scratch)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
 // gainBench runs paired ANC/baseline runs, one pair per iteration.
-func gainBench(b *testing.B, anc, trad, cope func(sim.Config, int64) sim.Metrics) {
-	cfg := benchSim()
+func gainBench(b *testing.B, sc sim.Scenario) {
+	eng := sim.NewEngine(benchSim())
+	scratch := sim.NewScratch()
+	hasCope := sim.HasScheme(sc, sim.SchemeCOPE)
 	gTrad := stats.NewSample(nil)
 	gCope := stats.NewSample(nil)
 	ber := stats.NewSample(nil)
 	ovl := stats.NewSample(nil)
 	for i := 0; i < b.N; i++ {
-		seed := int64(1000 + i)
-		a := anc(cfg, seed)
-		t := trad(cfg, seed)
+		a, t, c := figureIteration(eng, scratch, sc, int64(1000+i))
 		gTrad.Add(stats.GainRatio(a.Throughput(), t.Throughput()))
-		if cope != nil {
-			c := cope(cfg, seed)
+		if hasCope {
 			gCope.Add(stats.GainRatio(a.Throughput(), c.Throughput()))
 		}
 		ber.Add(a.MeanBER())
 		ovl.Add(a.MeanOverlap())
 	}
 	b.ReportMetric(gTrad.Mean(), "gain/traditional")
-	if cope != nil {
+	if hasCope {
 		b.ReportMetric(gCope.Mean(), "gain/COPE")
 	}
 	b.ReportMetric(ber.Mean(), "BER")
@@ -99,20 +119,28 @@ func gainBench(b *testing.B, anc, trad, cope func(sim.Config, int64) sim.Metrics
 
 // BenchmarkFig9aAliceBobGain regenerates the Fig. 9(a) gain CDFs.
 func BenchmarkFig9aAliceBobGain(b *testing.B) {
-	gainBench(b, sim.RunAliceBobANC, sim.RunAliceBobTraditional, sim.RunAliceBobCOPE)
+	gainBench(b, sim.AliceBob())
 	opts := benchOpts(b)
 	printFig9.Do(func() { fmt.Print(experiments.Fig9(opts).FormatGain(15)) })
 }
 
+// berIteration is one ANC run contributing its per-packet BERs to the
+// sample; shared by the BER benchmarks and TestBenchSmoke.
+func berIteration(eng *sim.Engine, scratch *sim.Scratch, sc sim.Scenario, seed int64, ber *stats.Sample) sim.Metrics {
+	m := engineRun(eng, scratch, sc, sim.SchemeANC, seed)
+	for _, x := range m.BERs {
+		ber.Add(x)
+	}
+	return m
+}
+
 // BenchmarkFig9bAliceBobBER regenerates the Fig. 9(b) BER CDF.
 func BenchmarkFig9bAliceBobBER(b *testing.B) {
-	cfg := benchSim()
+	eng := sim.NewEngine(benchSim())
+	scratch := sim.NewScratch()
 	ber := stats.NewSample(nil)
 	for i := 0; i < b.N; i++ {
-		m := sim.RunAliceBobANC(cfg, int64(2000+i))
-		for _, x := range m.BERs {
-			ber.Add(x)
-		}
+		berIteration(eng, scratch, sim.AliceBob(), int64(2000+i), ber)
 	}
 	b.ReportMetric(ber.Mean(), "BER-mean")
 	b.ReportMetric(ber.Quantile(0.9), "BER-p90")
@@ -122,7 +150,7 @@ func BenchmarkFig9bAliceBobBER(b *testing.B) {
 
 // BenchmarkFig10aXGain regenerates the Fig. 10(a) gain CDFs for the "X".
 func BenchmarkFig10aXGain(b *testing.B) {
-	gainBench(b, sim.RunXANC, sim.RunXTraditional, sim.RunXCOPE)
+	gainBench(b, sim.XTopo())
 	opts := benchOpts(b)
 	printFig10.Do(func() { fmt.Print(experiments.Fig10(opts).FormatGain(15)) })
 }
@@ -130,13 +158,11 @@ func BenchmarkFig10aXGain(b *testing.B) {
 // BenchmarkFig10bXBER regenerates the Fig. 10(b) BER CDF (including the
 // elevated tail caused by imperfect overhearing).
 func BenchmarkFig10bXBER(b *testing.B) {
-	cfg := benchSim()
+	eng := sim.NewEngine(benchSim())
+	scratch := sim.NewScratch()
 	ber := stats.NewSample(nil)
 	for i := 0; i < b.N; i++ {
-		m := sim.RunXANC(cfg, int64(3000+i))
-		for _, x := range m.BERs {
-			ber.Add(x)
-		}
+		berIteration(eng, scratch, sim.XTopo(), int64(3000+i), ber)
 	}
 	b.ReportMetric(ber.Mean(), "BER-mean")
 	b.ReportMetric(ber.Max(), "BER-max")
@@ -147,7 +173,7 @@ func BenchmarkFig10bXBER(b *testing.B) {
 // BenchmarkFig12aChainGain regenerates Fig. 12(a); COPE does not apply to
 // the unidirectional chain.
 func BenchmarkFig12aChainGain(b *testing.B) {
-	gainBench(b, sim.RunChainANC, sim.RunChainTraditional, nil)
+	gainBench(b, sim.Chain())
 	opts := benchOpts(b)
 	printFig12.Do(func() { fmt.Print(experiments.Fig12(opts).FormatGain(15)) })
 }
@@ -155,17 +181,29 @@ func BenchmarkFig12aChainGain(b *testing.B) {
 // BenchmarkFig12bChainBER regenerates Fig. 12(b): the chain's BER sits
 // below the Alice–Bob topology's because no relay re-amplifies the noise.
 func BenchmarkFig12bChainBER(b *testing.B) {
-	cfg := benchSim()
+	eng := sim.NewEngine(benchSim())
+	scratch := sim.NewScratch()
 	ber := stats.NewSample(nil)
 	for i := 0; i < b.N; i++ {
-		m := sim.RunChainANC(cfg, int64(4000+i))
-		for _, x := range m.BERs {
-			ber.Add(x)
-		}
+		berIteration(eng, scratch, sim.Chain(), int64(4000+i), ber)
 	}
 	b.ReportMetric(ber.Mean(), "BER-mean")
 	opts := benchOpts(b)
 	printFig12.Do(func() { fmt.Print(experiments.Fig12(opts).FormatBER(15)) })
+}
+
+// BenchmarkScenarioCampaign runs one multi-run engine campaign per
+// iteration over the cross-traffic scenario — the worker-pool path with
+// per-worker buffer reuse.
+func BenchmarkScenarioCampaign(b *testing.B) {
+	eng := sim.NewEngine(sim.Config{Packets: 4})
+	sc := sim.MustScenario("x-cross")
+	seeds := []int64{1, 2, 3, 4, 5, 6}
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Campaign(sc, sc.Schemes(), seeds); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFig13BERvsSIR regenerates the Fig. 13 sweep. Each iteration is

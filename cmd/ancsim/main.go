@@ -1,5 +1,6 @@
 // Command ancsim regenerates the paper's evaluation figures from the
-// simulation campaigns.
+// simulation campaigns and runs any registered scenario through the
+// pluggable scenario engine.
 //
 // Usage:
 //
@@ -10,6 +11,9 @@
 //	ancsim -exp fig13                   # BER vs SIR sweep
 //	ancsim -exp fig7                    # capacity bounds (analysis)
 //
+//	ancsim -scenario list               # list registered scenarios
+//	ancsim -scenario x-cross -runs 10   # ANC vs baselines on any scenario
+//
 // Every campaign is deterministic in -seed.
 package main
 
@@ -17,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -24,12 +29,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "summary", "experiment: fig7|fig9|fig10|fig12|fig13|summary|ablation")
-		runs    = flag.Int("runs", 40, "independent runs per campaign (paper: 40)")
-		packets = flag.Int("packets", 0, "packets per run (0 = default)")
-		seed    = flag.Int64("seed", 1, "campaign seed")
-		snr     = flag.Float64("snr", 25, "per-link SNR in dB")
-		maxRows = flag.Int("rows", 25, "max CDF rows to print")
+		exp      = flag.String("exp", "summary", "experiment: fig7|fig9|fig10|fig12|fig13|summary|ablation")
+		scenario = flag.String("scenario", "", "run a registered scenario campaign by name ('list' prints the registry); overrides -exp")
+		runs     = flag.Int("runs", 40, "independent runs per campaign (paper: 40)")
+		packets  = flag.Int("packets", 0, "packets per run (0 = default)")
+		seed     = flag.Int64("seed", 1, "campaign seed")
+		snr      = flag.Float64("snr", 25, "per-link SNR in dB")
+		maxRows  = flag.Int("rows", 25, "max CDF rows to print")
 	)
 	flag.Parse()
 
@@ -39,6 +45,11 @@ func main() {
 		cfg.Packets = *packets
 	}
 	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed}
+
+	if *scenario != "" {
+		runScenario(*scenario, opts, *maxRows)
+		return
+	}
 
 	switch *exp {
 	case "fig7":
@@ -69,4 +80,27 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runScenario executes the ANC-versus-baselines campaign for one
+// registered scenario, or lists the registry.
+func runScenario(name string, opts experiments.Options, maxRows int) {
+	if name == "list" {
+		fmt.Printf("%-10s %-22s %s\n", "name", "schemes", "description")
+		for _, sc := range sim.Scenarios() {
+			schemes := make([]string, 0, 3)
+			for _, s := range sc.Schemes() {
+				schemes = append(schemes, string(s))
+			}
+			fmt.Printf("%-10s %-22s %s\n", sc.Name(), strings.Join(schemes, ","), sc.Description())
+		}
+		return
+	}
+	res, err := experiments.ScenarioCampaign(opts, name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ancsim: %v (try -scenario list)\n", err)
+		os.Exit(2)
+	}
+	fmt.Print(res.FormatGain(maxRows))
+	fmt.Print(res.FormatBER(maxRows))
 }

@@ -59,19 +59,57 @@ type Transmission struct {
 // samples of pure noise so detectors can observe the energy drop at packet
 // end (§7.4: Bob buffers until energy falls to the noise floor).
 func Receive(noise *dsp.NoiseSource, tailPad int, txs ...Transmission) dsp.Signal {
-	var mixed dsp.Signal
+	return ReceiveInto(nil, noise, tailPad, txs...)
+}
+
+// ReceiveLen returns the reception window length Receive would produce:
+// the union of the delayed transmissions plus the tail pad.
+func ReceiveLen(tailPad int, txs ...Transmission) int {
+	n := 0
 	for _, tx := range txs {
 		if tx.Delay < 0 {
 			panic(fmt.Sprintf("channel: negative delay %d", tx.Delay))
 		}
-		contribution := tx.Link.Apply(tx.Signal).Delay(tx.Delay)
-		mixed = mixed.Add(contribution)
+		if end := tx.Delay + len(tx.Signal); end > n {
+			n = end
+		}
 	}
-	mixed = mixed.PadTo(len(mixed) + tailPad)
-	if noise == nil {
-		return mixed
+	return n + tailPad
+}
+
+// ReceiveInto is Receive synthesizing the reception into buf's storage
+// (grown when too small): link gain, phase, carrier offset and delay are
+// applied while accumulating, and noise is added in place, so a reused
+// buffer makes a reception allocation free. The sample values are
+// identical to Receive's.
+func ReceiveInto(buf dsp.Signal, noise *dsp.NoiseSource, tailPad int, txs ...Transmission) dsp.Signal {
+	n := ReceiveLen(tailPad, txs...)
+	if cap(buf) < n {
+		buf = make(dsp.Signal, n)
+	} else {
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = 0
+		}
 	}
-	return noise.AddTo(mixed)
+	for _, tx := range txs {
+		g := complex(tx.Link.Gain, 0) * cmplx.Exp(complex(0, tx.Link.Phase))
+		out := buf[tx.Delay:]
+		if tx.Link.FreqOffset == 0 {
+			for i, v := range tx.Signal {
+				out[i] += v * g
+			}
+			continue
+		}
+		for i, v := range tx.Signal {
+			rot := cmplx.Exp(complex(0, tx.Link.FreqOffset*float64(i)))
+			out[i] += v * g * rot
+		}
+	}
+	if noise != nil {
+		noise.AddInPlace(buf)
+	}
+	return buf
 }
 
 // AmplifyFactor returns the relay's amplification A of Theorem 8.1's inner

@@ -188,3 +188,53 @@ func TestRandomLinkDeterministic(t *testing.T) {
 		t.Error("same seed produced different links")
 	}
 }
+
+func TestReceiveIntoMatchesReceive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func(n int) dsp.Signal {
+		s := make(dsp.Signal, n)
+		for i := range s {
+			s[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		return s
+	}
+	txs := []Transmission{
+		{Signal: mk(300), Link: Link{Gain: 0.8, Phase: 0.7}},
+		{Signal: mk(250), Link: Link{Gain: 0.6, Phase: -1.1, FreqOffset: 0.004}, Delay: 120},
+	}
+	want := Receive(dsp.NewNoiseSource(1e-3, 3), 50, txs...)
+	got := ReceiveInto(nil, dsp.NewNoiseSource(1e-3, 3), 50, txs...)
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], want[i])
+		}
+	}
+	if n := ReceiveLen(50, txs...); n != len(want) {
+		t.Errorf("ReceiveLen = %d, want %d", n, len(want))
+	}
+
+	// Reusing a dirty oversized buffer must not leak stale samples.
+	dirty := mk(1000)
+	reused := ReceiveInto(dirty, dsp.NewNoiseSource(1e-3, 3), 50, txs...)
+	for i := range want {
+		if reused[i] != want[i] {
+			t.Fatalf("reused buffer sample %d: %v != %v", i, reused[i], want[i])
+		}
+	}
+}
+
+func TestNoiseReseedMatchesFresh(t *testing.T) {
+	ns := dsp.NewNoiseSource(1e-2, 1)
+	ns.Samples(37) // advance the stream
+	ns.Reseed(99)
+	got := ns.Samples(16)
+	want := dsp.NewNoiseSource(1e-2, 99).Samples(16)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], want[i])
+		}
+	}
+}

@@ -62,3 +62,22 @@ func (ns *NoiseSource) AddTo(s Signal) Signal {
 	}
 	return out
 }
+
+// AddInPlace adds fresh noise to s sample for sample, drawing the exact
+// same stream AddTo would. The allocation-free variant the simulator's
+// reusable reception buffers rely on.
+func (ns *NoiseSource) AddInPlace(s Signal) {
+	if ns.power == 0 {
+		return
+	}
+	for i := range s {
+		s[i] += ns.Sample()
+	}
+}
+
+// Reseed rewinds the source onto a new deterministic stream without
+// reallocating its generator state. A source reseeded with some seed
+// produces the same samples as a fresh NewNoiseSource with that seed.
+func (ns *NoiseSource) Reseed(seed int64) {
+	ns.rng.Seed(seed)
+}

@@ -10,9 +10,7 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 
 	"repro/internal/capacity"
 	"repro/internal/sim"
@@ -46,33 +44,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// forEachRun executes fn for every run index in parallel (runs are
-// independent and seeded deterministically, so the result set is
-// reproducible regardless of scheduling).
-func forEachRun(runs int, fn func(run int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > runs {
-		workers = runs
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for run := range next {
-				fn(run)
-			}
-		}()
-	}
-	for run := 0; run < runs; run++ {
-		next <- run
-	}
-	close(next)
-	wg.Wait()
-}
-
-// GainResult holds one topology's throughput-gain campaign: per-run gains
+// GainResult holds one scenario's throughput-gain campaign: per-run gains
 // of ANC over each baseline plus the per-packet BER pool.
 type GainResult struct {
 	Topology     string
@@ -82,77 +54,91 @@ type GainResult struct {
 	Overlap      *stats.Sample
 }
 
-// runCampaign pairs ANC runs against baselines on identical seeds.
-func runCampaign(opts Options, topo string,
-	anc func(sim.Config, int64) sim.Metrics,
-	trad func(sim.Config, int64) sim.Metrics,
-	cope func(sim.Config, int64) sim.Metrics) *GainResult {
-
+// runCampaign pairs ANC runs against the scenario's baselines on
+// identical seeds (identical channel realizations) through the scenario
+// engine's worker pool. The gain-over-routing framing requires the
+// scenario to support at least ANC and routing.
+func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
 	opts = opts.withDefaults()
-	type runOut struct {
-		gTrad, gCope float64
-		bers         []float64
-		overlaps     []float64
+	schemes := []sim.Scheme{sim.SchemeANC, sim.SchemeRouting}
+	for _, s := range schemes {
+		if !sim.HasScheme(sc, s) {
+			return nil, fmt.Errorf("experiments: scenario %q does not support scheme %q, required for gain campaigns", sc.Name(), s)
+		}
 	}
-	outs := make([]runOut, opts.Runs)
-	forEachRun(opts.Runs, func(run int) {
-		seed := opts.Seed + int64(run)*7919
-		a := anc(opts.Sim, seed)
-		t := trad(opts.Sim, seed)
-		o := runOut{
-			gTrad:    stats.GainRatio(a.Throughput(), t.Throughput()),
-			bers:     a.BERs,
-			overlaps: a.Overlaps,
-		}
-		if cope != nil {
-			c := cope(opts.Sim, seed)
-			o.gCope = stats.GainRatio(a.Throughput(), c.Throughput())
-		}
-		outs[run] = o
-	})
+	useCope := sim.HasScheme(sc, sim.SchemeCOPE)
+	if useCope {
+		schemes = append(schemes, sim.SchemeCOPE)
+	}
+	seeds := make([]int64, opts.Runs)
+	for run := range seeds {
+		seeds[run] = opts.Seed + int64(run)*7919
+	}
+	rows, err := sim.NewEngine(opts.Sim).Campaign(sc, schemes, seeds)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &GainResult{
-		Topology:     topo,
+		Topology:     sc.Name(),
 		GainOverTrad: stats.NewSample(nil),
 		BER:          stats.NewSample(nil),
 		Overlap:      stats.NewSample(nil),
 	}
-	if cope != nil {
+	if useCope {
 		res.GainOverCOPE = stats.NewSample(nil)
 	}
-	for _, o := range outs {
-		res.GainOverTrad.Add(o.gTrad)
-		if res.GainOverCOPE != nil {
-			res.GainOverCOPE.Add(o.gCope)
+	for _, row := range rows {
+		a, t := row[0], row[1]
+		res.GainOverTrad.Add(stats.GainRatio(a.Throughput(), t.Throughput()))
+		if useCope {
+			res.GainOverCOPE.Add(stats.GainRatio(a.Throughput(), row[2].Throughput()))
 		}
-		for _, b := range o.bers {
+		for _, b := range a.BERs {
 			res.BER.Add(b)
 		}
-		for _, ov := range o.overlaps {
+		for _, ov := range a.Overlaps {
 			res.Overlap.Add(ov)
 		}
 	}
+	return res, nil
+}
+
+// mustCampaign backs the fixed Fig* campaigns, whose paper scenarios
+// statically support ANC and routing.
+func mustCampaign(opts Options, sc sim.Scenario) *GainResult {
+	res, err := runCampaign(opts, sc)
+	if err != nil {
+		panic(err)
+	}
 	return res
+}
+
+// ScenarioCampaign runs the ANC-versus-baselines campaign for any
+// registered scenario (ancsim -scenario=<name>).
+func ScenarioCampaign(opts Options, name string) (*GainResult, error) {
+	sc, ok := sim.LookupScenario(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+	return runCampaign(opts, sc)
 }
 
 // Fig9 reproduces the Alice–Bob campaign: Fig. 9(a) (CDF of throughput
 // gain over traditional routing and over COPE) and Fig. 9(b) (CDF of BER).
 func Fig9(opts Options) *GainResult {
-	return runCampaign(opts, "alice-bob",
-		sim.RunAliceBobANC, sim.RunAliceBobTraditional, sim.RunAliceBobCOPE)
+	return mustCampaign(opts, sim.AliceBob())
 }
 
 // Fig10 reproduces the "X" topology campaign (Fig. 10a, 10b).
 func Fig10(opts Options) *GainResult {
-	return runCampaign(opts, "x",
-		sim.RunXANC, sim.RunXTraditional, sim.RunXCOPE)
+	return mustCampaign(opts, sim.XTopo())
 }
 
 // Fig12 reproduces the chain campaign (Fig. 12a, 12b). COPE does not
 // apply to unidirectional flows.
 func Fig12(opts Options) *GainResult {
-	return runCampaign(opts, "chain",
-		sim.RunChainANC, sim.RunChainTraditional, nil)
+	return mustCampaign(opts, sim.Chain())
 }
 
 // FormatGain renders the Fig. 9a/10a/12a CDF series.

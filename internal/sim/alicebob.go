@@ -10,67 +10,85 @@ import (
 	"repro/internal/topology"
 )
 
-// chanReceive synthesizes a single-transmission reception with a small
-// random lead-in (the receiver starts listening before the packet).
-func chanReceive(e *env, link channel.Link, rec frame.SentRecord, lead int) dsp.Signal {
-	if lead < 0 {
-		lead = 0
-	}
-	return channel.Receive(e.noise(), e.tailPad,
-		channel.Transmission{Signal: rec.Samples, Link: link, Delay: lead})
+// aliceBob is the Fig. 1 two-way relay, the paper's headline scenario.
+var aliceBob = &simpleScenario{
+	name:  "alice-bob",
+	desc:  "Fig. 1 two-way relay: Alice and Bob exchange packets through a router",
+	build: topology.AliceBob,
+	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
+	start: map[Scheme]func(*Env) StepFunc{
+		SchemeANC: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepAliceBobANC(e, m, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+		SchemeRouting: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepAliceBobTraditional(e, m, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+		SchemeCOPE: func(e *Env) StepFunc {
+			pool := cope.NewPool()
+			return func(i int, m *Metrics) {
+				stepAliceBobCOPE(e, m, pool, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+	},
 }
 
-// RunAliceBobANC simulates one run of the Fig. 1(d) schedule: in every
-// exchange Alice and Bob transmit simultaneously (the router's trigger
-// stimulates both; the second starts after the §7.2 random delay), the
-// router amplifies and broadcasts the interfered signal, and each
-// endpoint cancels its own packet to decode the other's.
-func RunAliceBobANC(cfg Config, seed int64) Metrics {
-	e := newEnv(cfg, seed, topology.AliceBob)
-	var m Metrics
-	alice, bob := e.nodes[0], e.nodes[2]
-	for i := 0; i < e.cfg.Packets; i++ {
-		pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
-		pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
-		mac.MarkTrigger(&pktA.Header)
-		recA := alice.BuildFrame(pktA)
-		recB := bob.BuildFrame(pktB)
+func init() { Register(aliceBob) }
 
-		// Slot 1: simultaneous uplinks; one of the two (random) starts
-		// after the drawn delay.
-		delta := e.cfg.Delay.Draw(e.rng)
-		dA, dB := 0, delta
-		if e.rng.Intn(2) == 1 {
-			dA, dB = delta, 0
-		}
-		linkAR, _ := e.graph.Link(0, 1)
-		linkBR, _ := e.graph.Link(2, 1)
-		routerRx := channel.Receive(e.noise(), e.tailPad,
-			channel.Transmission{Signal: recA.Samples, Link: linkAR, Delay: dA},
-			channel.Transmission{Signal: recB.Samples, Link: linkBR, Delay: dB},
-		)
-		// Slot 2: the router re-amplifies to its transmit power and
-		// broadcasts, noise and all (§2, §8).
-		relayed := channel.AmplifyTo(routerRx, 1)
-		linkRA, _ := e.graph.Link(1, 0)
-		linkRB, _ := e.graph.Link(1, 2)
-		rxA := channel.Receive(e.noise(), e.tailPad,
-			channel.Transmission{Signal: relayed, Link: linkRA})
-		rxB := channel.Receive(e.noise(), e.tailPad,
-			channel.Transmission{Signal: relayed, Link: linkRB})
+// AliceBob returns the registered Fig. 1 scenario.
+func AliceBob() Scenario { return aliceBob }
 
-		e.accountANCDecode(&m, alice, rxA, recB)
-		e.accountANCDecode(&m, bob, rxB, recA)
+// stepAliceBobANC runs one exchange of the Fig. 1(d) schedule between the
+// endpoints at indices ai and bi relaying through ri: both endpoints
+// transmit simultaneously (the router's trigger stimulates both; the
+// second starts after the §7.2 random delay), the router amplifies and
+// broadcasts the interfered signal, and each endpoint cancels its own
+// packet to decode the other's.
+func stepAliceBobANC(e *Env, m *Metrics, ai, ri, bi int) {
+	alice, bob := e.nodes[ai], e.nodes[bi]
+	pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
+	pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
+	mac.MarkTrigger(&pktA.Header)
+	recA := alice.BuildFrame(pktA)
+	recB := bob.BuildFrame(pktB)
 
-		m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
-		m.TimeSamples += float64(2 * (delta + e.frameLen + e.guard))
+	// Slot 1: simultaneous uplinks; one of the two (random) starts after
+	// the drawn delay.
+	delta := e.cfg.Delay.Draw(e.rng)
+	dA, dB := 0, delta
+	if e.rng.Intn(2) == 1 {
+		dA, dB = delta, 0
 	}
-	return m
+	linkAR, _ := e.graph.Link(ai, ri)
+	linkBR, _ := e.graph.Link(bi, ri)
+	routerRx := e.receive(
+		channel.Transmission{Signal: recA.Samples, Link: linkAR, Delay: dA},
+		channel.Transmission{Signal: recB.Samples, Link: linkBR, Delay: dB},
+	)
+	// Slot 2: the router re-amplifies to its transmit power and
+	// broadcasts, noise and all (§2, §8).
+	relayed := channel.AmplifyTo(routerRx, 1)
+	e.release(routerRx)
+	linkRA, _ := e.graph.Link(ri, ai)
+	linkRB, _ := e.graph.Link(ri, bi)
+	rxA := e.receive(channel.Transmission{Signal: relayed, Link: linkRA})
+	rxB := e.receive(channel.Transmission{Signal: relayed, Link: linkRB})
+
+	e.accountANCDecode(m, alice, rxA, recB)
+	e.accountANCDecode(m, bob, rxB, recA)
+	e.release(rxA)
+	e.release(rxB)
+
+	m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
+	m.TimeSamples += float64(2 * (delta + e.frameLen + e.guard))
 }
 
 // accountANCDecode decodes an interfered reception at a node, measures the
 // payload BER against the wanted frame, and charges goodput/loss.
-func (e *env) accountANCDecode(m *Metrics, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
+func (e *Env) accountANCDecode(m *Metrics, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
 	res, err := n.Receive(rx)
 	if err != nil {
 		m.Lost++
@@ -90,25 +108,20 @@ func (e *env) accountANCDecode(m *Metrics, n *radio.Node, rx dsp.Signal, wanted 
 	m.DeliveredBits += float64(int(wanted.Packet.Header.Len)*8) * good
 }
 
-// RunAliceBobTraditional simulates the Fig. 1(b) schedule under the
-// optimal MAC: four sequential single-signal transmissions per exchange,
+// stepAliceBobTraditional runs one exchange of the Fig. 1(b) schedule
+// under the optimal MAC: four sequential single-signal transmissions,
 // with the router decoding and re-modulating (digital regeneration) at
 // each relay hop.
-func RunAliceBobTraditional(cfg Config, seed int64) Metrics {
-	e := newEnv(cfg, seed, topology.AliceBob)
-	var m Metrics
-	alice, router, bob := e.nodes[0], e.nodes[1], e.nodes[2]
-	for i := 0; i < e.cfg.Packets; i++ {
-		pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
-		pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
-		e.traditionalRelay(&m, alice, router, bob, pktA, 0, 1, 2)
-		e.traditionalRelay(&m, bob, router, alice, pktB, 2, 1, 0)
-	}
-	return m
+func stepAliceBobTraditional(e *Env, m *Metrics, ai, ri, bi int) {
+	alice, router, bob := e.nodes[ai], e.nodes[ri], e.nodes[bi]
+	pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
+	pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
+	e.traditionalRelay(m, alice, router, bob, pktA, ai, ri, bi)
+	e.traditionalRelay(m, bob, router, alice, pktB, bi, ri, ai)
 }
 
 // traditionalRelay delivers one packet src→relay→dst with two clean hops.
-func (e *env) traditionalRelay(m *Metrics, src, relay, dst *radio.Node, pkt frame.Packet, si, ri, di int) {
+func (e *Env) traditionalRelay(m *Metrics, src, relay, dst *radio.Node, pkt frame.Packet, si, ri, di int) {
 	rec := src.BuildFrame(pkt)
 	m.TimeSamples += float64(2 * (e.frameLen + e.guard))
 	ok, payload := e.cleanHop(rec, si, ri)
@@ -126,56 +139,50 @@ func (e *env) traditionalRelay(m *Metrics, src, relay, dst *radio.Node, pkt fram
 	m.DeliveredBits += float64(len(payload) * 8)
 }
 
-// RunAliceBobCOPE simulates the Fig. 1(c) schedule: sequential uplinks,
-// then a single XOR-coded broadcast that both endpoints decode with their
-// own packet (digital network coding, [17]).
-func RunAliceBobCOPE(cfg Config, seed int64) Metrics {
-	e := newEnv(cfg, seed, topology.AliceBob)
-	var m Metrics
-	alice, router, bob := e.nodes[0], e.nodes[1], e.nodes[2]
-	pool := cope.NewPool()
-	for i := 0; i < e.cfg.Packets; i++ {
-		pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
-		pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
+// stepAliceBobCOPE runs one exchange of the Fig. 1(c) schedule:
+// sequential uplinks, then a single XOR-coded broadcast that both
+// endpoints decode with their own packet (digital network coding, [17]).
+func stepAliceBobCOPE(e *Env, m *Metrics, pool *cope.Pool, ai, ri, bi int) {
+	alice, router, bob := e.nodes[ai], e.nodes[ri], e.nodes[bi]
+	pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
+	pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
 
-		// Slots 1 and 2: the two uplinks.
-		m.TimeSamples += float64(2 * (e.frameLen + e.guard))
-		okA, gotA := e.cleanHop(alice.BuildFrame(pktA), 0, 1)
-		okB, gotB := e.cleanHop(bob.BuildFrame(pktB), 2, 1)
-		if okA {
-			pool.Put(frame.Packet{Header: pktA.Header, Payload: gotA})
-		}
-		if okB {
-			pool.Put(frame.Packet{Header: pktB.Header, Payload: gotB})
-		}
-
-		// Slot 3: coded broadcast whenever the pool has a pair.
-		a, b, have := pool.TakePair(alice.ID, bob.ID, bob.ID, alice.ID)
-		if !have {
-			// An uplink loss starves the coding opportunity; the missing
-			// counterpart is lost outright (no retransmission modeling,
-			// matching the other schemes).
-			m.Lost += 2 - boolToInt(okA) - boolToInt(okB)
-			continue
-		}
-		coded, err := cope.Encode(router.ID, router.NextSeq(), a, b)
-		if err != nil {
-			m.Lost += 2
-			continue
-		}
-		m.TimeSamples += float64(e.frameLen + e.guard)
-		rec := router.BuildFrame(coded)
-		okToA, codedAtA := e.cleanHop(rec, 1, 0)
-		okToB, codedAtB := e.cleanHop(rec, 1, 2)
-		e.accountCOPEDecode(&m, okToA, codedAtA, coded.Header, a.Payload, b.Payload)
-		e.accountCOPEDecode(&m, okToB, codedAtB, coded.Header, b.Payload, a.Payload)
+	// Slots 1 and 2: the two uplinks.
+	m.TimeSamples += float64(2 * (e.frameLen + e.guard))
+	okA, gotA := e.cleanHop(alice.BuildFrame(pktA), ai, ri)
+	okB, gotB := e.cleanHop(bob.BuildFrame(pktB), bi, ri)
+	if okA {
+		pool.Put(frame.Packet{Header: pktA.Header, Payload: gotA})
 	}
-	return m
+	if okB {
+		pool.Put(frame.Packet{Header: pktB.Header, Payload: gotB})
+	}
+
+	// Slot 3: coded broadcast whenever the pool has a pair.
+	a, b, have := pool.TakePair(alice.ID, bob.ID, bob.ID, alice.ID)
+	if !have {
+		// An uplink loss starves the coding opportunity; the missing
+		// counterpart is lost outright (no retransmission modeling,
+		// matching the other schemes).
+		m.Lost += 2 - boolToInt(okA) - boolToInt(okB)
+		return
+	}
+	coded, err := cope.Encode(router.ID, router.NextSeq(), a, b)
+	if err != nil {
+		m.Lost += 2
+		return
+	}
+	m.TimeSamples += float64(e.frameLen + e.guard)
+	rec := router.BuildFrame(coded)
+	okToA, codedAtA := e.cleanHop(rec, ri, ai)
+	okToB, codedAtB := e.cleanHop(rec, ri, bi)
+	e.accountCOPEDecode(m, okToA, codedAtA, coded.Header, a.Payload, b.Payload)
+	e.accountCOPEDecode(m, okToB, codedAtB, coded.Header, b.Payload, a.Payload)
 }
 
 // accountCOPEDecode XORs a received coded payload with the endpoint's own
 // native payload and checks the result against the counterpart.
-func (e *env) accountCOPEDecode(m *Metrics, ok bool, codedPayload []byte, h frame.Header, own, want []byte) {
+func (e *Env) accountCOPEDecode(m *Metrics, ok bool, codedPayload []byte, h frame.Header, own, want []byte) {
 	if !ok {
 		m.Lost++
 		return
@@ -189,9 +196,41 @@ func (e *env) accountCOPEDecode(m *Metrics, ok bool, codedPayload []byte, h fram
 	m.DeliveredBits += float64(len(want) * 8)
 }
 
+// AccountCOPEDecode exposes the COPE accounting rule to out-of-package
+// scenarios.
+func (e *Env) AccountCOPEDecode(m *Metrics, ok bool, codedPayload []byte, h frame.Header, own, want []byte) {
+	e.accountCOPEDecode(m, ok, codedPayload, h, own, want)
+}
+
 func boolToInt(b bool) int {
 	if b {
 		return 1
 	}
 	return 0
+}
+
+// RunAliceBobANC simulates one run of the Fig. 1(d) schedule.
+func RunAliceBobANC(cfg Config, seed int64) Metrics {
+	return mustRun(aliceBob, SchemeANC, cfg, seed)
+}
+
+// RunAliceBobTraditional simulates one run of the Fig. 1(b) schedule
+// under the optimal MAC.
+func RunAliceBobTraditional(cfg Config, seed int64) Metrics {
+	return mustRun(aliceBob, SchemeRouting, cfg, seed)
+}
+
+// RunAliceBobCOPE simulates one run of the Fig. 1(c) schedule.
+func RunAliceBobCOPE(cfg Config, seed int64) Metrics {
+	return mustRun(aliceBob, SchemeCOPE, cfg, seed)
+}
+
+// mustRun backs the fixed-scenario Run* helpers, whose scheme is known to
+// be supported.
+func mustRun(sc Scenario, scheme Scheme, cfg Config, seed int64) Metrics {
+	m, err := NewEngine(cfg).Run(sc, scheme, seed)
+	if err != nil {
+		panic(err)
+	}
+	return m
 }

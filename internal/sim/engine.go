@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dsp"
+)
+
+// Scratch is a free list of reception sample buffers. One run of the
+// Alice–Bob exchange synthesizes three receptions of ~frame-length
+// complex-baseband samples per packet; without reuse a multi-run campaign
+// re-allocates (and re-zeroes via GC) hundreds of megabytes of slices.
+// Each campaign worker owns one Scratch and reuses it across every run it
+// executes, so the steady state allocates no sample buffers at all.
+//
+// A Scratch is not safe for concurrent use; the Engine gives each worker
+// its own.
+type Scratch struct {
+	free []dsp.Signal
+}
+
+// NewScratch returns an empty buffer pool.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// take returns a buffer with capacity at least n (contents undefined; the
+// users overwrite every sample).
+func (s *Scratch) take(n int) dsp.Signal {
+	for i, b := range s.free {
+		if cap(b) >= n {
+			last := len(s.free) - 1
+			s.free[i] = s.free[last]
+			s.free[last] = nil
+			s.free = s.free[:last]
+			return b[:n]
+		}
+	}
+	return make(dsp.Signal, n)
+}
+
+// give returns a buffer to the pool.
+func (s *Scratch) give(b dsp.Signal) {
+	if cap(b) == 0 {
+		return
+	}
+	s.free = append(s.free, b[:cap(b)])
+}
+
+// Engine runs scenarios: it owns the shared machinery every workload
+// needs — per-run seeding, channel realization and node construction
+// (via newEnv), reusable reception buffers, and the campaign worker pool
+// — while the Scenario contributes only its topology and per-slot
+// schedules.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine returns an engine running every scenario under the given
+// configuration (zero fields take the repository defaults).
+func NewEngine(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// Config returns the engine's configuration with defaults applied.
+func (eng *Engine) Config() Config { return eng.cfg }
+
+// Run executes one seeded run of a scenario under one scheme. Runs with
+// the same seed see the identical channel realization regardless of
+// scheme — the paper's "two consecutive runs in the same topology" — so
+// pairing schemes by seed is what makes gain ratios meaningful.
+func (eng *Engine) Run(sc Scenario, scheme Scheme, seed int64) (Metrics, error) {
+	return eng.RunReusing(sc, scheme, seed, NewScratch())
+}
+
+// RunReusing is Run drawing reception buffers from a caller-owned
+// Scratch, for callers that execute many runs on one goroutine.
+func (eng *Engine) RunReusing(sc Scenario, scheme Scheme, seed int64, scratch *Scratch) (Metrics, error) {
+	e := newEnv(eng.cfg, seed, sc.Build, scratch)
+	st, err := sc.Start(e, scheme)
+	if err != nil {
+		return Metrics{}, err
+	}
+	var m Metrics
+	for i := 0; i < e.cfg.Packets; i++ {
+		st.Step(i, &m)
+	}
+	return m, nil
+}
+
+// Campaign executes runs[seed][scheme] for every seed and scheme: each
+// seed is one independent run whose channel realization is shared by all
+// schemes. Runs are distributed over a worker pool (each worker reusing
+// its own Scratch) and the result matrix is indexed [seed][scheme], fully
+// deterministic regardless of scheduling.
+func (eng *Engine) Campaign(sc Scenario, schemes []Scheme, seeds []int64) ([][]Metrics, error) {
+	for _, scheme := range schemes {
+		if !HasScheme(sc, scheme) {
+			return nil, fmt.Errorf("sim: scenario %q does not support scheme %q", sc.Name(), scheme)
+		}
+	}
+	out := make([][]Metrics, len(seeds))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	var firstErr error
+	var errOnce sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scratch := NewScratch()
+			failed := false
+			for idx := range next {
+				if failed {
+					continue // keep draining so the feeder never blocks
+				}
+				row := make([]Metrics, len(schemes))
+				for j, scheme := range schemes {
+					m, err := eng.RunReusing(sc, scheme, seeds[idx], scratch)
+					if err != nil {
+						errOnce.Do(func() { firstErr = err })
+						failed = true
+						break
+					}
+					row[j] = m
+				}
+				if !failed {
+					out[idx] = row
+				}
+			}
+		}()
+	}
+	for idx := range seeds {
+		next <- idx
+	}
+	close(next)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

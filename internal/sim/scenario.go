@@ -1,0 +1,151 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Scheme identifies one of the compared transmission schemes: analog
+// network coding, traditional routing, or digital network coding (COPE).
+type Scheme string
+
+const (
+	SchemeANC     Scheme = "anc"
+	SchemeRouting Scheme = "routing"
+	SchemeCOPE    Scheme = "cope"
+)
+
+// Scenario is one simulated workload: a topology, the set of schemes
+// that apply to it, and — per scheme — the per-slot schedule that moves
+// packets through the network and charges the Metrics. The Engine owns
+// everything else (seeded RNG fan-out, channel realization, node
+// lifecycle, reception buffers, the campaign worker pool), so a Scenario
+// is exactly the part that differs between workloads.
+//
+// Implementations must be stateless across runs: all per-run state lives
+// in the Stepper that Start returns, so one Scenario value can serve many
+// concurrent campaign workers.
+type Scenario interface {
+	// Name is the registry key (ancsim -scenario=<name>).
+	Name() string
+	// Description is a one-line summary for listings.
+	Description() string
+	// Schemes lists the schemes the scenario supports, ANC first.
+	Schemes() []Scheme
+	// Build realizes the scenario's topology for one run.
+	Build(cfg topology.Config, rng *rand.Rand) *topology.Graph
+	// Start binds a scheme's schedule to one run's environment. The
+	// returned Stepper is invoked Config().Packets times.
+	Start(e *Env, scheme Scheme) (Stepper, error)
+}
+
+// Stepper advances one run by one schedule cycle (one exchange, one
+// delivered packet, one round over the parallel pairs — whatever the
+// scenario's unit of progress is).
+type Stepper interface {
+	Step(i int, m *Metrics)
+}
+
+// StepFunc adapts a function to the Stepper interface.
+type StepFunc func(i int, m *Metrics)
+
+// Step implements Stepper.
+func (f StepFunc) Step(i int, m *Metrics) { f(i, m) }
+
+// simpleScenario implements Scenario from a builder plus one schedule
+// constructor per scheme. All scenarios in this package are built from it.
+type simpleScenario struct {
+	name  string
+	desc  string
+	build func(topology.Config, *rand.Rand) *topology.Graph
+	order []Scheme
+	start map[Scheme]func(*Env) StepFunc
+}
+
+func (s *simpleScenario) Name() string        { return s.name }
+func (s *simpleScenario) Description() string { return s.desc }
+
+func (s *simpleScenario) Schemes() []Scheme {
+	out := make([]Scheme, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+func (s *simpleScenario) Build(cfg topology.Config, rng *rand.Rand) *topology.Graph {
+	return s.build(cfg, rng)
+}
+
+func (s *simpleScenario) Start(e *Env, scheme Scheme) (Stepper, error) {
+	mk, ok := s.start[scheme]
+	if !ok {
+		return nil, fmt.Errorf("sim: scenario %q does not support scheme %q", s.name, scheme)
+	}
+	return mk(e), nil
+}
+
+// HasScheme reports whether a scenario supports a scheme.
+func HasScheme(sc Scenario, scheme Scheme) bool {
+	for _, s := range sc.Schemes() {
+		if s == scheme {
+			return true
+		}
+	}
+	return false
+}
+
+// --- registry ---
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the registry under its name. Registering a
+// duplicate name panics: scenario names are CLI-facing identifiers and a
+// silent overwrite would make `ancsim -scenario=<name>` ambiguous.
+func Register(sc Scenario) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	name := sc.Name()
+	if name == "" {
+		panic("sim: scenario with empty name")
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("sim: duplicate scenario %q", name))
+	}
+	registry[name] = sc
+}
+
+// LookupScenario returns the registered scenario with the given name.
+func LookupScenario(name string) (Scenario, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// MustScenario returns a registered scenario or panics; for the paper
+// scenarios this package registers itself.
+func MustScenario(name string) Scenario {
+	sc, ok := LookupScenario(name)
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown scenario %q", name))
+	}
+	return sc
+}
+
+// Scenarios returns every registered scenario sorted by name.
+func Scenarios() []Scenario {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}

@@ -5,6 +5,14 @@
 // reception at complex-baseband sample level, runs the full receiver
 // pipelines, and accounts throughput, overlap, and bit error rates.
 //
+// The evaluation is organized as a pluggable scenario engine: a Scenario
+// contributes a topology and per-slot schedules, the Engine owns the
+// shared machinery (seeded RNG fan-out, channel realization, node
+// lifecycle, reusable reception buffers, the campaign worker pool), and
+// the registry makes scenarios selectable by name. The paper's three
+// topologies are Scenario implementations like any other; see Scenario,
+// Engine and Register.
+//
 // Two calibration constants connect simulated time accounting to the
 // paper's testbed (see DESIGN.md and EXPERIMENTS.md):
 //
@@ -22,6 +30,7 @@ import (
 	"math/rand"
 
 	"repro/internal/bits"
+	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/dsp"
 	"repro/internal/fec"
@@ -31,6 +40,10 @@ import (
 	"repro/internal/radio"
 	"repro/internal/topology"
 )
+
+// cleanLead is the small lead-in of a single-transmission reception: the
+// receiver starts listening this many samples before the packet.
+const cleanLead = 100
 
 // Config parameterizes one experiment run.
 type Config struct {
@@ -151,8 +164,12 @@ func (m Metrics) MeanOverlap() float64 {
 	return s / float64(len(m.Overlaps))
 }
 
-// env is the assembled machinery for one run.
-type env struct {
+// Env is the assembled machinery for one run: the modem, the per-run
+// channel realization, the node transceivers and the shared reception
+// scratch buffers. Scenario schedules run against it — the exported
+// methods below are the vocabulary a Scenario's Stepper composes its
+// per-slot schedule from.
+type Env struct {
 	cfg        Config
 	rng        *rand.Rand
 	modem      *msk.Modem
@@ -162,11 +179,17 @@ type env struct {
 	frameLen   int // samples per frame
 	guard      int
 	tailPad    int
+	scratch    *Scratch
+	noiseSrc   *dsp.NoiseSource
 }
 
-// newEnv builds nodes and a fresh channel realization for one run. The
+// newEnv builds nodes and a fresh channel realization for one run,
+// drawing reception buffers from scratch (nil for a private pool). The
 // node IDs are their topology indices plus one (ID 0 is reserved).
-func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *topology.Graph) *env {
+func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *topology.Graph, scratch *Scratch) *Env {
+	if scratch == nil {
+		scratch = NewScratch()
+	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(seed))
 	modem := msk.New(msk.WithSamplesPerSymbol(cfg.SamplesPerSymbol))
@@ -184,7 +207,7 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 	}
 	L := modem.NumSamples(frame.FrameBits(cfg.PayloadBytes))
 	window := 4 * cfg.SamplesPerSymbol * 8
-	return &env{
+	return &Env{
 		cfg:        cfg,
 		rng:        rng,
 		modem:      modem,
@@ -194,19 +217,106 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 		frameLen:   L,
 		guard:      mac.Guard(cfg.GuardFrac, L),
 		tailPad:    4 * window,
+		scratch:    scratch,
+		noiseSrc:   dsp.NewNoiseSource(floor, 0),
 	}
 }
 
-// noise returns a fresh deterministic noise source for one reception.
-func (e *env) noise() *dsp.NoiseSource {
-	return dsp.NewNoiseSource(e.noiseFloor, e.rng.Int63())
+// noise returns a deterministic noise source for one reception. The
+// underlying generator is reused across receptions; every call rewinds it
+// onto a fresh stream drawn from the run RNG, so the samples match what a
+// newly allocated source would produce.
+func (e *Env) noise() *dsp.NoiseSource {
+	e.noiseSrc.Reseed(e.rng.Int63())
+	return e.noiseSrc
 }
 
 // payload draws a random payload.
-func (e *env) payload() []byte {
+func (e *Env) payload() []byte {
 	p := make([]byte, e.cfg.PayloadBytes)
 	e.rng.Read(p)
 	return p
+}
+
+// receive synthesizes one reception into a scratch buffer: the delayed
+// union of the transmissions, tail padding, and this receiver's thermal
+// noise. Release the returned signal once it has been decoded.
+func (e *Env) receive(txs ...channel.Transmission) dsp.Signal {
+	buf := e.scratch.take(channel.ReceiveLen(e.tailPad, txs...))
+	return channel.ReceiveInto(buf, e.noise(), e.tailPad, txs...)
+}
+
+// release returns a reception buffer to the scratch pool. The decoder
+// does not retain reception samples past Decode, so releasing after the
+// slot's decodes is safe.
+func (e *Env) release(sig dsp.Signal) { e.scratch.give(sig) }
+
+// --- the exported scenario-facing surface ---
+
+// Config returns the run configuration with defaults applied.
+func (e *Env) Config() Config { return e.cfg }
+
+// RNG returns the run's random source. Every random choice a schedule
+// makes must come from it (or from streams seeded by it) to keep runs
+// reproducible and channel realizations identical across compared schemes.
+func (e *Env) RNG() *rand.Rand { return e.rng }
+
+// Graph returns the run's channel realization.
+func (e *Env) Graph() *topology.Graph { return e.graph }
+
+// Node returns the transceiver at a topology index.
+func (e *Env) Node(i int) *radio.Node { return e.nodes[i] }
+
+// NumNodes returns the node count.
+func (e *Env) NumNodes() int { return len(e.nodes) }
+
+// FrameLen returns the on-air sample count of one frame.
+func (e *Env) FrameLen() int { return e.frameLen }
+
+// GuardSamples returns the per-transmission turnaround overhead in samples.
+func (e *Env) GuardSamples() int { return e.guard }
+
+// Payload draws a fresh random payload from the run RNG.
+func (e *Env) Payload() []byte { return e.payload() }
+
+// DrawDelay draws the §7.2 random start offset of the second of two
+// triggered transmissions.
+func (e *Env) DrawDelay() int { return e.cfg.Delay.Draw(e.rng) }
+
+// Receive synthesizes one reception (see receive). Pass it to a node's
+// Receive/Overhear and then Release it.
+func (e *Env) Receive(txs ...channel.Transmission) dsp.Signal { return e.receive(txs...) }
+
+// Release returns a Receive buffer to the scratch pool.
+func (e *Env) Release(sig dsp.Signal) { e.release(sig) }
+
+// CleanHop transmits a frame over one link and decodes it at the far end.
+func (e *Env) CleanHop(rec frame.SentRecord, from, to int) (ok bool, payload []byte) {
+	return e.cleanHop(rec, from, to)
+}
+
+// AccountANCDecode decodes an interfered reception at a node and charges
+// goodput/loss against the wanted frame (see accountANCDecode).
+func (e *Env) AccountANCDecode(m *Metrics, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
+	e.accountANCDecode(m, n, rx, wanted)
+}
+
+// RecordOverlap appends the §11.4 overlap fraction of a collision with
+// the drawn start offset delta.
+func (e *Env) RecordOverlap(m *Metrics, delta int) {
+	m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
+}
+
+// ChargeCleanSlots charges air time for k sequential single-signal
+// transmissions (frame plus turnaround guard each).
+func (e *Env) ChargeCleanSlots(m *Metrics, k int) {
+	m.TimeSamples += float64(k * (e.frameLen + e.guard))
+}
+
+// ChargeCollisionSlots charges air time for k slots that each carry the
+// union of a collision whose second transmission started delta late.
+func (e *Env) ChargeCollisionSlots(m *Metrics, k, delta int) {
+	m.TimeSamples += float64(k * (delta + e.frameLen + e.guard))
 }
 
 // payloadBER compares the payload section (payload bits + CRC) of a
@@ -232,18 +342,19 @@ func payloadBER(truth, got []byte, payloadBytes int) float64 {
 }
 
 // newEnvForTest exposes derived run parameters to tests.
-func newEnvForTest(cfg Config, seed int64) *env {
-	return newEnv(cfg, seed, topology.AliceBob)
+func newEnvForTest(cfg Config, seed int64) *Env {
+	return newEnv(cfg, seed, topology.AliceBob, nil)
 }
 
 // cleanHop transmits a frame over one link and decodes it at the far end.
-func (e *env) cleanHop(rec frame.SentRecord, from, to int) (ok bool, payload []byte) {
+func (e *Env) cleanHop(rec frame.SentRecord, from, to int) (ok bool, payload []byte) {
 	link, inRange := e.graph.Link(from, to)
 	if !inRange {
 		return false, nil
 	}
-	rx := chanReceive(e, link, rec, 100)
+	rx := e.receive(channel.Transmission{Signal: rec.Samples, Link: link, Delay: cleanLead})
 	res, err := e.nodes[to].Receive(rx)
+	e.release(rx)
 	if err != nil || !res.BodyOK {
 		return false, nil
 	}

@@ -24,7 +24,7 @@ type SIRPoint struct {
 // channels use the same mean gain so the transmit-power ratio equals the
 // received-power ratio.
 func RunSIRPoint(cfg Config, seed int64, sirDB float64) SIRPoint {
-	e := newEnv(cfg, seed, topology.AliceBob)
+	e := newEnv(cfg, seed, topology.AliceBob, nil)
 	alice, bob := e.nodes[0], e.nodes[2]
 	// Equalize the uplink gains: Fig. 13 varies only transmit power.
 	upA, _ := e.graph.Link(topology.Alice, topology.Router)

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"repro/internal/cope"
+	"repro/internal/topology"
+)
+
+// xCross drives the X schedules over an arbitrary topology graph: the
+// Fig. 11 "X" with an Alice–Bob exchange hanging off the same center
+// router as cross traffic. Each cycle runs one X round (two crossing
+// unidirectional flows, overhearing and all) followed by one two-way
+// exchange, so the router alternates between relaying strangers' crossing
+// packets and triggering a bidirectional pair — the mixed workload a real
+// mesh router sees. Works because stepXANC/COPE/Traditional address nodes
+// through the topology.X* indices, which topology.XCross preserves.
+var xCross = &simpleScenario{
+	name:  "x-cross",
+	desc:  "Fig. 11 X plus an Alice–Bob pair as cross traffic at the same router",
+	build: topology.XCross,
+	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
+	start: map[Scheme]func(*Env) StepFunc{
+		SchemeANC: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepXANC(e, m)
+				stepAliceBobANC(e, m, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
+			}
+		},
+		SchemeRouting: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepXTraditional(e, m)
+				stepAliceBobTraditional(e, m, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
+			}
+		},
+		SchemeCOPE: func(e *Env) StepFunc {
+			pool := cope.NewPool()
+			return func(i int, m *Metrics) {
+				stepXCOPE(e, m)
+				stepAliceBobCOPE(e, m, pool, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
+			}
+		},
+	},
+}
+
+func init() { Register(xCross) }
+
+// XCross returns the registered cross-traffic X scenario.
+func XCross() Scenario { return xCross }

@@ -53,7 +53,11 @@ func DefaultConfig() Config {
 	}
 }
 
-func newGraph(n int, names []string, cfg Config, rng *rand.Rand) *Graph {
+// New builds an empty graph of n nodes: each node draws its oscillator
+// offset, no links yet. Together with Connect/ConnectBoth this is the
+// generic builder custom scenarios use to realize arbitrary networks with
+// the same per-run channel randomization as the canonical topologies.
+func New(n int, names []string, cfg Config, rng *rand.Rand) *Graph {
 	g := &Graph{
 		N:     n,
 		names: names,
@@ -66,16 +70,16 @@ func newGraph(n int, names []string, cfg Config, rng *rand.Rand) *Graph {
 	return g
 }
 
-// connect adds a directed link i→j with the given mean power gain.
-func (g *Graph) connect(i, j int, mean, jitterDB float64, rng *rand.Rand) {
+// Connect adds a directed link i→j with the given mean power gain.
+func (g *Graph) Connect(i, j int, mean, jitterDB float64, rng *rand.Rand) {
 	g.links[[2]int{i, j}] = channel.RandomLink(rng, mean, jitterDB)
 }
 
-// connectBoth adds links in both directions (independent realizations —
+// ConnectBoth adds links in both directions (independent realizations —
 // the paper assumes similar, not identical, channels).
-func (g *Graph) connectBoth(i, j int, mean, jitterDB float64, rng *rand.Rand) {
-	g.connect(i, j, mean, jitterDB, rng)
-	g.connect(j, i, mean, jitterDB, rng)
+func (g *Graph) ConnectBoth(i, j int, mean, jitterDB float64, rng *rand.Rand) {
+	g.Connect(i, j, mean, jitterDB, rng)
+	g.Connect(j, i, mean, jitterDB, rng)
 }
 
 // Link returns the directed channel i→j with the relative carrier offset
@@ -113,9 +117,9 @@ const (
 // AliceBob builds the two-way relay of Fig. 1: Alice and Bob each reach
 // the router but not each other.
 func AliceBob(cfg Config, rng *rand.Rand) *Graph {
-	g := newGraph(3, []string{"alice", "router", "bob"}, cfg, rng)
-	g.connectBoth(Alice, Router, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
-	g.connectBoth(Bob, Router, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g := New(3, []string{"alice", "router", "bob"}, cfg, rng)
+	g.ConnectBoth(Alice, Router, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.ConnectBoth(Bob, Router, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
 	return g
 }
 
@@ -132,10 +136,10 @@ const (
 // full strength — they are adjacent — while N1 and N4 are out of range of
 // each other).
 func Chain(cfg Config, rng *rand.Rand) *Graph {
-	g := newGraph(4, []string{"n1", "n2", "n3", "n4"}, cfg, rng)
-	g.connectBoth(ChainN1, ChainN2, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
-	g.connectBoth(ChainN2, ChainN3, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
-	g.connectBoth(ChainN3, ChainN4, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g := New(4, []string{"n1", "n2", "n3", "n4"}, cfg, rng)
+	g.ConnectBoth(ChainN1, ChainN2, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.ConnectBoth(ChainN2, ChainN3, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.ConnectBoth(ChainN3, ChainN4, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
 	return g
 }
 
@@ -154,15 +158,69 @@ const (
 // myself" knowledge), while the opposite-corner cross paths are weak
 // interference that occasionally corrupts the overhearing (§11.5).
 func X(cfg Config, rng *rand.Rand) *Graph {
-	g := newGraph(5, []string{"n1", "n2", "n3", "n4", "router"}, cfg, rng)
+	g := New(5, []string{"n1", "n2", "n3", "n4", "router"}, cfg, rng)
+	connectXLinks(g, cfg, rng)
+	return g
+}
+
+// connectXLinks realizes the Fig. 11 link set on a graph whose first five
+// indices follow the X1..X4, XRouter layout.
+func connectXLinks(g *Graph, cfg Config, rng *rand.Rand) {
 	for _, edge := range []int{X1, X2, X3, X4} {
-		g.connectBoth(edge, XRouter, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+		g.ConnectBoth(edge, XRouter, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
 	}
 	// Overhearing links.
-	g.connect(X1, X2, cfg.OverhearPowerGain, cfg.GainJitterDB, rng)
-	g.connect(X3, X4, cfg.OverhearPowerGain, cfg.GainJitterDB, rng)
+	g.Connect(X1, X2, cfg.OverhearPowerGain, cfg.GainJitterDB, rng)
+	g.Connect(X3, X4, cfg.OverhearPowerGain, cfg.GainJitterDB, rng)
 	// Weak cross interference.
-	g.connect(X3, X2, cfg.CrossPowerGain, cfg.GainJitterDB, rng)
-	g.connect(X1, X4, cfg.CrossPowerGain, cfg.GainJitterDB, rng)
+	g.Connect(X3, X2, cfg.CrossPowerGain, cfg.GainJitterDB, rng)
+	g.Connect(X1, X4, cfg.CrossPowerGain, cfg.GainJitterDB, rng)
+}
+
+// PairBase returns the node index of pair p's first node in a
+// ParallelPairs graph; p's alice, router and bob sit at PairBase(p),
+// PairBase(p)+1 and PairBase(p)+2.
+func PairBase(p int) int { return 3 * p }
+
+// ParallelPairs returns a builder for k disjoint Alice–Bob relay cells
+// sharing one band: pair p occupies indices 3p (alice), 3p+1 (router) and
+// 3p+2 (bob), with no links between cells — the cells only compete for
+// air time, which the scenario's schedule divides among them.
+func ParallelPairs(k int) func(Config, *rand.Rand) *Graph {
+	if k < 1 {
+		panic(fmt.Sprintf("topology: ParallelPairs needs k ≥ 1, got %d", k))
+	}
+	return func(cfg Config, rng *rand.Rand) *Graph {
+		names := make([]string, 0, 3*k)
+		for p := 0; p < k; p++ {
+			names = append(names,
+				fmt.Sprintf("alice%d", p), fmt.Sprintf("router%d", p), fmt.Sprintf("bob%d", p))
+		}
+		g := New(3*k, names, cfg, rng)
+		for p := 0; p < k; p++ {
+			base := PairBase(p)
+			g.ConnectBoth(base, base+1, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+			g.ConnectBoth(base+2, base+1, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+		}
+		return g
+	}
+}
+
+// Node indices for the cross-traffic "X" variant: the first five match
+// the X topology so the X schedules apply unchanged, and an Alice–Bob
+// pair hangs off the same center router as cross traffic.
+const (
+	XCrossAlice = 5
+	XCrossBob   = 6
+)
+
+// XCross builds the Fig. 11 "X" with an additional two-way exchange
+// through the same center router: five X nodes plus alice and bob, all
+// competing for the router's air time.
+func XCross(cfg Config, rng *rand.Rand) *Graph {
+	g := New(7, []string{"n1", "n2", "n3", "n4", "router", "alice", "bob"}, cfg, rng)
+	connectXLinks(g, cfg, rng)
+	g.ConnectBoth(XCrossAlice, XRouter, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.ConnectBoth(XCrossBob, XRouter, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
 	return g
 }

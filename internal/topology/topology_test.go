@@ -109,3 +109,58 @@ func TestNames(t *testing.T) {
 		t.Errorf("out-of-range name = %q", g.Name(99))
 	}
 }
+
+func TestParallelPairsConnectivity(t *testing.T) {
+	g := ParallelPairs(3)(DefaultConfig(), rand.New(rand.NewSource(2)))
+	if g.N != 9 {
+		t.Fatalf("N = %d, want 9", g.N)
+	}
+	for p := 0; p < 3; p++ {
+		base := PairBase(p)
+		for _, pair := range [][2]int{{base, base + 1}, {base + 2, base + 1}} {
+			if !g.InRange(pair[0], pair[1]) || !g.InRange(pair[1], pair[0]) {
+				t.Errorf("pair %d: missing link %v", p, pair)
+			}
+		}
+		// Cells are isolated: no link into the next cell.
+		if p < 2 && (g.InRange(base, base+3) || g.InRange(base+1, base+4)) {
+			t.Errorf("pair %d leaks into pair %d", p, p+1)
+		}
+	}
+}
+
+func TestXCrossConnectivity(t *testing.T) {
+	g := XCross(DefaultConfig(), rand.New(rand.NewSource(3)))
+	if g.N != 7 {
+		t.Fatalf("N = %d, want 7", g.N)
+	}
+	// The X core is intact (overhearing and cross links included).
+	for _, l := range [][2]int{{X1, XRouter}, {X3, XRouter}, {X1, X2}, {X3, X4}, {X3, X2}, {X1, X4}} {
+		if !g.InRange(l[0], l[1]) {
+			t.Errorf("missing X link %v", l)
+		}
+	}
+	// The cross-traffic pair reaches the shared router but not the X edge.
+	for _, l := range [][2]int{{XCrossAlice, XRouter}, {XCrossBob, XRouter}} {
+		if !g.InRange(l[0], l[1]) || !g.InRange(l[1], l[0]) {
+			t.Errorf("missing cross-pair link %v", l)
+		}
+	}
+	if g.InRange(XCrossAlice, X1) || g.InRange(XCrossAlice, XCrossBob) {
+		t.Error("cross-traffic pair has spurious links")
+	}
+}
+
+func TestCustomBuilderDeterministic(t *testing.T) {
+	build := func(seed int64) *Graph {
+		rng := rand.New(rand.NewSource(seed))
+		g := New(2, []string{"a", "b"}, DefaultConfig(), rng)
+		g.ConnectBoth(0, 1, 0.4, 2, rng)
+		return g
+	}
+	a, _ := build(5).Link(0, 1)
+	b, _ := build(5).Link(0, 1)
+	if a != b {
+		t.Error("same seed produced different custom links")
+	}
+}

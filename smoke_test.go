@@ -1,0 +1,101 @@
+package repro
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/capacity"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// TestBenchSmoke runs each figure benchmark body once with real
+// assertions, so `go test .` exercises the whole harness instead of
+// reporting "no tests to run". The benchmarks themselves only report
+// metrics; this is where their outputs are checked.
+func TestBenchSmoke(t *testing.T) {
+	eng := sim.NewEngine(benchSim())
+	scratch := sim.NewScratch()
+
+	// Fig. 7: capacity bounds and the ~8 dB crossover.
+	pts := capacity.Sweep(0, 55, 1)
+	if len(pts) == 0 {
+		t.Fatal("fig7: empty capacity sweep")
+	}
+	if last := pts[len(pts)-1]; !(last.Gain > 1) {
+		t.Errorf("fig7: ANC does not overtake routing at 55 dB (gain %v)", last.Gain)
+	}
+	if x := capacity.CrossoverDB(0, 55); math.IsNaN(x) || x < 2 || x > 20 {
+		t.Errorf("fig7: crossover %v dB, want ≈ 8", x)
+	}
+
+	// Figs. 9a, 10a, 12a: one paired gain iteration each.
+	for _, fig := range []struct {
+		name string
+		sc   sim.Scenario
+	}{
+		{"fig9a", sim.AliceBob()},
+		{"fig10a", sim.XTopo()},
+		{"fig12a", sim.Chain()},
+	} {
+		a, tr, c := figureIteration(eng, scratch, fig.sc, 1000)
+		if a.TimeSamples <= 0 || tr.TimeSamples <= 0 {
+			t.Fatalf("%s: degenerate run", fig.name)
+		}
+		if g := a.Throughput() / tr.Throughput(); g <= 1 {
+			t.Errorf("%s: ANC gain over routing %.3f ≤ 1", fig.name, g)
+		}
+		if sim.HasScheme(fig.sc, sim.SchemeCOPE) && c.TimeSamples <= 0 {
+			t.Errorf("%s: degenerate COPE run", fig.name)
+		}
+	}
+
+	// Figs. 9b, 10b, 12b: one BER iteration each.
+	for _, fig := range []struct {
+		name string
+		sc   sim.Scenario
+	}{
+		{"fig9b", sim.AliceBob()},
+		{"fig10b", sim.XTopo()},
+		{"fig12b", sim.Chain()},
+	} {
+		ber := stats.NewSample(nil)
+		berIteration(eng, scratch, fig.sc, 2000, ber)
+		if ber.Len() == 0 {
+			t.Errorf("%s: no BER samples", fig.name)
+		}
+		if ber.Mean() < 0 || ber.Mean() > 0.2 || math.IsNaN(ber.Mean()) {
+			t.Errorf("%s: implausible mean BER %v", fig.name, ber.Mean())
+		}
+	}
+
+	// Fig. 13: one SIR sweep.
+	sweep := sim.SIRSweep(sim.Config{Packets: 4}, 5000, -3, 4, 1)
+	if len(sweep) != 8 {
+		t.Fatalf("fig13: %d points, want 8", len(sweep))
+	}
+	for _, p := range sweep {
+		if math.IsNaN(p.MeanBER) {
+			t.Errorf("fig13: NaN BER at %v dB", p.SIRdB)
+		}
+	}
+
+	// Summary table text.
+	smallOpts := experiments.Options{Runs: 2, Sim: sim.Config{Packets: 4}, Seed: 7}
+	if out := experiments.Summary(smallOpts); !strings.Contains(out, "alice-bob") {
+		t.Errorf("summary output missing topology row:\n%s", out)
+	}
+
+	// Ablation tables render and are non-trivial.
+	for name, out := range map[string]string{
+		"matcher":     experiments.AblationMatcher(experiments.Options{Runs: 1, Sim: sim.Config{Packets: 2}, Seed: 5}),
+		"subtraction": experiments.AblationSubtraction(3),
+		"estimator":   experiments.AblationEstimator(4),
+	} {
+		if strings.Count(out, "\n") < 4 {
+			t.Errorf("ablation %s output too short:\n%s", name, out)
+		}
+	}
+}
