@@ -141,6 +141,16 @@ func NewNode(id uint16, m PhyModem, noiseFloor float64, opts ...NodeOption) *Nod
 	return radio.NewNode(id, m, noiseFloor, opts...)
 }
 
+// Workspace holds the reusable buffers one decode pipeline needs. Attach
+// one to every node a goroutine drives (Node.SetWorkspace) and its
+// steady-state decodes allocate nothing beyond the returned Result. One
+// workspace per goroutine — sharing across goroutines races.
+type Workspace = core.Workspace
+
+// NewWorkspace returns an empty decode workspace; buffers grow on first
+// use and are retained.
+func NewWorkspace() *Workspace { return core.NewWorkspace() }
+
 // SentRecord is a transmission a node remembers so it can later cancel it
 // out of an interfered reception.
 type SentRecord = frame.SentRecord
@@ -174,6 +184,12 @@ func Receive(noise *NoiseSource, tailPad int, txs ...Transmission) Signal {
 // capacity analysis quantifies.
 func AmplifyForward(rx Signal, power float64) Signal {
 	return channel.AmplifyTo(rx, power)
+}
+
+// AmplifyForwardInPlace is AmplifyForward overwriting rx instead of
+// allocating, for relays that no longer need the raw reception.
+func AmplifyForwardInPlace(rx Signal, power float64) Signal {
+	return channel.AmplifyToInPlace(rx, power)
 }
 
 // RandomLink draws a channel realization: mean power gain with uniform

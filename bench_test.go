@@ -332,7 +332,10 @@ func BenchmarkEstimateAmplitudes(b *testing.B) {
 
 // BenchmarkInterferenceDecode measures one full Algorithm 1 decode of a
 // relayed Alice–Bob collision (detection, alignment, amplitude
-// estimation, phase matching, deframing).
+// estimation, phase matching, deframing). The decoder persists across
+// iterations, so this is the workspace-reusing steady state — the B/op
+// and allocs/op columns are the numbers the core alloc-regression tests
+// pin. BenchmarkInterferenceDecodeFresh below is the contrast case.
 func BenchmarkInterferenceDecode(b *testing.B) {
 	rng := rand.New(rand.NewSource(5))
 	m := msk.New()
@@ -355,6 +358,39 @@ func BenchmarkInterferenceDecode(b *testing.B) {
 	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(rx, buf.Get); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterferenceDecodeFresh is BenchmarkInterferenceDecode with a
+// new decoder (and therefore a cold workspace) per iteration — what every
+// decode paid before buffer reuse. The gap between the two benchmarks'
+// B/op is the win the workspace discipline buys.
+func BenchmarkInterferenceDecodeFresh(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	m := msk.New()
+	payloadA := make([]byte, 128)
+	payloadB := make([]byte, 128)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	pktA := frame.NewPacket(1, 2, 1, payloadA)
+	pktB := frame.NewPacket(2, 1, 1, payloadB)
+	bitsA := frame.Marshal(pktA)
+	sigA := m.Modulate(bitsA)
+	sigB := m.Modulate(frame.Marshal(pktB))
+
+	mix := sigA.Scale(complex(0.8, 0)).Add(applyCFO(sigB, 0.01).Delay(1200))
+	rx := dsp.NewNoiseSource(1e-3, 6).AddTo(mix.PadTo(len(mix) + 500))
+
+	buf := frame.NewSentBuffer(0)
+	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	cfg := core.DefaultConfig(m, 1e-3)
+	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := core.NewDecoder(cfg)
 		if _, err := dec.Decode(rx, buf.Get); err != nil {
 			b.Fatal(err)
 		}

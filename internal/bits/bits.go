@@ -14,13 +14,19 @@ import "fmt"
 // FromBytes expands packed bytes into a bit slice, most significant bit
 // first. The result has len(data)*8 elements, each 0 or 1.
 func FromBytes(data []byte) []byte {
-	out := make([]byte, 0, len(data)*8)
-	for _, b := range data {
-		for i := 7; i >= 0; i-- {
-			out = append(out, (b>>uint(i))&1)
+	out := make([]byte, len(data)*8)
+	PutBytes(out, data)
+	return out
+}
+
+// PutBytes writes the bits of data MSB-first into dst, which must hold at
+// least len(data)*8 entries.
+func PutBytes(dst []byte, data []byte) {
+	for j, b := range data {
+		for i := 0; i < 8; i++ {
+			dst[j*8+i] = (b >> uint(7-i)) & 1
 		}
 	}
-	return out
 }
 
 // ToBytes packs a bit slice (MSB first) into bytes. The bit slice length
@@ -53,10 +59,15 @@ func MustToBytes(bs []byte) []byte {
 // FromUint16 returns the 16 bits of v, MSB first.
 func FromUint16(v uint16) []byte {
 	out := make([]byte, 16)
-	for i := 0; i < 16; i++ {
-		out[i] = byte(v>>uint(15-i)) & 1
-	}
+	PutUint16(out, v)
 	return out
+}
+
+// PutUint16 writes v's 16 bits MSB-first into dst.
+func PutUint16(dst []byte, v uint16) {
+	for i := 0; i < 16; i++ {
+		dst[i] = byte(v>>uint(15-i)) & 1
+	}
 }
 
 // ToUint16 interprets the first 16 elements of bs (MSB first) as a uint16.
@@ -72,10 +83,15 @@ func ToUint16(bs []byte) uint16 {
 // FromUint32 returns the 32 bits of v, MSB first.
 func FromUint32(v uint32) []byte {
 	out := make([]byte, 32)
-	for i := 0; i < 32; i++ {
-		out[i] = byte(v>>uint(31-i)) & 1
-	}
+	PutUint32(out, v)
 	return out
+}
+
+// PutUint32 writes v's 32 bits MSB-first into dst.
+func PutUint32(dst []byte, v uint32) {
+	for i := 0; i < 32; i++ {
+		dst[i] = byte(v>>uint(31-i)) & 1
+	}
 }
 
 // ToUint32 interprets the first 32 elements of bs (MSB first) as a uint32.
@@ -110,6 +126,14 @@ func Reverse(bs []byte) []byte {
 		out[len(bs)-1-i] = b
 	}
 	return out
+}
+
+// ReverseInPlace reverses bs in place and returns it.
+func ReverseInPlace(bs []byte) []byte {
+	for i, j := 0, len(bs)-1; i < j; i, j = i+1, j-1 {
+		bs[i], bs[j] = bs[j], bs[i]
+	}
+	return bs
 }
 
 // Equal reports whether two bit slices are identical in length and content.

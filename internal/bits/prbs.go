@@ -18,10 +18,7 @@ type PRBS struct {
 // NewPRBS returns a generator seeded with the given value. A zero seed is
 // replaced with 1 because the all-zero LFSR state is absorbing.
 func NewPRBS(seed uint32) *PRBS {
-	if seed == 0 {
-		seed = 1
-	}
-	return &PRBS{state: seed & 0x7FFFFFFF}
+	return &PRBS{state: seedState(seed)}
 }
 
 // Next returns the next bit (0 or 1) of the sequence.
@@ -49,12 +46,26 @@ const WhitenSeed uint32 = 0x1ACFFC1D
 // Whiten XORs bs with the PRBS stream from seed and returns the result.
 // Whitening is an involution: Whiten(Whiten(x, s), s) == x.
 func Whiten(bs []byte, seed uint32) []byte {
-	p := NewPRBS(seed)
-	out := make([]byte, len(bs))
+	return WhitenTo(make([]byte, len(bs)), bs, seed)
+}
+
+// WhitenTo is Whiten writing into dst, which must hold at least len(bs)
+// entries; it returns dst trimmed to the output. dst may alias bs, so
+// WhitenTo(bs, bs, seed) whitens in place.
+func WhitenTo(dst, bs []byte, seed uint32) []byte {
+	p := PRBS{state: seedState(seed)}
 	for i, b := range bs {
-		out[i] = (b ^ p.Next()) & 1
+		dst[i] = (b ^ p.Next()) & 1
 	}
-	return out
+	return dst[:len(bs)]
+}
+
+// seedState maps a seed to the LFSR state NewPRBS would start from.
+func seedState(seed uint32) uint32 {
+	if seed == 0 {
+		seed = 1
+	}
+	return seed & 0x7FFFFFFF
 }
 
 // PilotSeed seeds the 64-bit pilot sequence of §7.2. Like WhitenSeed it is

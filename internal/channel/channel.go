@@ -138,6 +138,18 @@ func AmplifyTo(s dsp.Signal, p float64) dsp.Signal {
 	return s.ScaleTo(p)
 }
 
+// AmplifyToInPlace is AmplifyTo overwriting s's samples instead of
+// allocating a copy, for relays whose received buffer is no longer needed
+// once the amplified broadcast is built. A zero signal is returned
+// unchanged. Sample values equal AmplifyTo's.
+func AmplifyToInPlace(s dsp.Signal, p float64) dsp.Signal {
+	cur := s.Power()
+	if cur == 0 {
+		return s
+	}
+	return s.ScaleInPlace(complex(math.Sqrt(p/cur), 0))
+}
+
 // RandomLink draws a link with log-normal-ish gain jitter around a target
 // mean power gain and a uniform random phase. Experiments use it to give
 // every run an independent channel realization, which is what spreads the

@@ -108,9 +108,15 @@ func FindDiffAlignment(diffs []float64, exp []float64, lo, hi int) (offset int, 
 // bits in reverse order. Backward decoding (§7.4) is therefore the forward
 // pipeline applied to ConjReverse of the reception.
 func ConjReverse(s dsp.Signal) dsp.Signal {
-	out := make(dsp.Signal, len(s))
+	return ConjReverseInto(nil, s)
+}
+
+// ConjReverseInto is ConjReverse writing into dst's storage (grown when
+// too small). dst must not alias s.
+func ConjReverseInto(dst dsp.Signal, s dsp.Signal) dsp.Signal {
+	dst = growSignal(&dst, len(s))
 	for i, v := range s {
-		out[len(s)-1-i] = complex(real(v), -imag(v))
+		dst[len(s)-1-i] = complex(real(v), -imag(v))
 	}
-	return out
+	return dst
 }

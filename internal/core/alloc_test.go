@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/frame"
+	"repro/internal/msk"
+)
+
+// Steady-state allocation budgets for the decode pipeline with an attached
+// Workspace. Once the workspace buffers have grown to the reception size,
+// the only remaining allocations are the ones a caller keeps: the Result,
+// its owned WantedBits copy, and the parsed header/payload. The budgets
+// below leave a little headroom over the measured counts (small enough
+// that reintroducing even one per-sample or per-offset allocation — a
+// Demodulate clone, a per-candidate DecideDiffs, a profile rebuild —
+// blows the budget by orders of magnitude).
+const (
+	maxInterferedDecodeAllocs = 24  // measured ~8
+	maxCleanDecodeAllocs      = 24  // measured ~10
+	maxBackwardDecodeAllocs   = 40  // forward attempt + backward pass
+	maxModemIntoAllocs        = 0.5 // DemodulateInto/DecideDiffsInto: none
+)
+
+// decodeAllocs reports AllocsPerRun of one Decode against a warmed-up
+// workspace-carrying decoder.
+func decodeAllocs(t *testing.T, dec *Decoder, rx dsp.Signal, lookup KnownLookup) float64 {
+	t.Helper()
+	for i := 0; i < 2; i++ {
+		if _, err := dec.Decode(rx, lookup); err != nil {
+			t.Fatalf("warmup decode: %v", err)
+		}
+	}
+	return testing.AllocsPerRun(10, func() {
+		if _, err := dec.Decode(rx, lookup); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+	})
+}
+
+func TestDecodeInterferedSteadyStateAllocs(t *testing.T) {
+	ex := makeABExchange(t, 42, 1200, 1, 1)
+	dec := NewDecoder(abConfig(ex.modem, ex.floorA))
+	dec.SetWorkspace(NewWorkspace())
+	if allocs := decodeAllocs(t, dec, ex.rxA, ex.bufA.Get); allocs > maxInterferedDecodeAllocs {
+		t.Errorf("interfered Decode allocates %.1f objects/op in steady state, budget %d", allocs, maxInterferedDecodeAllocs)
+	}
+}
+
+func TestDecodeBackwardSteadyStateAllocs(t *testing.T) {
+	// Bob's packet starts second, so his decode runs the forward pipeline
+	// to failure and then the conjugate-reversed pass — the worst case.
+	ex := makeABExchange(t, 42, 1200, 1, 1)
+	dec := NewDecoder(abConfig(ex.modem, ex.floorB))
+	dec.SetWorkspace(NewWorkspace())
+	if allocs := decodeAllocs(t, dec, ex.rxB, ex.bufB.Get); allocs > maxBackwardDecodeAllocs {
+		t.Errorf("backward Decode allocates %.1f objects/op in steady state, budget %d", allocs, maxBackwardDecodeAllocs)
+	}
+}
+
+// TestSharedWorkspaceAcrossDecoders pins the node-lifecycle contract: many
+// decoders (one per node) attached to one workspace stay within the same
+// steady-state budget, because the buffers are shared rather than
+// re-grown per decoder.
+func TestSharedWorkspaceAcrossDecoders(t *testing.T) {
+	ex := makeABExchange(t, 7, 1100, 1, 1)
+	ws := NewWorkspace()
+	warm := NewDecoder(abConfig(ex.modem, ex.floorA))
+	warm.SetWorkspace(ws)
+	if a := decodeAllocs(t, warm, ex.rxA, ex.bufA.Get); a > maxInterferedDecodeAllocs {
+		t.Fatalf("warm decoder allocates %.1f objects/op", a)
+	}
+	fresh := NewDecoder(abConfig(ex.modem, ex.floorA))
+	fresh.SetWorkspace(ws)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := fresh.Decode(ex.rxA, ex.bufA.Get); err != nil {
+			t.Errorf("decode: %v", err)
+		}
+	})
+	if allocs > maxInterferedDecodeAllocs {
+		t.Errorf("fresh decoder on shared workspace allocates %.1f objects/op, budget %d", allocs, maxInterferedDecodeAllocs)
+	}
+}
+
+func TestTryCleanSteadyStateAllocs(t *testing.T) {
+	m := msk.New()
+	pkt := frame.NewPacket(3, 4, 9, []byte("clean-path payload for the allocation budget test"))
+	rec := frame.SentRecord{Packet: pkt, Bits: frame.Marshal(pkt)}
+	sig := m.Modulate(rec.Bits)
+	rx := dsp.NewNoiseSource(1e-3, 5).AddTo(sig.Delay(150).PadTo(len(sig) + 500))
+	dec := NewDecoder(DefaultConfig(m, 1e-3))
+	dec.SetWorkspace(NewWorkspace())
+	for i := 0; i < 2; i++ {
+		if _, err := dec.TryClean(rx); err != nil {
+			t.Fatalf("warmup TryClean: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := dec.TryClean(rx)
+		if err != nil || !res.BodyOK {
+			t.Errorf("TryClean err=%v", err)
+		}
+	})
+	if allocs > maxCleanDecodeAllocs {
+		t.Errorf("TryClean allocates %.1f objects/op in steady state, budget %d", allocs, maxCleanDecodeAllocs)
+	}
+}
+
+// TestResultOutlivesWorkspaceReuse guards the ownership contract the
+// zero-allocation path depends on: WantedBits and Payload must be copies,
+// not views into workspace buffers, so an earlier Result survives later
+// decodes bit-for-bit.
+func TestResultOutlivesWorkspaceReuse(t *testing.T) {
+	ex := makeABExchange(t, 42, 1200, 1, 1)
+	dec := NewDecoder(abConfig(ex.modem, ex.floorA))
+	dec.SetWorkspace(NewWorkspace())
+	first, err := dec.Decode(ex.rxA, ex.bufA.Get)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	snapshot := append([]byte(nil), first.WantedBits...)
+	other := makeABExchange(t, 99, 900, 1, 0.8)
+	decB := NewDecoder(abConfig(other.modem, other.floorA))
+	decB.SetWorkspace(dec.ws)
+	if _, err := decB.Decode(other.rxA, other.bufA.Get); err != nil {
+		t.Fatalf("second decode: %v", err)
+	}
+	for i, b := range snapshot {
+		if first.WantedBits[i] != b {
+			t.Fatalf("WantedBits[%d] changed after workspace reuse: %d != %d", i, first.WantedBits[i], b)
+		}
+	}
+}

@@ -35,12 +35,23 @@ var ErrAmplitude = errors.New("core: amplitude estimation failed")
 // The returned estimate has A ≥ B; callers resolve which physical signal
 // each belongs to with AssignAmplitudes.
 func EstimateAmplitudes(window dsp.Signal) (AmplitudeEstimate, error) {
+	return estimateAmplitudesWith(nil, window)
+}
+
+// estimateAmplitudesWith is EstimateAmplitudes drawing its magnitude
+// scratch from a workspace (nil for fresh allocations).
+func estimateAmplitudesWith(ws *Workspace, window dsp.Signal) (AmplitudeEstimate, error) {
 	n := len(window)
 	if n < 8 {
 		return AmplitudeEstimate{}, ErrAmplitude
 	}
 	var mu float64
-	mag2 := make([]float64, n)
+	var mag2 []float64
+	if ws == nil {
+		mag2 = make([]float64, n)
+	} else {
+		mag2 = growFloats(&ws.mag2, n)
+	}
 	for i, v := range window {
 		m := real(v)*real(v) + imag(v)*imag(v)
 		mag2[i] = m
@@ -70,7 +81,7 @@ func EstimateAmplitudes(window dsp.Signal) (AmplitudeEstimate, error) {
 		// nearly match, θ−φ sits on a sparse lattice, σ biases, and the
 		// quadratic loses its real roots. The envelope estimator below
 		// is immune to the phase distribution; fall back to it.
-		if env, err := EstimateAmplitudesEnvelope(window); err == nil {
+		if env, err := estimateEnvelopeWith(ws, window); err == nil {
 			env.Mu, env.Sig = mu, sig
 			return env, nil
 		}
@@ -90,7 +101,7 @@ func EstimateAmplitudes(window dsp.Signal) (AmplitudeEstimate, error) {
 	// (π/4-DQPSK), where sample correlation cuts the effective N. The
 	// envelope quantiles measure the A/B *ratio* far more directly, so
 	// when they are available the split comes from them, rescaled to µ.
-	if env, err := EstimateAmplitudesEnvelope(window); err == nil && env.A > 0 {
+	if env, err := estimateEnvelopeWith(ws, window); err == nil && env.A > 0 {
 		r := env.B / env.A
 		a := math.Sqrt(mu / (1 + r*r))
 		est.A, est.B = a, r*a
@@ -109,11 +120,22 @@ func EstimateAmplitudes(window dsp.Signal) (AmplitudeEstimate, error) {
 // whenever the two bit streams differ anywhere in the window. It is used
 // as a fallback (see EstimateAmplitudes) and by the estimator ablation.
 func EstimateAmplitudesEnvelope(window dsp.Signal) (AmplitudeEstimate, error) {
+	return estimateEnvelopeWith(nil, window)
+}
+
+// estimateEnvelopeWith is EstimateAmplitudesEnvelope drawing its magnitude
+// scratch from a workspace (nil for a fresh allocation).
+func estimateEnvelopeWith(ws *Workspace, window dsp.Signal) (AmplitudeEstimate, error) {
 	n := len(window)
 	if n < 64 {
 		return AmplitudeEstimate{}, ErrAmplitude
 	}
-	mags := make([]float64, n)
+	var mags []float64
+	if ws == nil {
+		mags = make([]float64, n)
+	} else {
+		mags = growFloats(&ws.mags, n)
+	}
 	for i, v := range window {
 		mags[i] = math.Hypot(real(v), imag(v))
 	}

@@ -75,7 +75,9 @@ type Result struct {
 	// WantedBits is the recovered on-air frame bit stream of the wanted
 	// signal in forward orientation, for bit-error accounting. When
 	// HeaderOK is false the stream is untrimmed and may carry garbage
-	// bits past the true frame end.
+	// bits past the true frame end. The slice is owned by the Result —
+	// never a view into decoder scratch — so it stays valid across later
+	// decodes.
 	WantedBits []byte
 	HeaderOK   bool
 	BodyOK     bool
@@ -93,8 +95,18 @@ var (
 )
 
 // Decoder runs Algorithm 1 over reception windows.
+//
+// A Decoder owns (or shares, see SetWorkspace) a Workspace of reusable
+// buffers, so it is NOT safe for concurrent use; give each goroutine its
+// own decoder and workspace.
 type Decoder struct {
 	cfg Config
+	// pilot and pilotDiffs cache the network pilot and its transmitted
+	// per-sample difference profile — both fixed protocol constants —
+	// so the head search and alignment refinement never recompute them.
+	pilot      []byte
+	pilotDiffs []float64
+	ws         *Workspace
 }
 
 // NewDecoder returns a decoder for the given configuration.
@@ -105,33 +117,54 @@ func NewDecoder(cfg Config) *Decoder {
 	if cfg.PilotMaxErrors <= 0 {
 		cfg.PilotMaxErrors = DefaultPilotMaxErrors
 	}
-	return &Decoder{cfg: cfg}
+	pilot := bits.Pilot(bits.PilotLength)
+	return &Decoder{
+		cfg:        cfg,
+		pilot:      pilot,
+		pilotDiffs: cfg.Modem.PhaseDiffs(pilot),
+	}
+}
+
+// SetWorkspace attaches a caller-owned workspace, sharing its buffers with
+// every other decoder the caller points at it (one workspace per worker
+// goroutine, see Workspace). A nil workspace reverts the decoder to a
+// lazily allocated private one.
+func (d *Decoder) SetWorkspace(ws *Workspace) { d.ws = ws }
+
+// workspace returns the attached workspace, lazily creating a private one.
+func (d *Decoder) workspace() *Workspace {
+	if d.ws == nil {
+		d.ws = NewWorkspace()
+	}
+	return d.ws
 }
 
 // Decode processes one reception window: it detects the packet, classifies
 // interference, and runs either the standard demodulator or the
 // interference decoder (forward, then backward) as Algorithm 1 prescribes.
 func (d *Decoder) Decode(rx dsp.Signal, lookup KnownLookup) (*Result, error) {
-	det := Detect(rx, d.cfg.NoiseFloor, d.cfg.Detector)
+	ws := d.workspace()
+	det := DetectWith(ws, rx, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !det.Present {
 		return nil, ErrNoPacket
 	}
 	if !det.Interfered {
-		return d.decodeClean(rx, det, false)
+		return d.decodeClean(ws, rx, det, false)
 	}
 	if lookup == nil {
 		return nil, ErrUnknown
 	}
-	res, errFwd := d.decodeInterfered(rx, det, lookup, false)
+	res, errFwd := d.decodeInterfered(ws, rx, det, lookup, false)
 	if errFwd == nil {
 		return res, nil
 	}
-	rxb := ConjReverse(rx)
-	detb := Detect(rxb, d.cfg.NoiseFloor, d.cfg.Detector)
+	rxb := ConjReverseInto(ws.conj, rx)
+	ws.conj = rxb
+	detb := DetectWith(ws, rxb, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !detb.Present || !detb.Interfered {
 		return nil, errFwd
 	}
-	res, errBwd := d.decodeInterfered(rxb, detb, lookup, true)
+	res, errBwd := d.decodeInterfered(ws, rxb, detb, lookup, true)
 	if errBwd != nil {
 		return nil, fmt.Errorf("forward: %w; backward: %v", errFwd, errBwd)
 	}
@@ -144,11 +177,12 @@ func (d *Decoder) Decode(rx dsp.Signal, lookup KnownLookup) (*Result, error) {
 // overheard packet, and the CRC flags (HeaderOK/BodyOK) report whether the
 // snoop succeeded (§11.5).
 func (d *Decoder) TryClean(rx dsp.Signal) (*Result, error) {
-	det := Detect(rx, d.cfg.NoiseFloor, d.cfg.Detector)
+	ws := d.workspace()
+	det := DetectWith(ws, rx, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !det.Present {
 		return nil, ErrNoPacket
 	}
-	return d.decodeClean(rx, det, false)
+	return d.decodeClean(ws, rx, det, false)
 }
 
 // TryCleanBackward is TryClean over the conjugated time-reversed stream:
@@ -156,12 +190,14 @@ func (d *Decoder) TryClean(rx dsp.Signal) (*Result, error) {
 // first-starting one. A snooping node uses it when the packet it wants to
 // overhear started second in a collision.
 func (d *Decoder) TryCleanBackward(rx dsp.Signal) (*Result, error) {
-	rxb := ConjReverse(rx)
-	det := Detect(rxb, d.cfg.NoiseFloor, d.cfg.Detector)
+	ws := d.workspace()
+	rxb := ConjReverseInto(ws.conj, rx)
+	ws.conj = rxb
+	det := DetectWith(ws, rxb, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !det.Present {
 		return nil, ErrNoPacket
 	}
-	return d.decodeClean(rxb, det, true)
+	return d.decodeClean(ws, rxb, det, true)
 }
 
 // PeekHeaders decodes the headers reachable without interference
@@ -170,17 +206,19 @@ func (d *Decoder) TryCleanBackward(rx dsp.Signal) (*Result, error) {
 // the pair to choose between decode, amplify-and-forward, and drop (§7.5).
 // Either pointer may be nil if that header did not decode.
 func (d *Decoder) PeekHeaders(rx dsp.Signal) (first, last *frame.Header) {
-	det := Detect(rx, d.cfg.NoiseFloor, d.cfg.Detector)
+	ws := d.workspace()
+	det := DetectWith(ws, rx, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !det.Present {
 		return nil, nil
 	}
-	if h, _, _, err := d.findHead(rx, det.Start, headLimit(det, len(rx))); err == nil {
+	if h, _, _, err := d.findHead(ws, rx, det.Start, headLimit(det, len(rx))); err == nil {
 		first = &h
 	}
-	rxb := ConjReverse(rx)
-	detb := Detect(rxb, d.cfg.NoiseFloor, d.cfg.Detector)
+	rxb := ConjReverseInto(ws.conj, rx)
+	ws.conj = rxb
+	detb := DetectWith(ws, rxb, d.cfg.NoiseFloor, d.cfg.Detector)
 	if detb.Present {
-		if h, _, _, err := d.findHead(rxb, detb.Start, headLimit(detb, len(rxb))); err == nil {
+		if h, _, _, err := d.findHead(ws, rxb, detb.Start, headLimit(detb, len(rxb))); err == nil {
 			last = &h
 		}
 	}
@@ -205,8 +243,9 @@ func headLimit(det Detection, n int) int {
 // stream. It searches all sub-symbol sample offsets because the energy
 // detector's start estimate is only window-accurate. It returns the
 // decoded header, the sample index of the frame's reference sample, and
-// the demodulated head bits from the frame start onward.
-func (d *Decoder) findHead(rx dsp.Signal, start, limit int) (frame.Header, int, []byte, error) {
+// the demodulated head bits from the frame start onward. The bits are a
+// view into workspace buffers, valid until the next decode.
+func (d *Decoder) findHead(ws *Workspace, rx dsp.Signal, start, limit int) (frame.Header, int, []byte, error) {
 	m := d.cfg.Modem
 	sps := m.SamplesPerSymbol()
 	if limit > len(rx) {
@@ -222,14 +261,14 @@ func (d *Decoder) findHead(rx dsp.Signal, start, limit int) (frame.Header, int, 
 		errs     int
 	}
 	best := candidate{errs: 1 << 30}
-	pilot := bits.Pilot(bits.PilotLength)
 	for off := 0; off < sps; off++ {
 		lo := start + off
 		if lo >= limit {
 			break
 		}
-		bs := m.Demodulate(rx[lo:limit])
-		k, errs := FindPatternScored(bs, pilot, d.cfg.PilotMaxErrors)
+		bs := m.DemodulateInto(&ws.modem, ws.headBits, rx[lo:limit])
+		ws.headBits = bs
+		k, errs := FindPatternScored(bs, d.pilot, d.cfg.PilotMaxErrors)
 		if k < 0 || errs >= best.errs {
 			continue
 		}
@@ -242,6 +281,9 @@ func (d *Decoder) findHead(rx dsp.Signal, start, limit int) (frame.Header, int, 
 		// match whose header would have failed above).
 		ref := lo + k/m.BitsPerSymbol()*sps
 		best = candidate{h: h, frameRef: ref, bits: bs[k:], errs: errs}
+		// Swap the double buffer so the next offset's demodulation does
+		// not overwrite the best candidate's bits.
+		ws.headBits, ws.bestBits = ws.bestBits, bs
 	}
 	if best.errs == 1<<30 {
 		return frame.Header{}, 0, nil, ErrNoPilot
@@ -253,7 +295,8 @@ func (d *Decoder) findHead(rx dsp.Signal, start, limit int) (frame.Header, int, 
 	ref := d.refineRef(rx, best.frameRef, limit)
 	if ref != best.frameRef {
 		best.frameRef = ref
-		bs := m.Demodulate(rx[ref:limit])
+		bs := m.DemodulateInto(&ws.modem, ws.headBits, rx[ref:limit])
+		ws.headBits = bs
 		if len(bs) > 0 {
 			best.bits = bs
 		}
@@ -264,9 +307,8 @@ func (d *Decoder) findHead(rx dsp.Signal, start, limit int) (frame.Header, int, 
 // refineRef returns the sample shift of ref (within ±1 symbol) that
 // maximizes Σ cos(observed ∆ − expected ∆) over the pilot region.
 func (d *Decoder) refineRef(rx dsp.Signal, ref, limit int) int {
-	m := d.cfg.Modem
-	sps := m.SamplesPerSymbol()
-	pilotDiffs := m.PhaseDiffs(bits.Pilot(bits.PilotLength))
+	sps := d.cfg.Modem.SamplesPerSymbol()
+	pilotDiffs := d.pilotDiffs
 	bestRef, bestScore := ref, math.Inf(-1)
 	for shift := -sps + 1; shift < sps; shift++ {
 		r := ref + shift
@@ -293,19 +335,15 @@ func (d *Decoder) refineRef(rx dsp.Signal, ref, limit int) int {
 // far more sharply than any soft correlation: a random offset produces
 // ≈32 of 64 wrong bits, the true one a handful.
 //
-// In backward orientation the stream's leading pilot is the frame's
-// mirrored tail read in reverse, i.e. the bit-reversed pilot decoded from
-// the reversed difference sequence.
-func (d *Decoder) alignWanted(m PhyModem, diffs []float64, lo, hi int, backward bool) (int, int) {
-	pilot := bits.Pilot(bits.PilotLength)
-	if backward {
-		// What leads the backward stream is the mirrored pilot; for
-		// one-bit-per-symbol modulations the reversed stream decodes to
-		// the forward pilot directly, so this branch only matters for
-		// multi-bit PSK (whose backward decoding the frame format does
-		// not yet support — the pilot search will simply fail there).
-		pilot = bits.Pilot(bits.PilotLength)
-	}
+// The search pattern is the forward pilot in either orientation: what
+// leads a backward stream is the frame's mirrored tail read in reverse,
+// which for one-bit-per-symbol modulations decodes to the forward pilot
+// directly. (Multi-bit PSK backward decoding, where the two would differ,
+// is unsupported by the frame format — the pilot search simply fails
+// there.)
+func (d *Decoder) alignWanted(ws *Workspace, diffs []float64, lo, hi int) (int, int) {
+	m := d.cfg.Modem
+	pilot := d.pilot
 	sps := m.SamplesPerSymbol()
 	need := len(pilot) / m.BitsPerSymbol() * sps
 	if lo < 0 {
@@ -318,7 +356,8 @@ func (d *Decoder) alignWanted(m PhyModem, diffs []float64, lo, hi int, backward 
 	maxErrs := 2 * d.cfg.PilotMaxErrors
 	best, bestErrs := -1, maxErrs+1
 	for o := lo; o < hi && o+need <= len(diffs); o++ {
-		got := m.DecideDiffs(diffs[o:o+need], nil)
+		got := m.DecideDiffsInto(ws.alignLog, diffs[o:o+need], nil)
+		ws.alignLog = got
 		errs := 0
 		for i, p := range pilot {
 			if i >= len(got) || got[i] != p {
@@ -342,7 +381,7 @@ func (d *Decoder) alignWanted(m PhyModem, diffs []float64, lo, hi int, backward 
 	// In both orientations the stream's leading wanted region decodes to
 	// the forward pilot (that is what the coarse match above verified),
 	// so the soft profile is the pilot's forward difference sequence.
-	exp := m.PhaseDiffs(pilot)
+	exp := d.pilotDiffs
 	bestRef, bestScore := best, math.Inf(-1)
 	for shift := -sps + 1; shift < sps; shift++ {
 		o := best + shift
@@ -364,12 +403,12 @@ func (d *Decoder) alignWanted(m PhyModem, diffs []float64, lo, hi int, backward 
 // the caller passed a conjugate-reversed stream; the frame is flipped to
 // forward orientation before body extraction, exactly as in the
 // interfered backward path.
-func (d *Decoder) decodeClean(rx dsp.Signal, det Detection, backward bool) (*Result, error) {
-	h, _, frameBits, err := d.findHead(rx, det.Start, det.End)
+func (d *Decoder) decodeClean(ws *Workspace, rx dsp.Signal, det Detection, backward bool) (*Result, error) {
+	h, _, frameBits, err := d.findHead(ws, rx, det.Start, det.End)
 	if err != nil {
 		return nil, err
 	}
-	exact := normalizeFrame(frameBits, frame.FrameBits(int(h.Len)), backward)
+	exact := ownedFrame(frameBits, frame.FrameBits(int(h.Len)), backward)
 	res := &Result{Detection: det, Clean: true, Backward: backward, HeaderOK: true, WantedBits: exact}
 	res.Packet.Header = h
 	payload, err := frame.UnmarshalBody(h, exact)
@@ -384,13 +423,13 @@ func (d *Decoder) decodeClean(rx dsp.Signal, det Detection, backward bool) (*Res
 // starts first in the given orientation. The backward flag only controls
 // how the known record's bits are oriented and how the recovered frame is
 // flipped back; the caller passes the already conjugate-reversed stream.
-func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLookup, backward bool) (*Result, error) {
+func (d *Decoder) decodeInterfered(ws *Workspace, rx dsp.Signal, det Detection, lookup KnownLookup, backward bool) (*Result, error) {
 	m := d.cfg.Modem
 	sps := m.SamplesPerSymbol()
 	w := d.cfg.Detector.Window
 
 	// 1. Clean-head decode: our own pilot and header (§7.2, Fig. 5).
-	hdr, frameRef, _, err := d.findHead(rx, det.Start, headLimit(det, len(rx))+4*sps)
+	hdr, frameRef, _, err := d.findHead(ws, rx, det.Start, headLimit(det, len(rx))+4*sps)
 	if err != nil {
 		return nil, err
 	}
@@ -398,7 +437,8 @@ func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLoo
 	if !ok {
 		return nil, fmt.Errorf("%w: header %v", ErrUnknown, hdr)
 	}
-	knownDiffs := m.PhaseDiffs(rec.Bits)
+	knownDiffs := m.PhaseDiffsInto(ws.known, rec.Bits)
+	ws.known = knownDiffs
 	if backward {
 		// Conjugate time reversal reverses the per-sample difference
 		// sequence without negating it (see ConjReverse).
@@ -423,7 +463,7 @@ func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLoo
 	if hi-lo < 64 {
 		return nil, ErrShortOverlap
 	}
-	est, err := EstimateAmplitudes(rx[lo:hi])
+	est, err := estimateAmplitudesWith(ws, rx[lo:hi])
 	if err != nil {
 		return nil, err
 	}
@@ -431,7 +471,7 @@ func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLoo
 	if headHi > knownEnd {
 		headHi = knownEnd
 	}
-	headPower := rx.Slice(frameRef, headHi).Power() - d.cfg.NoiseFloor
+	headPower := rx.View(frameRef, headHi).Power() - d.cfg.NoiseFloor
 	if headPower < 0 {
 		headPower = 0
 	}
@@ -450,11 +490,11 @@ func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLoo
 	if end > len(rx) {
 		end = len(rx)
 	}
-	diffs, weights, residual := d.extractDiffs(rx, est, knownDiffs, frameRef, knownEnd, end)
+	diffs, weights, residual := d.extractDiffs(ws, false, rx, est, knownDiffs, frameRef, knownEnd, end)
 	if gap := math.Abs(est.A-est.B) / math.Max(est.A, est.B); gap < 0.15 {
 		swapped := est
 		swapped.A, swapped.B = est.B, est.A
-		d2, w2, r2 := d.extractDiffs(rx, swapped, knownDiffs, frameRef, knownEnd, end)
+		d2, w2, r2 := d.extractDiffs(ws, true, rx, swapped, knownDiffs, frameRef, knownEnd, end)
 		if r2 < residual {
 			diffs, weights, est = d2, w2, swapped
 		}
@@ -468,21 +508,21 @@ func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLoo
 		searchLo = frameRef
 	}
 	searchHi := det.IStart + 3*w
-	r0, errs := d.alignWanted(m, diffs, searchLo, searchHi, backward)
+	r0, errs := d.alignWanted(ws, diffs, searchLo, searchHi)
 	if r0 < 0 {
 		return nil, fmt.Errorf("%w: best pilot match %d errors", ErrNoAlignment, errs)
 	}
 
 	// 5. Per-symbol decision: sum the S per-sample differences of each
 	// symbol; non-negative means 1 (§6.4).
-	wanted := m.DecideDiffs(diffs[r0:], weights[r0:])
+	wanted := m.DecideDiffsInto(ws.wanted, diffs[r0:], weights[r0:])
+	ws.wanted = wanted
 
 	res := &Result{
 		Detection:   det,
 		Backward:    backward,
 		KnownHeader: hdr,
 		Amplitudes:  est,
-		WantedBits:  wanted,
 	}
 
 	// 6. Parse the wanted frame. In backward orientation the recovered
@@ -494,13 +534,15 @@ func (d *Decoder) decodeInterfered(rx dsp.Signal, det Detection, lookup KnownLoo
 		// Header unusable; with a configured fixed frame size the bit
 		// stream is still normalized for downstream error correction.
 		if d.cfg.FallbackFrameBits > 0 {
-			res.WantedBits = normalizeFrame(wanted, d.cfg.FallbackFrameBits, backward)
+			res.WantedBits = ownedFrame(wanted, d.cfg.FallbackFrameBits, backward)
+		} else {
+			res.WantedBits = append([]byte(nil), wanted...)
 		}
 		return res, nil
 	}
 	res.HeaderOK = true
 	res.Packet.Header = wh
-	exact := normalizeFrame(wanted, frame.FrameBits(int(wh.Len)), backward)
+	exact := ownedFrame(wanted, frame.FrameBits(int(wh.Len)), backward)
 	res.WantedBits = exact
 	if payload, err := frame.UnmarshalBody(wh, exact); err == nil {
 		res.BodyOK = true
@@ -516,20 +558,16 @@ func reverseFloats(xs []float64) {
 	}
 }
 
-// normalizeFrame trims or zero-pads a recovered bit stream to the frame
-// length and flips backward-oriented streams to forward order. Trimming
-// happens before the flip because the garbage is at the decode-order tail.
-func normalizeFrame(stream []byte, frameBits int, backward bool) []byte {
-	exact := stream
-	if len(exact) > frameBits {
-		exact = exact[:frameBits]
-	} else if len(exact) < frameBits {
-		padded := make([]byte, frameBits)
-		copy(padded, exact)
-		exact = padded
-	}
+// ownedFrame copies a recovered bit stream into a fresh slice trimmed or
+// zero-padded to the frame length, flipping backward-oriented streams to
+// forward order. Trimming happens before the flip because the garbage is
+// at the decode-order tail. The copy is what lets Result.WantedBits
+// outlive the decoder's reused scratch buffers.
+func ownedFrame(stream []byte, frameBits int, backward bool) []byte {
+	exact := make([]byte, frameBits)
+	copy(exact, stream) // shorter streams leave zero padding in place
 	if backward {
-		exact = bits.Reverse(exact)
+		bits.ReverseInPlace(exact)
 	}
 	return exact
 }
@@ -543,11 +581,23 @@ const branchContinuityPenalty = 0.3
 // extractDiffs runs the Eq. 7–8 matching loop over [frameRef, end),
 // returning the per-transition ∆φ estimates of the wanted signal, their
 // conditioning weights, and the mean matching residual of the known
-// signal (the quantity an amplitude mis-assignment inflates).
-func (d *Decoder) extractDiffs(rx dsp.Signal, est AmplitudeEstimate, knownDiffs []float64, frameRef, knownEnd, end int) ([]float64, []float64, float64) {
+// signal (the quantity an amplitude mis-assignment inflates). The diffs
+// and weights live in the workspace (the alt pair when alt is set, so the
+// swapped-assignment trial never clobbers the primary estimates); entries
+// before frameRef are zeroed because the alignment refinement may read
+// slightly below the frame reference.
+func (d *Decoder) extractDiffs(ws *Workspace, alt bool, rx dsp.Signal, est AmplitudeEstimate, knownDiffs []float64, frameRef, knownEnd, end int) ([]float64, []float64, float64) {
 	m := d.cfg.Modem
-	diffs := make([]float64, end-1)
-	weights := make([]float64, end-1)
+	diffsBuf, weightsBuf := &ws.diffs, &ws.weights
+	if alt {
+		diffsBuf, weightsBuf = &ws.altDiffs, &ws.altWts
+	}
+	diffs := growFloats(diffsBuf, end-1)
+	weights := growFloats(weightsBuf, end-1)
+	for n := 0; n < frameRef && n < end-1; n++ {
+		diffs[n] = 0
+		weights[n] = 0
+	}
 	var prev [2]PhasePair
 	prevCond := 0.0
 	prevChoice := 0

@@ -51,6 +51,14 @@ type Detection struct {
 // energy-variance criterion fires anywhere inside the packet, the bounds of
 // the interfered region.
 func Detect(rx dsp.Signal, noiseFloor float64, cfg DetectorConfig) Detection {
+	return DetectWith(nil, rx, noiseFloor, cfg)
+}
+
+// DetectWith is Detect drawing its moving-window state and energy/variance
+// profiles from a workspace (nil for fresh allocations). Both profiles are
+// filled in one pass over the reception; the resulting Detection is
+// identical to Detect's.
+func DetectWith(ws *Workspace, rx dsp.Signal, noiseFloor float64, cfg DetectorConfig) Detection {
 	if cfg.Window <= 0 || len(rx) < cfg.Window {
 		return Detection{}
 	}
@@ -61,7 +69,23 @@ func Detect(rx dsp.Signal, noiseFloor float64, cfg DetectorConfig) Detection {
 		energyThresh = 1e-12
 	}
 
-	energy := dsp.EnergyProfile(rx, cfg.Window)
+	var stats *dsp.MovingStats
+	var energy, variance []float64
+	if ws == nil {
+		stats = dsp.NewMovingStats(cfg.Window)
+		energy = make([]float64, len(rx))
+		variance = make([]float64, len(rx))
+	} else {
+		stats = ws.detectStats(cfg.Window)
+		energy = growFloats(&ws.energy, len(rx))
+		variance = growFloats(&ws.variance, len(rx))
+	}
+	for i, v := range rx {
+		stats.Push(v)
+		energy[i] = stats.Mean()
+		variance[i] = stats.Variance()
+	}
+
 	start, end := -1, -1
 	for i, e := range energy {
 		if e > energyThresh {
@@ -89,7 +113,6 @@ func Detect(rx dsp.Signal, noiseFloor float64, cfg DetectorConfig) Detection {
 	// is two windows because the detected Start/End are themselves only
 	// window-accurate. The true interference boundaries are interior by
 	// construction (§7.2 enforces clean head and tail regions).
-	variance := dsp.VarianceProfile(rx, cfg.Window)
 	iStart, iEnd := -1, -1
 	for i := start + 2*cfg.Window; i < end-2*cfg.Window; i++ {
 		e := energy[i]

@@ -29,15 +29,29 @@ type PhyModem interface {
 	Modulate(bs []byte) dsp.Signal
 	// Demodulate recovers bits from a clean (single-signal) reception.
 	Demodulate(s dsp.Signal) []byte
+	// DemodulateInto is Demodulate writing the recovered bits into dst's
+	// storage (grown when too small) and drawing any internal working
+	// buffers from scratch (nil for a private one-shot arena). The
+	// returned bits are identical to Demodulate's; the slice is valid
+	// until the next call reusing dst or scratch. The decoder's clean-head
+	// search calls it once per sub-symbol offset per reception, so this is
+	// the allocation-free path of the hot loop.
+	DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte
 	// PhaseDiffs returns the transmitted per-sample phase differences
 	// for a bit stream: entry m is the phase change from sample m to
 	// m+1. The interference matcher compares candidates against these
 	// (Eq. 8).
 	PhaseDiffs(bs []byte) []float64
+	// PhaseDiffsInto is PhaseDiffs writing into dst's storage (grown when
+	// too small).
+	PhaseDiffsInto(dst []float64, bs []byte) []float64
 	// DecideDiffs maps a stream of recovered per-sample phase-difference
 	// estimates (aligned to a frame reference, with per-estimate
 	// confidence weights in [0,1]) back to bits (§6.4).
 	DecideDiffs(diffs, weights []float64) []byte
+	// DecideDiffsInto is DecideDiffs writing into dst's storage (grown
+	// when too small).
+	DecideDiffsInto(dst []byte, diffs, weights []float64) []byte
 	// StepPrior returns the wrapped distance from dphi to the nearest
 	// phase difference the modulation can legally produce between two
 	// consecutive samples. The matcher uses it to reject mirror-branch

@@ -1,0 +1,71 @@
+package core
+
+import "repro/internal/dsp"
+
+// Workspace holds every reusable buffer one decoding pipeline needs: the
+// detector's moving-window state and energy/variance profiles, the
+// conjugate-reversed stream for backward decodes, the known signal's phase
+// differences, the matcher's ∆φ/weight streams (plus the pair for the
+// swapped amplitude-assignment trial), demodulation and decision bit
+// buffers, and the amplitude estimator's magnitude scratch. With a
+// Workspace attached (see Decoder.SetWorkspace) a decoder performs no
+// steady-state allocation per reception beyond the Result it hands back —
+// the discipline sim.Scratch applies to reception synthesis, extended down
+// the decode stack.
+//
+// Ownership rule: one Workspace per worker goroutine, shared freely among
+// that worker's decoders/nodes but never between goroutines — decoding
+// mutates it. Buffers grow to the largest reception seen and are retained.
+//
+// Everything a decode returns (Result, WantedBits, payloads) is copied out
+// of the workspace before returning, so results stay valid across later
+// decodes that reuse the same buffers.
+type Workspace struct {
+	modem    dsp.Scratch      // modem-internal demod scratch (MLSE filter + back-pointers)
+	stats    *dsp.MovingStats // detector moving window
+	energy   []float64        // windowed energy profile
+	variance []float64        // windowed energy-variance profile
+	conj     dsp.Signal       // conjugate time-reversed reception (§7.4)
+	known    []float64        // known signal's per-sample phase differences
+	diffs    []float64        // recovered ∆φ stream
+	weights  []float64        // conditioning weights of diffs
+	altDiffs []float64        // ∆φ stream of the swapped-assignment trial
+	altWts   []float64        // weights of the swapped-assignment trial
+	headBits []byte           // clean-head demodulation, current candidate
+	bestBits []byte           // clean-head demodulation, best candidate so far
+	alignLog []byte           // per-offset pilot decisions in alignWanted
+	wanted   []byte           // final symbol decisions before the owned copy
+	mag2     []float64        // |y|² scratch of the moment estimator
+	mags     []float64        // |y| scratch of the envelope estimator (sorted)
+}
+
+// NewWorkspace returns an empty workspace; buffers grow on first use.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// detectStats returns the workspace's moving-window detector reset to the
+// given window length.
+func (ws *Workspace) detectStats(window int) *dsp.MovingStats {
+	if ws.stats == nil {
+		ws.stats = dsp.NewMovingStats(window)
+		return ws.stats
+	}
+	ws.stats.Rewindow(window)
+	return ws.stats
+}
+
+// growFloats resizes *buf to n elements (contents undefined), reallocating
+// only when its capacity is too small, and returns it.
+func growFloats(buf *[]float64, n int) []float64 {
+	*buf = dsp.GrowFloats(*buf, n)
+	return *buf
+}
+
+// growSignal resizes *buf to n samples (contents undefined), reallocating
+// only when its capacity is too small, and returns it.
+func growSignal(buf *dsp.Signal, n int) dsp.Signal {
+	if cap(*buf) < n {
+		*buf = make(dsp.Signal, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

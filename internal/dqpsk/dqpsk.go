@@ -122,11 +122,22 @@ func (m *Modem) Modulate(bs []byte) dsp.Signal {
 // is constant within a symbol, so the boxcar is a true matched filter)
 // and mapping the inter-symbol phase change to the nearest jump.
 func (m *Modem) Demodulate(s dsp.Signal) []byte {
+	return m.DemodulateInto(nil, nil, s)
+}
+
+// DemodulateInto is Demodulate writing the recovered bits into dst's
+// storage (grown when too small). The π/4-DQPSK demodulator needs no
+// internal working buffers, so scratch is accepted only to satisfy the
+// shared modem contract and may be nil. Bit values are identical to
+// Demodulate's.
+func (m *Modem) DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte {
 	nsym := m.NumBits(len(s)) / 2
 	if nsym == 0 {
-		return nil
+		// Empty result, but keep dst's storage (see the MSK modem): a nil
+		// return would leak a caller's retained reuse buffer.
+		return dst[:0]
 	}
-	out := make([]byte, 0, nsym*2)
+	out := dsp.GrowBytes(dst, nsym*2)
 	prev := s[0] // reference sample
 	for i := 0; i < nsym; i++ {
 		var acc complex128
@@ -136,8 +147,7 @@ func (m *Modem) Demodulate(s dsp.Signal) []byte {
 		}
 		d := dsp.PhaseDiff(prev, acc)
 		sym := nearestJump(d)
-		b1, b2 := bitsOf(sym)
-		out = append(out, b1, b2)
+		out[2*i], out[2*i+1] = bitsOf(sym)
 		prev = acc
 	}
 	return out
@@ -158,14 +168,27 @@ func nearestJump(d float64) int {
 // PhaseDiffs returns the per-sample transmitted phase differences: the
 // whole jump on each symbol's first transition, zero elsewhere.
 func (m *Modem) PhaseDiffs(bs []byte) []float64 {
-	if len(bs)%2 == 1 {
-		bs = append(append([]byte(nil), bs...), 0)
+	return m.PhaseDiffsInto(nil, bs)
+}
+
+// PhaseDiffsInto is PhaseDiffs writing into dst's storage (grown when too
+// small). An odd trailing bit is paired with an implicit 0, matching
+// Modulate's padding, without copying the input.
+func (m *Modem) PhaseDiffsInto(dst []float64, bs []byte) []float64 {
+	nsym := (len(bs) + 1) / 2
+	dst = dsp.GrowFloats(dst, nsym*m.sps)
+	for i := range dst {
+		dst[i] = 0
 	}
-	out := make([]float64, len(bs)/2*m.sps)
-	for i := 0; i+1 < len(bs); i += 2 {
-		out[i/2*m.sps] = jumps[symbolOf(bs[i], bs[i+1])]
+	for i := 0; i < nsym; i++ {
+		b1 := bs[2*i]
+		var b2 byte
+		if 2*i+1 < len(bs) {
+			b2 = bs[2*i+1]
+		}
+		dst[i*m.sps] = jumps[symbolOf(b1, b2)]
 	}
-	return out
+	return dst
 }
 
 // DecideDiffs maps recovered per-sample phase-difference estimates to
@@ -175,15 +198,20 @@ func (m *Modem) PhaseDiffs(bs []byte) []float64 {
 // localized to a single unknown transition within the symbol, so
 // down-weighting individual samples would bias the total.
 func (m *Modem) DecideDiffs(diffs, weights []float64) []byte {
+	return m.DecideDiffsInto(nil, diffs, weights)
+}
+
+// DecideDiffsInto is DecideDiffs writing into dst's storage (grown when
+// too small).
+func (m *Modem) DecideDiffsInto(dst []byte, diffs, weights []float64) []byte {
 	nsym := len(diffs) / m.sps
-	out := make([]byte, 0, nsym*2)
+	out := dsp.GrowBytes(dst, nsym*2)
 	for j := 0; j < nsym; j++ {
 		var acc float64
 		for k := 0; k < m.sps; k++ {
 			acc += diffs[j*m.sps+k]
 		}
-		b1, b2 := bitsOf(nearestJump(acc))
-		out = append(out, b1, b2)
+		out[2*j], out[2*j+1] = bitsOf(nearestJump(acc))
 	}
 	return out
 }

@@ -1,0 +1,61 @@
+package dsp
+
+// Scratch is a small arena of reusable numeric buffers for the internal
+// working storage of hot-path algorithms (the MLSE demodulator's matched
+// filter and Viterbi back-pointers, soft-decision accumulators). Borrowing
+// a buffer never zeroes it — callers overwrite every element they read —
+// and only the most recent borrow of each type is valid: a second call to
+// the same method hands out the same storage again.
+//
+// A Scratch is not safe for concurrent use. The zero value is ready to
+// use; buffers grow on demand and are retained for the next borrow.
+type Scratch struct {
+	c128 []complex128
+	b    []byte
+	f64  []float64
+}
+
+// Complex128s borrows a []complex128 of length n (contents undefined).
+func (s *Scratch) Complex128s(n int) []complex128 {
+	if cap(s.c128) < n {
+		s.c128 = make([]complex128, n)
+	}
+	s.c128 = s.c128[:n]
+	return s.c128
+}
+
+// Bytes borrows a []byte of length n (contents undefined).
+func (s *Scratch) Bytes(n int) []byte {
+	if cap(s.b) < n {
+		s.b = make([]byte, n)
+	}
+	s.b = s.b[:n]
+	return s.b
+}
+
+// Float64s borrows a []float64 of length n (contents undefined).
+func (s *Scratch) Float64s(n int) []float64 {
+	if cap(s.f64) < n {
+		s.f64 = make([]float64, n)
+	}
+	s.f64 = s.f64[:n]
+	return s.f64
+}
+
+// GrowBytes returns dst resized to n bytes (contents undefined),
+// reallocating only when its capacity is too small — the caller-owned-dst
+// half of the Into-variant buffer contract the modems share.
+func GrowBytes(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		return make([]byte, n)
+	}
+	return dst[:n]
+}
+
+// GrowFloats is GrowBytes for float64 buffers.
+func GrowFloats(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
+}

@@ -53,6 +53,15 @@ func (s Signal) Scale(g complex128) Signal {
 	return out
 }
 
+// ScaleInPlace multiplies s element-wise by the complex gain g, overwriting
+// s, and returns it. The sample values equal Scale's.
+func (s Signal) ScaleInPlace(g complex128) Signal {
+	for i, v := range s {
+		s[i] = v * g
+	}
+	return s
+}
+
 // ScaleTo returns s rescaled so its average power equals p. A zero signal
 // is returned unchanged (there is nothing to normalize).
 func (s Signal) ScaleTo(p float64) Signal {
@@ -123,6 +132,23 @@ func (s Signal) Slice(from, to int) Signal {
 		return Signal{}
 	}
 	return s[from:to].Clone()
+}
+
+// View is Slice without the copy: it returns s[from:to] clamped to the
+// valid range as a view sharing s's storage. Use it for read-only
+// measurements (Power, Energy) on the decode hot path; use Slice when the
+// result must outlive mutations of s.
+func (s Signal) View(from, to int) Signal {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(s) {
+		to = len(s)
+	}
+	if from >= to {
+		return Signal{}
+	}
+	return s[from:to]
 }
 
 // Phases returns arg(s[n]) for every sample.

@@ -72,6 +72,22 @@ func (m *MovingStats) Reset() {
 	m.head, m.count, m.sum, m.sumSq = 0, 0, 0, 0
 }
 
+// Rewindow resets the detector to a (possibly different) window length,
+// reusing the ring buffer when its capacity allows. After Rewindow the
+// detector behaves exactly like NewMovingStats(window).
+func (m *MovingStats) Rewindow(window int) {
+	if window <= 0 {
+		panic("dsp: non-positive window")
+	}
+	if cap(m.samples) < window {
+		m.samples = make([]float64, window)
+	} else {
+		m.samples = m.samples[:window]
+	}
+	m.window = window
+	m.Reset()
+}
+
 // EnergyProfile returns the windowed mean energy at every sample position
 // of s (the window trails the position). Positions before the window fills
 // use the partial window. Detectors scan this profile for thresholds.

@@ -24,7 +24,7 @@ type SentRecord struct {
 type SentBuffer struct {
 	mu    sync.Mutex
 	cap   int
-	items map[Key]*SentRecord
+	items map[Key]SentRecord
 	order []Key // FIFO eviction order
 }
 
@@ -38,7 +38,7 @@ func NewSentBuffer(capacity int) *SentBuffer {
 	if capacity <= 0 {
 		capacity = DefaultSentBufferSize
 	}
-	return &SentBuffer{cap: capacity, items: make(map[Key]*SentRecord)}
+	return &SentBuffer{cap: capacity, items: make(map[Key]SentRecord)}
 }
 
 // Put stores a record, evicting the oldest if the buffer is full. Storing
@@ -48,7 +48,7 @@ func (b *SentBuffer) Put(rec SentRecord) {
 	defer b.mu.Unlock()
 	k := rec.Packet.Header.Key()
 	if _, ok := b.items[k]; ok {
-		b.items[k] = &rec
+		b.items[k] = rec
 		return
 	}
 	if len(b.order) >= b.cap {
@@ -56,7 +56,7 @@ func (b *SentBuffer) Put(rec SentRecord) {
 		b.order = b.order[1:]
 		delete(b.items, oldest)
 	}
-	b.items[k] = &rec
+	b.items[k] = rec
 	b.order = append(b.order, k)
 }
 
@@ -65,10 +65,7 @@ func (b *SentBuffer) Get(k Key) (SentRecord, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	rec, ok := b.items[k]
-	if !ok {
-		return SentRecord{}, false
-	}
-	return *rec, true
+	return rec, ok
 }
 
 // Len returns the number of stored records.

@@ -73,29 +73,51 @@ func (h Header) String() string {
 
 // marshalBits encodes the header fields (without CRC or whitening).
 func (h Header) marshalBits() []byte {
-	out := make([]byte, 0, HeaderBits-16)
-	out = append(out, bits.FromUint16(h.Src)...)
-	out = append(out, bits.FromUint16(h.Dst)...)
-	out = append(out, bits.FromUint32(h.Seq)...)
-	out = append(out, bits.FromUint16(h.Len)...)
-	out = append(out, bits.FromUint16(uint16(h.Flags))[8:]...)
+	out := make([]byte, HeaderBits-16)
+	h.putBits(out)
 	return out
+}
+
+// putBits writes the header fields (without CRC) into dst's first
+// HeaderBits−16 entries.
+func (h Header) putBits(dst []byte) {
+	bits.PutUint16(dst[0:], h.Src)
+	bits.PutUint16(dst[16:], h.Dst)
+	bits.PutUint32(dst[32:], h.Seq)
+	bits.PutUint16(dst[64:], h.Len)
+	for i := 0; i < flagsBits; i++ {
+		dst[80+i] = (h.Flags >> uint(flagsBits-1-i)) & 1
+	}
 }
 
 // unmarshalBits decodes header fields from the 88 field bits.
 func unmarshalBits(bs []byte) Header {
+	var flags byte
+	for i := 0; i < flagsBits; i++ {
+		flags = flags<<1 | bs[80+i]&1
+	}
 	return Header{
 		Src:   bits.ToUint16(bs[0:16]),
 		Dst:   bits.ToUint16(bs[16:32]),
 		Seq:   bits.ToUint32(bs[32:64]),
 		Len:   bits.ToUint16(bs[64:80]),
-		Flags: byte(bits.ToUint16(append([]byte{0, 0, 0, 0, 0, 0, 0, 0}, bs[80:88]...))),
+		Flags: flags,
 	}
 }
 
 // EncodeHeader returns the whitened on-air header block (HeaderBits bits).
 func EncodeHeader(h Header) []byte {
-	return bits.Whiten(bits.AppendCRC16(h.marshalBits()), headerWhitenSeed)
+	out := make([]byte, HeaderBits)
+	encodeHeaderInto(out, h)
+	return out
+}
+
+// encodeHeaderInto writes the whitened header block (fields, CRC) into
+// dst's first HeaderBits entries.
+func encodeHeaderInto(dst []byte, h Header) {
+	h.putBits(dst)
+	bits.PutUint16(dst[HeaderBits-16:], bits.CRC16(dst[:HeaderBits-16]))
+	bits.WhitenTo(dst[:HeaderBits], dst[:HeaderBits], headerWhitenSeed)
 }
 
 // ErrBadHeader is returned when a header block fails its CRC.
@@ -106,7 +128,8 @@ func DecodeHeader(block []byte) (Header, error) {
 	if len(block) < HeaderBits {
 		return Header{}, fmt.Errorf("frame: header block %d bits, need %d", len(block), HeaderBits)
 	}
-	raw, ok := bits.CheckCRC16(bits.Whiten(block[:HeaderBits], headerWhitenSeed))
+	var buf [HeaderBits]byte
+	raw, ok := bits.CheckCRC16(bits.WhitenTo(buf[:], block[:HeaderBits], headerWhitenSeed))
 	if !ok {
 		return Header{}, ErrBadHeader
 	}
@@ -144,18 +167,29 @@ func Marshal(p Packet) []byte {
 		// condition; fail loudly.
 		panic(fmt.Sprintf("frame: header len %d != payload %d", p.Header.Len, len(p.Payload)))
 	}
-	pilot := bits.Pilot(bits.PilotLength)
-	hdr := EncodeHeader(p.Header)
-	body := bits.Whiten(bits.AppendCRC16(bits.FromBytes(p.Payload)), bits.WhitenSeed)
-
-	out := make([]byte, 0, FrameBits(len(p.Payload)))
-	out = append(out, pilot...)
-	out = append(out, hdr...)
-	out = append(out, body...)
-	out = append(out, bits.Reverse(hdr)...)
-	out = append(out, bits.Reverse(pilot)...)
+	n := len(p.Payload)
+	out := make([]byte, FrameBits(n))
+	copy(out, pilotForward)
+	hdr := out[bits.PilotLength : bits.PilotLength+HeaderBits]
+	encodeHeaderInto(hdr, p.Header)
+	body := out[bits.PilotLength+HeaderBits : bits.PilotLength+HeaderBits+PayloadSectionBits(n)]
+	bits.PutBytes(body, p.Payload)
+	bits.PutUint16(body[n*8:], bits.CRC16(body[:n*8]))
+	bits.WhitenTo(body, body, bits.WhitenSeed)
+	tail := out[bits.PilotLength+HeaderBits+PayloadSectionBits(n):]
+	for i, b := range hdr {
+		tail[HeaderBits-1-i] = b
+	}
+	copy(tail[HeaderBits:], pilotReversed)
 	return out
 }
+
+// pilotForward and pilotReversed cache the fixed network pilot in both
+// frame orientations so Marshal builds a frame with a single allocation.
+var (
+	pilotForward  = bits.Pilot(bits.PilotLength)
+	pilotReversed = bits.Reverse(bits.Pilot(bits.PilotLength))
+)
 
 // Errors returned by Unmarshal.
 var (

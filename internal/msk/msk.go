@@ -130,17 +130,34 @@ func (m *Modem) PhaseTrajectory(bs []byte) []float64 {
 // resulting partial-response phase differences, which recovers the
 // oversampling SNR gain a naive per-sample detector forfeits.
 func (m *Modem) Demodulate(s dsp.Signal) []byte {
+	return m.DemodulateInto(nil, nil, s)
+}
+
+// DemodulateInto is Demodulate writing the recovered bits into dst's
+// storage (grown when too small) and drawing internal working buffers —
+// the matched-filter outputs and Viterbi back-pointers — from scratch, so
+// a caller reusing both performs no allocation in steady state. A nil
+// scratch uses a private one-shot arena. The returned slice is valid until
+// the next call that reuses dst or scratch; the bit values are identical
+// to Demodulate's.
+func (m *Modem) DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte {
+	if scratch == nil {
+		scratch = &dsp.Scratch{}
+	}
 	if m.sps == 1 {
-		soft := m.SoftDemodulate(s)
-		out := make([]byte, len(soft))
+		n := m.NumBits(len(s))
+		out := dsp.GrowBytes(dst, n)
+		soft := m.softDemodulateInto(scratch.Float64s(n), s)
 		for i, d := range soft {
 			if d >= 0 {
 				out[i] = 1
+			} else {
+				out[i] = 0
 			}
 		}
 		return out
 	}
-	return m.demodulateMLSE(s)
+	return m.demodulateMLSE(scratch, dst, s)
 }
 
 // SoftDemodulate returns the per-symbol accumulated phase difference (in
@@ -149,9 +166,13 @@ func (m *Modem) Demodulate(s dsp.Signal) []byte {
 // averaging gain; it exists for diagnostics and as the S=1 demodulator.
 // Demodulate's MLSE path is the production detector for S > 1.
 func (m *Modem) SoftDemodulate(s dsp.Signal) []float64 {
-	n := m.NumBits(len(s))
-	out := make([]float64, n)
-	for i := 0; i < n; i++ {
+	return m.softDemodulateInto(make([]float64, m.NumBits(len(s))), s)
+}
+
+// softDemodulateInto fills out (whose length sets the symbol count) with
+// the per-symbol accumulated phase differences.
+func (m *Modem) softDemodulateInto(out []float64, s dsp.Signal) []float64 {
+	for i := range out {
 		base := 1 + i*m.sps
 		var acc float64
 		for k := 0; k < m.sps; k++ {
@@ -173,13 +194,16 @@ func (m *Modem) SoftDemodulate(s dsp.Signal) []float64 {
 // (state = previous bit) resolves it optimally; the branch metric is the
 // squared wrapped distance between the observed and hypothesized phase
 // difference.
-func (m *Modem) demodulateMLSE(s dsp.Signal) []byte {
+func (m *Modem) demodulateMLSE(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte {
 	n := m.NumBits(len(s))
 	if n == 0 {
-		return nil
+		// Empty result, but keep dst's storage: callers stash the return
+		// back into their reuse slot, and a nil here would leak the
+		// retained buffer and re-allocate on the next full-size call.
+		return dst[:0]
 	}
 	// g[i] = average of symbol i's samples (indices i·S+1 .. (i+1)·S).
-	g := make([]complex128, n)
+	g := scratch.Complex128s(n)
 	for i := 0; i < n; i++ {
 		var acc complex128
 		base := 1 + i*m.sps
@@ -198,7 +222,8 @@ func (m *Modem) demodulateMLSE(s dsp.Signal) []byte {
 		e := dsp.WrapPhase(obs0 - steps[b]/2)
 		metric[b] = e * e
 	}
-	back := make([][2]uint8, n)
+	// back[2i+b] is the surviving predecessor state of state b at symbol i.
+	back := scratch.Bytes(2 * n)
 	for i := 1; i < n; i++ {
 		obs := dsp.PhaseDiff(g[i-1], g[i])
 		var next [2]float64
@@ -213,11 +238,11 @@ func (m *Modem) demodulateMLSE(s dsp.Signal) []byte {
 				}
 			}
 			next[b] = best
-			back[i][b] = bestPrev
+			back[2*i+b] = bestPrev
 		}
 		metric = next
 	}
-	out := make([]byte, n)
+	out := dsp.GrowBytes(dst, n)
 	state := uint8(0)
 	if metric[1] < metric[0] {
 		state = 1
@@ -225,7 +250,7 @@ func (m *Modem) demodulateMLSE(s dsp.Signal) []byte {
 	for i := n - 1; i >= 0; i-- {
 		out[i] = state
 		if i > 0 {
-			state = back[i][state]
+			state = back[2*i+int(state)]
 		}
 	}
 	return out
@@ -237,18 +262,26 @@ func (m *Modem) demodulateMLSE(s dsp.Signal) []byte {
 // differences against its four candidates (Eq. 8). The slice has one entry
 // per generated sample transition, i.e. len(bs)·S entries.
 func (m *Modem) PhaseDiffs(bs []byte) []float64 {
+	return m.PhaseDiffsInto(nil, bs)
+}
+
+// PhaseDiffsInto is PhaseDiffs writing into dst's storage (grown when too
+// small).
+func (m *Modem) PhaseDiffsInto(dst []float64, bs []byte) []float64 {
+	dst = dsp.GrowFloats(dst, len(bs)*m.sps)
 	step := PhaseStep / float64(m.sps)
-	out := make([]float64, 0, len(bs)*m.sps)
+	i := 0
 	for _, b := range bs {
 		d := -step
 		if b&1 == 1 {
 			d = step
 		}
 		for k := 0; k < m.sps; k++ {
-			out = append(out, d)
+			dst[i] = d
+			i++
 		}
 	}
-	return out
+	return dst
 }
 
 // BitsPerSymbol returns 1: MSK carries one bit per symbol interval.
@@ -259,8 +292,16 @@ func (m *Modem) BitsPerSymbol() int { return 1 }
 // confidence, and the sign decides. Entry 0 of diffs corresponds to the
 // frame's first sample transition.
 func (m *Modem) DecideDiffs(diffs, weights []float64) []byte {
+	return m.DecideDiffsInto(nil, diffs, weights)
+}
+
+// DecideDiffsInto is DecideDiffs writing into dst's storage (grown when
+// too small). The decoder's pilot-alignment search calls it once per
+// candidate offset, so buffer reuse here is what makes alignment
+// allocation free.
+func (m *Modem) DecideDiffsInto(dst []byte, diffs, weights []float64) []byte {
 	n := len(diffs) / m.sps
-	out := make([]byte, n)
+	out := dsp.GrowBytes(dst, n)
 	for j := 0; j < n; j++ {
 		var acc float64
 		base := j * m.sps
@@ -273,6 +314,8 @@ func (m *Modem) DecideDiffs(diffs, weights []float64) []byte {
 		}
 		if acc >= 0 {
 			out[j] = 1
+		} else {
+			out[j] = 0
 		}
 	}
 	return out

@@ -63,6 +63,12 @@ func (n *Node) BuildFrame(pkt frame.Packet) frame.SentRecord {
 // cancel interference.
 func (n *Node) Remember(rec frame.SentRecord) { n.buffer.Put(rec) }
 
+// SetWorkspace points the node's decoder at a caller-owned workspace so
+// many nodes (and runs) share one set of decode buffers. One workspace per
+// worker goroutine — sharing across goroutines races. A nil workspace
+// reverts to a private one.
+func (n *Node) SetWorkspace(ws *core.Workspace) { n.decoder.SetWorkspace(ws) }
+
 // Knows reports whether the buffer holds the packet for a header.
 func (n *Node) Knows(h frame.Header) bool {
 	_, ok := n.buffer.Get(h.Key())

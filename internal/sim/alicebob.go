@@ -69,13 +69,15 @@ func stepAliceBobANC(e *Env, m *Metrics, ai, ri, bi int) {
 		channel.Transmission{Signal: recB.Samples, Link: linkBR, Delay: dB},
 	)
 	// Slot 2: the router re-amplifies to its transmit power and
-	// broadcasts, noise and all (§2, §8).
-	relayed := channel.AmplifyTo(routerRx, 1)
-	e.release(routerRx)
+	// broadcasts, noise and all (§2, §8). The amplification reuses the
+	// reception buffer in place; it goes back to the pool once the
+	// downlink receptions are synthesized.
+	relayed := channel.AmplifyToInPlace(routerRx, 1)
 	linkRA, _ := e.graph.Link(ri, ai)
 	linkRB, _ := e.graph.Link(ri, bi)
 	rxA := e.receive(channel.Transmission{Signal: relayed, Link: linkRA})
 	rxB := e.receive(channel.Transmission{Signal: relayed, Link: linkRB})
+	e.release(relayed)
 
 	e.accountANCDecode(m, alice, rxA, recB)
 	e.accountANCDecode(m, bob, rxB, recA)

@@ -5,24 +5,40 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/dsp"
 )
 
-// Scratch is a free list of reception sample buffers. One run of the
-// Alice–Bob exchange synthesizes three receptions of ~frame-length
-// complex-baseband samples per packet; without reuse a multi-run campaign
-// re-allocates (and re-zeroes via GC) hundreds of megabytes of slices.
+// Scratch is the per-worker reusable storage of a campaign: a free list of
+// reception sample buffers plus one decoder Workspace shared by every node
+// of every run the worker executes. One run of the Alice–Bob exchange
+// synthesizes three receptions of ~frame-length complex-baseband samples
+// per packet; without reuse a multi-run campaign re-allocates (and
+// re-zeroes via GC) hundreds of megabytes of slices, and without the
+// shared workspace every decode re-allocates its profile/∆φ/bit buffers.
 // Each campaign worker owns one Scratch and reuses it across every run it
-// executes, so the steady state allocates no sample buffers at all.
+// executes, so the steady state allocates no sample or decode buffers at
+// all.
 //
 // A Scratch is not safe for concurrent use; the Engine gives each worker
 // its own.
 type Scratch struct {
 	free []dsp.Signal
+	ws   *core.Workspace
 }
 
 // NewScratch returns an empty buffer pool.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// Workspace returns the scratch's decoder workspace, created on first use.
+// newEnv attaches it to every node of a run, extending the buffer-reuse
+// discipline from reception synthesis down through the decode stack.
+func (s *Scratch) Workspace() *core.Workspace {
+	if s.ws == nil {
+		s.ws = core.NewWorkspace()
+	}
+	return s.ws
+}
 
 // take returns a buffer with capacity at least n (contents undefined; the
 // users overwrite every sample).

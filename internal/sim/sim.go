@@ -197,6 +197,7 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 	floor := cfg.Topology.MeanPowerGain / dsp.FromDB(cfg.SNRdB)
 	fixedFrame := frame.FrameBits(cfg.PayloadBytes)
 	nodes := make([]*radio.Node, g.N)
+	ws := scratch.Workspace()
 	for i := range nodes {
 		nodes[i] = radio.NewNode(uint16(i+1), modem, floor, func(c *core.Config) {
 			c.FallbackFrameBits = fixedFrame
@@ -204,6 +205,10 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 				cfg.DecoderTweak(c)
 			}
 		})
+		// All of a run's nodes decode on one goroutine, so they share the
+		// worker's decode workspace and steady-state decodes allocate
+		// nothing.
+		nodes[i].SetWorkspace(ws)
 	}
 	L := modem.NumSamples(frame.FrameBits(cfg.PayloadBytes))
 	window := 4 * cfg.SamplesPerSymbol * 8

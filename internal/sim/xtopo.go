@@ -83,13 +83,14 @@ func stepXANC(e *Env, m *Metrics) {
 	e.release(snoopN4)
 
 	// Slot 2: the router amplifies and broadcasts; destinations
-	// cancel what they overheard.
-	relayed := channel.AmplifyTo(routerRx, 1)
-	e.release(routerRx)
+	// cancel what they overheard. The amplification reuses the reception
+	// buffer in place.
+	relayed := channel.AmplifyToInPlace(routerRx, 1)
 	downTo2, _ := e.graph.Link(topology.XRouter, topology.X2)
 	downTo4, _ := e.graph.Link(topology.XRouter, topology.X4)
 	rxN2 := e.receive(channel.Transmission{Signal: relayed, Link: downTo2})
 	rxN4 := e.receive(channel.Transmission{Signal: relayed, Link: downTo4})
+	e.release(relayed)
 
 	e.accountANCDecode(m, n2, rxN2, rec3)
 	e.accountANCDecode(m, n4, rxN4, rec1)
