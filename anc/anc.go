@@ -159,6 +159,48 @@ type SentRecord = frame.SentRecord
 // and residual carrier-frequency offset.
 type Link = channel.Link
 
+// ChannelModel is a time-varying channel: the Link realization an edge
+// presents at each schedule slot. Implementations must be deterministic
+// random-access functions of the slot and allocation free (the engine
+// realizes links inside the per-slot hot path). The library ships
+// [StaticChannel], [BlockFading] and [Mobility].
+type ChannelModel = channel.Model
+
+// StaticChannel is the degenerate ChannelModel: one realization for the
+// whole run — the behavior of every pre-fading campaign, bit for bit.
+type StaticChannel = channel.Static
+
+// BlockFading is Rician (K > 0) or Rayleigh (K = 0) block fading: an
+// independent complex-Gaussian draw held for BlockSlots consecutive
+// slots, derived by hashing (Seed, block) so traces are random access
+// and reproducible.
+type BlockFading = channel.BlockFading
+
+// Mobility is a deterministic mobility trace: a sinusoidal dB power
+// swing around the base realization plus a constant-rate Doppler phase
+// advance.
+type Mobility = channel.Mobility
+
+// FadingSpec selects the ChannelModel a topology realizes on every
+// link; the zero value is static. Set it on TopologyConfig.Fading (or
+// via the ancsim -fading flag) to make a whole campaign time varying.
+type FadingSpec = channel.FadingSpec
+
+// FadingKind selects a ChannelModel family for FadingSpec.
+type FadingKind = channel.FadingKind
+
+// The model families a FadingSpec can choose.
+const (
+	FadingStatic   = channel.FadingStatic
+	FadingRayleigh = channel.FadingRayleigh
+	FadingRician   = channel.FadingRician
+	FadingMobility = channel.FadingMobility
+)
+
+// ParseFadingKind parses a FadingKind from its flag spelling
+// (static|rayleigh|rician|mobility).
+func ParseFadingKind(s string) (FadingKind, error) { return channel.ParseFadingKind(s) }
+
 // Transmission is one sender's contribution to a reception.
 type Transmission = channel.Transmission
 
@@ -209,6 +251,11 @@ func CapacitySweep(fromDB, toDB, stepDB float64) []CapacityPoint {
 
 // SimConfig parameterizes one simulated evaluation run.
 type SimConfig = sim.Config
+
+// Ptr wraps a value for the SimConfig fields whose zero is meaningful
+// (SNRdB, GuardFrac): nil means "use the default", Ptr(v) means exactly
+// v — including v = 0, so a true 0 dB run is expressible.
+func Ptr(v float64) *float64 { return sim.Ptr(v) }
 
 // Metrics aggregates a run's throughput, BER and overlap statistics.
 type Metrics = sim.Metrics
@@ -269,6 +316,11 @@ var (
 	LookupScenario   = sim.LookupScenario
 	Scenarios        = sim.Scenarios
 )
+
+// NewChainN builds (without registering) the Fig. 2 chain generalized
+// to an arbitrary hop count; the registry ships chain-5. Register other
+// lengths with RegisterScenario.
+func NewChainN(hops int) Scenario { return sim.NewChainN(hops) }
 
 // ExperimentOptions configures a figure-regeneration campaign.
 type ExperimentOptions = experiments.Options

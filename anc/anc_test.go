@@ -134,3 +134,36 @@ func TestPublicTopologies(t *testing.T) {
 		t.Error("topology sizes wrong")
 	}
 }
+
+// TestPublicChannelModels exercises the time-varying channel surface:
+// a FadingSpec on the topology config makes links evolve over slots,
+// explicit models attach to single edges, and Ptr expresses a true
+// 0 dB configuration.
+func TestPublicChannelModels(t *testing.T) {
+	cfg := anc.DefaultSimConfig().Topology
+	cfg.Fading = anc.FadingSpec{Kind: anc.FadingRayleigh}
+	g := anc.NewAliceBobTopology(cfg, rand.New(rand.NewSource(6)))
+	a, _ := g.LinkAt(0, 1, 0)
+	b, _ := g.LinkAt(0, 1, 1)
+	if a == b {
+		t.Error("rayleigh spec did not vary the link over slots")
+	}
+
+	custom := anc.NewTopology(2, []string{"a", "b"}, anc.DefaultSimConfig().Topology, rand.New(rand.NewSource(7)))
+	custom.ConnectModel(0, 1, anc.Mobility{Base: anc.Link{Gain: 0.5}, PeriodSlots: 4, SwingDB: 6})
+	l0, _ := custom.LinkAt(0, 1, 0)
+	l1, _ := custom.LinkAt(0, 1, 1)
+	if l0.Gain == l1.Gain {
+		t.Error("mobility edge did not swing")
+	}
+
+	if kind, err := anc.ParseFadingKind("mobility"); err != nil || kind != anc.FadingMobility {
+		t.Errorf("ParseFadingKind: %v, %v", kind, err)
+	}
+	if v := anc.Ptr(0); v == nil || *v != 0 {
+		t.Error("Ptr(0) did not produce an explicit zero")
+	}
+	if sc, ok := anc.LookupScenario("chain-5"); !ok || sc.Name() != anc.NewChainN(5).Name() {
+		t.Error("chain-5 not registered or NewChainN name mismatch")
+	}
+}

@@ -13,94 +13,138 @@
 //
 //	ancsim -scenario list               # list registered scenarios
 //	ancsim -scenario x-cross -runs 10   # ANC vs baselines on any scenario
+//	ancsim -scenario alice-bob -fading rayleigh   # time-varying channels
+//	ancsim -scenario near-far -fading mobility -doppler 0.02
 //
-// Every campaign is deterministic in -seed.
+// Every campaign is deterministic in -seed, including the fading and
+// mobility channel evolutions.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"repro/internal/channel"
 	"repro/internal/experiments"
 	"repro/internal/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its process edges injected, so the CLI surface —
+// flag parsing, exit codes, error messages — is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ancsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "summary", "experiment: fig7|fig9|fig10|fig12|fig13|summary|ablation")
-		scenario = flag.String("scenario", "", "run a registered scenario campaign by name ('list' prints the registry); overrides -exp")
-		runs     = flag.Int("runs", 40, "independent runs per campaign (paper: 40)")
-		packets  = flag.Int("packets", 0, "packets per run (0 = default)")
-		seed     = flag.Int64("seed", 1, "campaign seed")
-		snr      = flag.Float64("snr", 25, "per-link SNR in dB")
-		maxRows  = flag.Int("rows", 25, "max CDF rows to print")
+		exp      = fs.String("exp", "summary", "experiment: fig7|fig9|fig10|fig12|fig13|summary|ablation")
+		scenario = fs.String("scenario", "", "run a registered scenario campaign by name ('list' prints the registry); overrides -exp")
+		runs     = fs.Int("runs", 40, "independent runs per campaign (paper: 40)")
+		packets  = fs.Int("packets", 0, "packets per run (0 = default)")
+		seed     = fs.Int64("seed", 1, "campaign seed")
+		snr      = fs.Float64("snr", 25, "per-link SNR in dB")
+		fading   = fs.String("fading", "static", "per-link channel model: static|rayleigh|rician|mobility")
+		doppler  = fs.Float64("doppler", 0, "mobility-model phase advance in rad/slot (with -fading mobility)")
+		maxRows  = fs.Int("rows", 25, "max CDF rows to print")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+
+	kind, err := channel.ParseFadingKind(*fading)
+	if err != nil {
+		fmt.Fprintf(stderr, "ancsim: %v\n", err)
+		return 2
+	}
 
 	cfg := sim.DefaultConfig()
-	cfg.SNRdB = *snr
+	cfg.SNRdB = sim.Ptr(*snr)
+	cfg.Topology.Fading = channel.FadingSpec{Kind: kind, DopplerRad: *doppler}
 	if *packets > 0 {
 		cfg.Packets = *packets
 	}
 	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed}
 
 	if *scenario != "" {
-		runScenario(*scenario, opts, *maxRows)
-		return
+		return runScenario(stdout, stderr, *scenario, opts, *maxRows)
 	}
 
 	switch *exp {
 	case "fig7":
-		fmt.Print(experiments.Fig7(0, 55, 2.5))
+		fmt.Fprint(stdout, experiments.Fig7(0, 55, 2.5))
 	case "fig9":
 		res := experiments.Fig9(opts)
-		fmt.Print(res.FormatGain(*maxRows))
-		fmt.Print(res.FormatBER(*maxRows))
+		fmt.Fprint(stdout, res.FormatGain(*maxRows))
+		fmt.Fprint(stdout, res.FormatBER(*maxRows))
 	case "fig10":
 		res := experiments.Fig10(opts)
-		fmt.Print(res.FormatGain(*maxRows))
-		fmt.Print(res.FormatBER(*maxRows))
+		fmt.Fprint(stdout, res.FormatGain(*maxRows))
+		fmt.Fprint(stdout, res.FormatBER(*maxRows))
 	case "fig12":
 		res := experiments.Fig12(opts)
-		fmt.Print(res.FormatGain(*maxRows))
-		fmt.Print(res.FormatBER(*maxRows))
+		fmt.Fprint(stdout, res.FormatGain(*maxRows))
+		fmt.Fprint(stdout, res.FormatBER(*maxRows))
 	case "fig13":
-		fmt.Print(experiments.Fig13(opts, -3, 4, 1))
+		fmt.Fprint(stdout, experiments.Fig13(opts, -3, 4, 1))
 	case "summary":
-		fmt.Print(experiments.Summary(opts))
+		fmt.Fprint(stdout, experiments.Summary(opts))
 	case "ablation":
-		fmt.Print(experiments.AblationMatcher(opts))
-		fmt.Print(experiments.AblationSubtraction(*seed))
-		fmt.Print(experiments.AblationEstimator(*seed))
-		fmt.Print(experiments.AblationOverlap(opts))
+		fmt.Fprint(stdout, experiments.AblationMatcher(opts))
+		fmt.Fprint(stdout, experiments.AblationSubtraction(*seed))
+		fmt.Fprint(stdout, experiments.AblationEstimator(*seed))
+		fmt.Fprint(stdout, experiments.AblationOverlap(opts))
 	default:
-		fmt.Fprintf(os.Stderr, "ancsim: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ancsim: unknown experiment %q\n", *exp)
+		fs.Usage()
+		return 2
 	}
+	return 0
+}
+
+// registeredNames returns every registered scenario name, sorted.
+func registeredNames() []string {
+	scs := sim.Scenarios()
+	names := make([]string, 0, len(scs))
+	for _, sc := range scs {
+		names = append(names, sc.Name())
+	}
+	return names
 }
 
 // runScenario executes the ANC-versus-baselines campaign for one
-// registered scenario, or lists the registry.
-func runScenario(name string, opts experiments.Options, maxRows int) {
+// registered scenario, or lists the registry. An unknown name fails
+// with the registry enumerated, so the fix is in the error message.
+func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options, maxRows int) int {
 	if name == "list" {
-		fmt.Printf("%-10s %-22s %s\n", "name", "schemes", "description")
+		fmt.Fprintf(stdout, "%-10s %-22s %s\n", "name", "schemes", "description")
 		for _, sc := range sim.Scenarios() {
 			schemes := make([]string, 0, 3)
 			for _, s := range sc.Schemes() {
 				schemes = append(schemes, string(s))
 			}
-			fmt.Printf("%-10s %-22s %s\n", sc.Name(), strings.Join(schemes, ","), sc.Description())
+			fmt.Fprintf(stdout, "%-10s %-22s %s\n", sc.Name(), strings.Join(schemes, ","), sc.Description())
 		}
-		return
+		return 0
+	}
+	if _, ok := sim.LookupScenario(name); !ok {
+		fmt.Fprintf(stderr, "ancsim: unknown scenario %q\nregistered scenarios: %s\n",
+			name, strings.Join(registeredNames(), ", "))
+		return 2
 	}
 	res, err := experiments.ScenarioCampaign(opts, name)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ancsim: %v (try -scenario list)\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ancsim: %v\n", err)
+		return 2
 	}
-	fmt.Print(res.FormatGain(maxRows))
-	fmt.Print(res.FormatBER(maxRows))
+	fmt.Fprint(stdout, res.FormatGain(maxRows))
+	fmt.Fprint(stdout, res.FormatBER(maxRows))
+	return 0
 }

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUnknownScenarioFailsAndEnumerates is the regression test for the
+// CLI bugfix: an unknown -scenario must exit non-zero and print the
+// registered scenario names, so the operator learns the valid spellings
+// from the failure itself.
+func TestUnknownScenarioFailsAndEnumerates(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "no-such-scenario"}, &stdout, &stderr)
+	if code == 0 {
+		t.Fatal("unknown scenario exited zero")
+	}
+	out := stderr.String()
+	if !strings.Contains(out, `"no-such-scenario"`) {
+		t.Errorf("error does not name the bad scenario: %s", out)
+	}
+	for _, name := range []string{"alice-bob", "chain", "x-cross", "near-far", "fading", "chain-5"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("error does not enumerate registered scenario %q: %s", name, out)
+		}
+	}
+}
+
+func TestScenarioListSucceeds(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-scenario", "list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-scenario list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"alice-bob", "near-far", "fading", "chain-5"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("listing missing %q", name)
+		}
+	}
+}
+
+func TestUnknownFadingKindFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-fading", "warp"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown -fading value exited zero")
+	}
+	if !strings.Contains(stderr.String(), "rayleigh") {
+		t.Errorf("error does not list valid kinds: %s", stderr.String())
+	}
+}
+
+// TestHelpExitsZero preserves the pre-refactor flag.ExitOnError
+// behavior: -h prints usage and succeeds.
+func TestHelpExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-h"}, &stdout, &stderr); code != 0 {
+		t.Errorf("-h exited %d", code)
+	}
+	if !strings.Contains(stderr.String(), "-scenario") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestUnknownExperimentFails(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-exp", "fig99"}, &stdout, &stderr); code == 0 {
+		t.Fatal("unknown experiment exited zero")
+	}
+}
+
+// TestScenarioCampaignRunsWithFading drives a tiny real campaign through
+// the flag surface, fading enabled — the zero→aha smoke of the new CLI.
+func TestScenarioCampaignRunsWithFading(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "alice-bob", "-runs", "2", "-packets", "2", "-fading", "rician"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("campaign exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "CDF of throughput gain") {
+		t.Errorf("campaign output missing gain CDF: %s", stdout.String())
+	}
+}

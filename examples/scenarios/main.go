@@ -8,7 +8,12 @@
 //
 // The second half registers a scenario of its own — an asymmetric
 // Alice–Bob where Bob sits behind a much weaker uplink — to show the
-// engine runs workloads the paper never measured.
+// engine runs workloads the paper never measured. (A milder cousin of
+// this sketch ships registered as "near-far"; this one keeps a steeper
+// 3 dB handicap on the uplink only, and stays an example of out-of-tree
+// registration.) The custom Build also attaches a Mobility model to
+// Bob's uplink, so the handicapped edge drifts over the run — the
+// time-varying channel subsystem working on a hand-built edge.
 package main
 
 import (
@@ -60,11 +65,21 @@ func (asymmetric) Schemes() []anc.Scheme {
 	return []anc.Scheme{anc.SchemeANC}
 }
 
-// Build lays out alice(0) — router(1) — bob(2) with the asymmetric gains.
+// Build lays out alice(0) — router(1) — bob(2) with the asymmetric
+// gains, then replaces Bob's uplink with a mobility trace: Bob walks
+// toward and away from the router, swinging the weak edge ±3 dB while
+// its carrier phase drifts.
 func (asymmetric) Build(cfg anc.TopologyConfig, rng *rand.Rand) *anc.Topology {
 	g := anc.NewTopology(3, []string{"alice", "router", "bob"}, cfg, rng)
 	g.ConnectBoth(0, 1, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
 	g.ConnectBoth(2, 1, cfg.MeanPowerGain/2, cfg.GainJitterDB, rng)
+	base := anc.RandomLink(rng, cfg.MeanPowerGain/2, cfg.GainJitterDB)
+	g.ConnectModel(2, 1, anc.Mobility{
+		Base:        base,
+		PeriodSlots: 8,
+		SwingDB:     6,
+		DopplerRad:  0.02,
+	})
 	return g
 }
 

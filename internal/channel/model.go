@@ -1,0 +1,272 @@
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/dsp"
+)
+
+// Model is a time-varying channel: the point-to-point realization a link
+// presents during one schedule slot. The paper measures its gains on real
+// radios whose channels drift between runs and within a run; a Model is
+// that drift, made explicit and reproducible.
+//
+// Implementations must be pure functions of (model state, slot): random
+// access in any order returns the same realization, so campaign workers,
+// per-scheme reruns and resumed sweeps all see the identical channel. They
+// must also be allocation free — LinkAt sits inside the per-slot hot path
+// of every scenario schedule, and the engine's zero-allocation discipline
+// (see sim.Scratch) extends to channel evolution.
+type Model interface {
+	// LinkAt returns the link realization (gain and phase; no carrier
+	// offset — the topology layer owns per-node oscillators) for slot s.
+	LinkAt(s int) Link
+	// MeanPowerGain is the process's average power gain E[|h|²], the
+	// quantity SNR budgets and amplification factors are stated against.
+	MeanPowerGain() float64
+}
+
+// Static is the degenerate Model: the single per-run realization the
+// repository used before channel dynamics existed. Every slot sees the
+// identical Link, bit for bit, which is what keeps the pre-fading golden
+// campaigns byte-identical.
+type Static struct {
+	L Link
+}
+
+// LinkAt implements Model: the same realization at every slot.
+func (m Static) LinkAt(int) Link { return m.L }
+
+// MeanPowerGain implements Model with the realization's own power gain.
+func (m Static) MeanPowerGain() float64 { return m.L.PowerGain() }
+
+// BlockFading is Rician (K > 0) or Rayleigh (K = 0) block fading: the
+// channel holds one complex-Gaussian draw for BlockSlots consecutive
+// slots, then jumps to an independent one — the standard coherence-time
+// abstraction of a mobile channel. The specular (line-of-sight) component
+// carries K/(K+1) of the mean power at a fixed phase; the scattered
+// component is circularly-symmetric complex Gaussian with the rest.
+//
+// Block realizations are derived by hashing (Seed, block index), not by
+// advancing a generator, so LinkAt is random access: slot 700 fades the
+// same whether or not slot 699 was ever queried, and two models with one
+// Seed produce identical traces.
+type BlockFading struct {
+	// Mean is the mean power gain E[|h|²] of the process.
+	Mean float64
+	// K is the Rician K-factor, the linear power ratio of the specular
+	// component to the scattered one. 0 is Rayleigh fading.
+	K float64
+	// LOSPhase is the phase of the specular component, radians.
+	LOSPhase float64
+	// BlockSlots is the coherence time in slots; values below 1 mean 1
+	// (an independent draw every slot).
+	BlockSlots int
+	// Seed identifies this edge's fading process.
+	Seed uint64
+}
+
+// LinkAt implements Model: the Rician draw of the slot's block.
+func (m BlockFading) LinkAt(s int) Link {
+	bs := m.BlockSlots
+	if bs < 1 {
+		bs = 1
+	}
+	x, y := gaussPair(m.Seed, uint64(s/bs))
+	scatter := complex(x, y) * complex(1/math.Sqrt2, 0)
+	h := cmplx.Rect(math.Sqrt(m.K/(m.K+1)), m.LOSPhase) +
+		scatter*complex(math.Sqrt(1/(m.K+1)), 0)
+	h *= complex(math.Sqrt(m.Mean), 0)
+	return Link{Gain: cmplx.Abs(h), Phase: cmplx.Phase(h)}
+}
+
+// MeanPowerGain implements Model.
+func (m BlockFading) MeanPowerGain() float64 { return m.Mean }
+
+// Mobility is a deterministic mobility trace: the endpoint drives toward
+// and away from its peer on a periodic path, so the power gain swings
+// sinusoidally in dB around the base realization while the carrier phase
+// advances at a constant Doppler rate. Unlike BlockFading nothing is
+// random — the trace is the per-edge (Base, StartSlot) realization played
+// forward, which makes it the model of choice for debugging slot-aligned
+// effects.
+type Mobility struct {
+	// Base is the trace's reference realization (the gain and phase at a
+	// zero-crossing of the swing).
+	Base Link
+	// PeriodSlots is the length of one approach–retreat cycle in slots;
+	// values below 1 mean 1.
+	PeriodSlots int
+	// SwingDB is the peak-to-peak power-gain swing in dB.
+	SwingDB float64
+	// DopplerRad is the per-slot carrier phase advance in radians.
+	DopplerRad float64
+	// StartSlot offsets the trace, de-phasing the swings of different
+	// edges.
+	StartSlot int
+}
+
+// LinkAt implements Model: the trace realization at slot s.
+func (m Mobility) LinkAt(s int) Link {
+	period := m.PeriodSlots
+	if period < 1 {
+		period = 1
+	}
+	t := float64(s + m.StartSlot)
+	db := 0.5 * m.SwingDB * math.Sin(2*math.Pi*t/float64(period))
+	return Link{
+		Gain:  m.Base.Gain * math.Sqrt(dsp.FromDB(db)),
+		Phase: math.Mod(m.Base.Phase+m.DopplerRad*t, 2*math.Pi),
+	}
+}
+
+// MeanPowerGain implements Model. The dB-sinusoid swing is symmetric in
+// log domain, so the base realization's power is the geometric — and to
+// first order the arithmetic — mean of the process.
+func (m Mobility) MeanPowerGain() float64 { return m.Base.PowerGain() }
+
+// FadingKind selects a Model family for FadingSpec.
+type FadingKind uint8
+
+// The model families a topology can realize on its links.
+const (
+	// FadingStatic is today's single per-run realization (the zero value,
+	// so existing configurations keep their exact behavior).
+	FadingStatic FadingKind = iota
+	// FadingRayleigh is block fading with no specular component.
+	FadingRayleigh
+	// FadingRician is block fading with a line-of-sight component of
+	// K-factor FadingSpec.RicianK.
+	FadingRician
+	// FadingMobility is the deterministic mobility trace.
+	FadingMobility
+)
+
+// String renders the kind the way the ancsim -fading flag spells it.
+func (k FadingKind) String() string {
+	switch k {
+	case FadingStatic:
+		return "static"
+	case FadingRayleigh:
+		return "rayleigh"
+	case FadingRician:
+		return "rician"
+	case FadingMobility:
+		return "mobility"
+	}
+	return fmt.Sprintf("FadingKind(%d)", uint8(k))
+}
+
+// ParseFadingKind parses a -fading flag value.
+func ParseFadingKind(s string) (FadingKind, error) {
+	for _, k := range []FadingKind{FadingStatic, FadingRayleigh, FadingRician, FadingMobility} {
+		if s == k.String() {
+			return k, nil
+		}
+	}
+	return FadingStatic, fmt.Errorf("channel: unknown fading kind %q (static|rayleigh|rician|mobility)", s)
+}
+
+// Default process parameters a zero FadingSpec field falls back to.
+const (
+	// DefaultRicianK is the K-factor of a FadingRician spec that leaves
+	// RicianK zero: a moderate line-of-sight indoor channel.
+	DefaultRicianK = 4.0
+	// DefaultMobilityPeriod is the approach–retreat cycle, in slots, of a
+	// FadingMobility spec that leaves PeriodSlots zero.
+	DefaultMobilityPeriod = 16
+	// DefaultMobilitySwingDB is the peak-to-peak power swing of a
+	// FadingMobility spec that leaves SwingDB zero.
+	DefaultMobilitySwingDB = 6.0
+)
+
+// FadingSpec selects the time-varying model a topology realizes on every
+// link. The zero value is static — the pre-fading behavior — and the
+// struct is comparable so configurations embedding it stay comparable.
+type FadingSpec struct {
+	// Kind selects the model family.
+	Kind FadingKind
+	// RicianK is the K-factor for FadingRician (0 = DefaultRicianK).
+	RicianK float64
+	// BlockSlots is the block-fading coherence time in slots (0 = 1).
+	BlockSlots int
+	// PeriodSlots is the mobility cycle length (0 = DefaultMobilityPeriod).
+	PeriodSlots int
+	// SwingDB is the mobility peak-to-peak power swing
+	// (0 = DefaultMobilitySwingDB).
+	SwingDB float64
+	// DopplerRad is the mobility per-slot phase advance (rad).
+	DopplerRad float64
+}
+
+// Realize wraps one edge's drawn static realization in the spec's model,
+// drawing any per-edge process identity (fading seed, trace offset) from
+// rng. A static spec consumes no randomness at all, which is what keeps
+// the RNG stream — and therefore every golden campaign — byte-identical
+// when fading is off.
+func (spec FadingSpec) Realize(base Link, rng *rand.Rand) Model {
+	switch spec.Kind {
+	case FadingStatic:
+		return Static{L: base}
+	case FadingRayleigh, FadingRician:
+		k := 0.0
+		if spec.Kind == FadingRician {
+			k = spec.RicianK
+			if k == 0 {
+				k = DefaultRicianK
+			}
+		}
+		bs := spec.BlockSlots
+		if bs < 1 {
+			bs = 1
+		}
+		return BlockFading{
+			Mean:       base.PowerGain(),
+			K:          k,
+			LOSPhase:   base.Phase,
+			BlockSlots: bs,
+			Seed:       rng.Uint64(),
+		}
+	case FadingMobility:
+		period := spec.PeriodSlots
+		if period < 1 {
+			period = DefaultMobilityPeriod
+		}
+		swing := spec.SwingDB
+		if swing == 0 {
+			swing = DefaultMobilitySwingDB
+		}
+		return Mobility{
+			Base:        base,
+			PeriodSlots: period,
+			SwingDB:     swing,
+			DopplerRad:  spec.DopplerRad,
+			StartSlot:   rng.Intn(period),
+		}
+	}
+	panic(fmt.Sprintf("channel: unknown fading kind %v", spec.Kind))
+}
+
+// splitmix64 is the SplitMix64 finalizer: a full-avalanche 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// gaussPair derives a standard-normal pair from (seed, block) by hashing
+// into two uniforms and applying the Box–Muller transform. Pure function:
+// this is what gives BlockFading its random-access determinism.
+func gaussPair(seed, block uint64) (float64, float64) {
+	a := splitmix64(seed ^ splitmix64(block))
+	b := splitmix64(a)
+	u1 := (float64(a>>11) + 1) / (1 << 53) // (0, 1]: keeps the log finite
+	u2 := float64(b>>11) / (1 << 53)       // [0, 1)
+	r := math.Sqrt(-2 * math.Log(u1))
+	sin, cos := math.Sincos(2 * math.Pi * u2)
+	return r * cos, r * sin
+}

@@ -1,0 +1,248 @@
+package channel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestStaticModelIsBitIdentical(t *testing.T) {
+	l := Link{Gain: 0.7071, Phase: 1.234}
+	m := Static{L: l}
+	for _, s := range []int{0, 1, 17, 1 << 20} {
+		if got := m.LinkAt(s); got != l {
+			t.Fatalf("slot %d: %+v != %+v", s, got, l)
+		}
+	}
+	if m.MeanPowerGain() != l.PowerGain() {
+		t.Errorf("MeanPowerGain = %v, want %v", m.MeanPowerGain(), l.PowerGain())
+	}
+}
+
+// TestBlockFadingMeanPower: the empirical power gain of the process must
+// match the requested mean within tolerance, for Rayleigh and for a
+// range of Rician K-factors.
+func TestBlockFadingMeanPower(t *testing.T) {
+	for _, k := range []float64{0, 1, 4, 16} {
+		m := BlockFading{Mean: 0.5, K: k, LOSPhase: 0.3, BlockSlots: 1, Seed: 77}
+		var sum float64
+		const n = 20000
+		for s := 0; s < n; s++ {
+			sum += m.LinkAt(s).PowerGain()
+		}
+		avg := sum / n
+		if math.Abs(avg-0.5)/0.5 > 0.05 {
+			t.Errorf("K=%v: empirical mean power %v, want 0.5 ± 5%%", k, avg)
+		}
+	}
+}
+
+// TestBlockFadingKFactor verifies the specular/scattered power split: the
+// estimated K — specular power over scattered power, with the specular
+// component recovered as the mean of the complex gains — must match the
+// requested K-factor within tolerance.
+func TestBlockFadingKFactor(t *testing.T) {
+	for _, k := range []float64{1, 4, 10} {
+		m := BlockFading{Mean: 1, K: k, LOSPhase: 0.9, BlockSlots: 1, Seed: 5}
+		const n = 40000
+		var sumRe, sumIm, sumPow float64
+		for s := 0; s < n; s++ {
+			l := m.LinkAt(s)
+			sumRe += l.Gain * math.Cos(l.Phase)
+			sumIm += l.Gain * math.Sin(l.Phase)
+			sumPow += l.PowerGain()
+		}
+		meanRe, meanIm := sumRe/n, sumIm/n
+		specular := meanRe*meanRe + meanIm*meanIm
+		scattered := sumPow/n - specular
+		got := specular / scattered
+		if math.Abs(got-k)/k > 0.1 {
+			t.Errorf("K=%v: estimated K-factor %v, want within 10%%", k, got)
+		}
+	}
+}
+
+// TestBlockFadingRayleighPhaseUniform: with no specular component the
+// phase must be uniform — the circular mean of many draws vanishes.
+func TestBlockFadingRayleighPhaseUniform(t *testing.T) {
+	m := BlockFading{Mean: 1, K: 0, BlockSlots: 1, Seed: 9}
+	const n = 20000
+	var sumRe, sumIm float64
+	for s := 0; s < n; s++ {
+		l := m.LinkAt(s)
+		sumRe += math.Cos(l.Phase)
+		sumIm += math.Sin(l.Phase)
+	}
+	if r := math.Hypot(sumRe/n, sumIm/n); r > 0.03 {
+		t.Errorf("circular mean magnitude %v, want ≈ 0 (uniform phase)", r)
+	}
+}
+
+// TestBlockFadingCoherence: within a block the realization is constant;
+// across a block boundary it changes.
+func TestBlockFadingCoherence(t *testing.T) {
+	m := BlockFading{Mean: 1, K: 2, BlockSlots: 5, Seed: 3}
+	for s := 1; s < 5; s++ {
+		if m.LinkAt(s) != m.LinkAt(0) {
+			t.Errorf("slot %d left the first coherence block", s)
+		}
+	}
+	if m.LinkAt(5) == m.LinkAt(0) {
+		t.Error("block boundary did not re-realize the channel")
+	}
+}
+
+// TestBlockFadingRandomAccessDeterminism: LinkAt must be a pure function
+// of (model, slot) — any query order, and any reconstruction with the
+// same seed, reproduces the identical trace.
+func TestBlockFadingRandomAccessDeterminism(t *testing.T) {
+	mk := func() BlockFading { return BlockFading{Mean: 0.3, K: 4, LOSPhase: 1, BlockSlots: 2, Seed: 42} }
+	a, b := mk(), mk()
+	// Walk a forward, b backward.
+	const n = 64
+	fwd := make([]Link, n)
+	for s := 0; s < n; s++ {
+		fwd[s] = a.LinkAt(s)
+	}
+	for s := n - 1; s >= 0; s-- {
+		if got := b.LinkAt(s); got != fwd[s] {
+			t.Fatalf("slot %d: backward walk %+v != forward walk %+v", s, got, fwd[s])
+		}
+	}
+	// A different seed is a different process.
+	c := mk()
+	c.Seed = 43
+	same := 0
+	for s := 0; s < n; s++ {
+		if c.LinkAt(s) == fwd[s] {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestMobilityTrace(t *testing.T) {
+	m := Mobility{
+		Base:        Link{Gain: 0.5, Phase: 0.25},
+		PeriodSlots: 8,
+		SwingDB:     6,
+		DopplerRad:  0.01,
+	}
+	// Slot 0 sits at a zero-crossing of the swing: the base realization.
+	if l := m.LinkAt(0); math.Abs(l.Gain-0.5) > 1e-12 || math.Abs(l.Phase-0.25) > 1e-12 {
+		t.Errorf("slot 0 = %+v, want the base link", l)
+	}
+	// The quarter-period peak carries +3 dB of power, the
+	// three-quarter trough −3 dB.
+	peak := m.LinkAt(2).PowerGain() / m.Base.PowerGain()
+	trough := m.LinkAt(6).PowerGain() / m.Base.PowerGain()
+	if math.Abs(10*math.Log10(peak)-3) > 1e-9 || math.Abs(10*math.Log10(trough)+3) > 1e-9 {
+		t.Errorf("swing peak %v dB / trough %v dB, want ±3 dB",
+			10*math.Log10(peak), 10*math.Log10(trough))
+	}
+	// One full period returns to the base gain, with the phase advanced
+	// by 8 Doppler steps.
+	l := m.LinkAt(8)
+	if math.Abs(l.Gain-0.5) > 1e-12 {
+		t.Errorf("gain after one period = %v, want 0.5", l.Gain)
+	}
+	if math.Abs(l.Phase-(0.25+8*0.01)) > 1e-12 {
+		t.Errorf("phase after one period = %v, want %v", l.Phase, 0.25+8*0.01)
+	}
+	// The trace is deterministic: same model, same slot, same value.
+	if m.LinkAt(13) != m.LinkAt(13) {
+		t.Error("mobility trace not deterministic")
+	}
+}
+
+// TestRealizeStaticConsumesNoRandomness pins the golden-compatibility
+// guarantee: a static spec must leave the RNG stream untouched, so
+// campaigns without fading draw the exact pre-fading sequence.
+func TestRealizeStaticConsumesNoRandomness(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := rand.New(rand.NewSource(1)).Int63()
+	m := FadingSpec{}.Realize(Link{Gain: 1}, rng)
+	if _, ok := m.(Static); !ok {
+		t.Fatalf("zero spec realized %T, want Static", m)
+	}
+	if got := rng.Int63(); got != want {
+		t.Error("static Realize consumed randomness")
+	}
+}
+
+// TestRealizeSeedsFromRNG: fading realizations draw their process
+// identity from the run RNG, so reseeding reproduces identical traces
+// and different streams produce different ones.
+func TestRealizeSeedsFromRNG(t *testing.T) {
+	spec := FadingSpec{Kind: FadingRician, RicianK: 2, BlockSlots: 3}
+	base := Link{Gain: 0.8, Phase: 0.1}
+	a := spec.Realize(base, rand.New(rand.NewSource(7)))
+	b := spec.Realize(base, rand.New(rand.NewSource(7)))
+	for s := 0; s < 32; s++ {
+		if a.LinkAt(s) != b.LinkAt(s) {
+			t.Fatalf("same RNG seed diverged at slot %d", s)
+		}
+	}
+	c := spec.Realize(base, rand.New(rand.NewSource(8)))
+	diff := false
+	for s := 0; s < 32; s++ {
+		if c.LinkAt(s) != a.LinkAt(s) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different RNG seeds produced identical fading traces")
+	}
+}
+
+// TestRealizeDefaults: zero spec fields fall back to the documented
+// process parameters.
+func TestRealizeDefaults(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if m := (FadingSpec{Kind: FadingRician}).Realize(Link{Gain: 1}, rng).(BlockFading); m.K != DefaultRicianK {
+		t.Errorf("rician default K = %v, want %v", m.K, DefaultRicianK)
+	}
+	if m := (FadingSpec{Kind: FadingRayleigh}).Realize(Link{Gain: 1}, rng).(BlockFading); m.K != 0 || m.BlockSlots != 1 {
+		t.Errorf("rayleigh defaults: K=%v BlockSlots=%d", m.K, m.BlockSlots)
+	}
+	m := (FadingSpec{Kind: FadingMobility}).Realize(Link{Gain: 1}, rng).(Mobility)
+	if m.PeriodSlots != DefaultMobilityPeriod || m.SwingDB != DefaultMobilitySwingDB {
+		t.Errorf("mobility defaults: period=%d swing=%v", m.PeriodSlots, m.SwingDB)
+	}
+}
+
+func TestParseFadingKind(t *testing.T) {
+	for _, k := range []FadingKind{FadingStatic, FadingRayleigh, FadingRician, FadingMobility} {
+		got, err := ParseFadingKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("round trip %v: got %v, err %v", k, got, err)
+		}
+	}
+	if _, err := ParseFadingKind("warp"); err == nil {
+		t.Error("unknown kind parsed without error")
+	}
+}
+
+// TestModelsDoNotAllocate pins the per-slot hot path: realizing a link
+// at a slot must be allocation free for every model kind.
+func TestModelsDoNotAllocate(t *testing.T) {
+	models := map[string]Model{
+		"static":   Static{L: Link{Gain: 0.5, Phase: 1}},
+		"rayleigh": BlockFading{Mean: 0.5, BlockSlots: 1, Seed: 1},
+		"rician":   BlockFading{Mean: 0.5, K: 4, BlockSlots: 2, Seed: 2},
+		"mobility": Mobility{Base: Link{Gain: 0.5}, PeriodSlots: 8, SwingDB: 6, DopplerRad: 0.01},
+	}
+	for name, m := range models {
+		s := 0
+		allocs := testing.AllocsPerRun(200, func() {
+			_ = m.LinkAt(s)
+			s++
+		})
+		if allocs != 0 {
+			t.Errorf("%s: LinkAt allocates %.1f objects per slot", name, allocs)
+		}
+	}
+}

@@ -124,10 +124,13 @@ func TestGoldenSummary(t *testing.T) {
 	compareGolden(t, "summary.golden", Summary(goldenOpts()))
 }
 
-// TestGoldenNewScenarios pins the two engine-unlocked scenarios the same
-// way, so they are as regression-protected as the paper's.
+// TestGoldenNewScenarios pins the engine-unlocked scenarios the same
+// way, so they are as regression-protected as the paper's. The list
+// includes the channel-dynamics scenarios: their fading and mobility
+// traces are seeded from the run RNG, so the rendered series are as
+// deterministic as the static ones.
 func TestGoldenNewScenarios(t *testing.T) {
-	for _, name := range []string{"pairs", "x-cross"} {
+	for _, name := range []string{"pairs", "x-cross", "near-far", "fading", "chain-5"} {
 		res, err := ScenarioCampaign(goldenOpts(), name)
 		if err != nil {
 			t.Fatal(err)

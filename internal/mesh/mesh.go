@@ -35,13 +35,18 @@ type Config struct {
 	SamplesPerSymbol int
 	// PayloadBytes per packet (default 96).
 	PayloadBytes int
-	// SNRdB per link (default 25).
-	SNRdB float64
+	// SNRdB per link. nil means the default 25 dB; set it with Ptr —
+	// Ptr(0) is a legitimate 0 dB session, not a request for the default.
+	SNRdB *float64
 	// Cycles is the number of trigger rounds to run (default 10).
 	Cycles int
 	// Seed drives all randomness.
 	Seed int64
 }
+
+// Ptr wraps a value for the Config fields whose zero is meaningful: nil
+// means "use the default", Ptr(v) means exactly v — including v = 0.
+func Ptr(v float64) *float64 { return &v }
 
 func (c Config) withDefaults() Config {
 	if c.SamplesPerSymbol == 0 {
@@ -50,8 +55,8 @@ func (c Config) withDefaults() Config {
 	if c.PayloadBytes == 0 {
 		c.PayloadBytes = 96
 	}
-	if c.SNRdB == 0 {
-		c.SNRdB = 25
+	if c.SNRdB == nil {
+		c.SNRdB = Ptr(25)
 	}
 	if c.Cycles == 0 {
 		c.Cycles = 10
@@ -111,7 +116,7 @@ func NewSession(cfg Config) *Session {
 	modem := msk.New(msk.WithSamplesPerSymbol(cfg.SamplesPerSymbol))
 	tc := topology.DefaultConfig()
 	g := topology.AliceBob(tc, rng)
-	floor := tc.MeanPowerGain / dsp.FromDB(cfg.SNRdB)
+	floor := tc.MeanPowerGain / dsp.FromDB(*cfg.SNRdB)
 	mk := func(id uint16) *radio.Node {
 		return radio.NewNode(id, modem, floor, func(c *core.Config) {
 			c.FallbackFrameBits = frame.FrameBits(cfg.PayloadBytes)

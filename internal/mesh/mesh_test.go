@@ -91,7 +91,22 @@ func TestStatsString(t *testing.T) {
 
 func TestDefaults(t *testing.T) {
 	s := NewSession(Config{Seed: 9})
-	if s.cfg.PayloadBytes != 96 || s.cfg.Cycles != 10 || s.cfg.SNRdB != 25 {
+	if s.cfg.PayloadBytes != 96 || s.cfg.Cycles != 10 || *s.cfg.SNRdB != 25 {
 		t.Errorf("defaults: %+v", s.cfg)
+	}
+}
+
+// TestZeroSNRIsRespected is the regression test for the withDefaults
+// zero-value trap: an explicit 0 dB session must keep its 0 dB — the
+// receiver noise floor rises to the mean channel power instead of being
+// silently recalibrated to the 25 dB default.
+func TestZeroSNRIsRespected(t *testing.T) {
+	quiet := NewSession(Config{Seed: 9, SNRdB: Ptr(0)})
+	if *quiet.cfg.SNRdB != 0 {
+		t.Fatalf("withDefaults rewrote explicit 0 dB to %v", *quiet.cfg.SNRdB)
+	}
+	loud := NewSession(Config{Seed: 9})
+	if quiet.floor <= loud.floor {
+		t.Errorf("0 dB noise floor %v not above default-SNR floor %v", quiet.floor, loud.floor)
 	}
 }

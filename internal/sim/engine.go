@@ -99,6 +99,11 @@ func (eng *Engine) RunReusing(sc Scenario, scheme Scheme, seed int64, scratch *S
 	}
 	var m Metrics
 	for i := 0; i < e.cfg.Packets; i++ {
+		// One schedule cycle is one channel-model slot: every link the
+		// step observes is realized at slot i. Static models make this a
+		// no-op; fading and mobility models evolve in place (no per-slot
+		// allocation — the realization is computed on demand).
+		e.graph.SetSlot(i)
 		st.Step(i, &m)
 	}
 	return m, nil

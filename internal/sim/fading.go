@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/channel"
+	"repro/internal/cope"
+	"repro/internal/topology"
+)
+
+// fadingDefaultSpec is the channel evolution the fading scenario applies
+// when the caller's topology config does not choose one itself: Rician
+// block fading with the default K-factor, holding each draw for two
+// schedule cycles — a line-of-sight link under pedestrian mobility.
+// Rician rather than Rayleigh because the paper's testbed is
+// line-of-sight lab space; -fading rayleigh on the CLI overrides it.
+var fadingDefaultSpec = channel.FadingSpec{Kind: channel.FadingRician, BlockSlots: 2}
+
+// fadingBuild is topology.AliceBob under the scenario's fading default.
+// A non-static spec in the incoming config (the ancsim -fading flag)
+// wins, so the scenario composes with CLI-selected channel models. The
+// test is on Kind, not the whole spec: stray process parameters with no
+// model selected (say -doppler without -fading mobility) must not turn
+// the fading scenario static.
+func fadingBuild(cfg topology.Config, rng *rand.Rand) *topology.Graph {
+	if cfg.Fading.Kind == channel.FadingStatic {
+		cfg.Fading = fadingDefaultSpec
+	}
+	return topology.AliceBob(cfg, rng)
+}
+
+// fadingScenario is the Fig. 9 exchange under time-varying channels: the
+// same schedules, but every link re-realizes per block, so the BER pool
+// (the Fig. 10-style CDF) mixes deep-fade and strong-channel decodes
+// instead of sampling one realization per run.
+var fadingScenario = &simpleScenario{
+	name:  "fading",
+	desc:  "Alice–Bob under Rician block fading: links re-realize every two cycles",
+	build: fadingBuild,
+	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
+	start: map[Scheme]func(*Env) StepFunc{
+		SchemeANC: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepAliceBobANC(e, m, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+		SchemeRouting: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepAliceBobTraditional(e, m, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+		SchemeCOPE: func(e *Env) StepFunc {
+			pool := cope.NewPool()
+			return func(i int, m *Metrics) {
+				stepAliceBobCOPE(e, m, pool, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+	},
+}
+
+func init() { Register(fadingScenario) }
+
+// Fading returns the registered block-fading Alice–Bob scenario.
+func Fading() Scenario { return fadingScenario }

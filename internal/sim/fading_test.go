@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/channel"
+	"repro/internal/topology"
+)
+
+// TestFadingScenarioEvolvesChannel pins the tentpole threading: the
+// fading scenario's links re-realize across schedule slots, while the
+// static scenarios see one realization at every slot.
+func TestFadingScenarioEvolvesChannel(t *testing.T) {
+	cfg := topology.DefaultConfig()
+	faded := fadingBuild(cfg, rand.New(rand.NewSource(11)))
+	a, _ := faded.LinkAt(topology.Alice, topology.Router, 0)
+	b, _ := faded.LinkAt(topology.Alice, topology.Router, 100)
+	if a == b {
+		t.Error("fading link identical at slots 0 and 100")
+	}
+	static := topology.AliceBob(cfg, rand.New(rand.NewSource(11)))
+	for _, slot := range []int{0, 1, 100} {
+		static.SetSlot(slot)
+		l, _ := static.Link(topology.Alice, topology.Router)
+		first, _ := static.LinkAt(topology.Alice, topology.Router, 0)
+		if l != first {
+			t.Errorf("static link drifted at slot %d: %+v != %+v", slot, l, first)
+		}
+	}
+}
+
+// TestFadingScenarioIgnoresStrayProcessParams: a spec that sets process
+// parameters without selecting a model (ancsim -doppler without
+// -fading) must not turn the fading scenario static — only an explicit
+// non-static Kind overrides its default.
+func TestFadingScenarioIgnoresStrayProcessParams(t *testing.T) {
+	cfg := topology.DefaultConfig()
+	cfg.Fading = channel.FadingSpec{Kind: channel.FadingStatic, DopplerRad: 0.02}
+	g := fadingBuild(cfg, rand.New(rand.NewSource(11)))
+	a, _ := g.LinkAt(topology.Alice, topology.Router, 0)
+	b, _ := g.LinkAt(topology.Alice, topology.Router, 100)
+	if a == b {
+		t.Error("stray DopplerRad made the fading scenario static")
+	}
+}
+
+// TestFadingRunDiffersFromStatic: the same schedule over the same seed
+// must produce different metrics once the channel evolves — otherwise
+// the per-slot realization is not actually reaching the receptions.
+func TestFadingRunDiffersFromStatic(t *testing.T) {
+	eng := NewEngine(Config{Packets: 4})
+	staticRun, err := eng.Run(AliceBob(), SchemeANC, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fadedRun, err := eng.Run(Fading(), SchemeANC, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staticRun.Throughput() == fadedRun.Throughput() && staticRun.MeanBER() == fadedRun.MeanBER() {
+		t.Error("fading scenario produced metrics identical to the static one")
+	}
+}
+
+// TestFadingConfigThreadsThroughEngine: a fading spec set on the engine
+// configuration (the ancsim -fading path) must reach every scenario's
+// links, not only the fading scenario's.
+func TestFadingConfigThreadsThroughEngine(t *testing.T) {
+	cfg := Config{Packets: 3}
+	cfg.Topology = topology.DefaultConfig()
+	cfg.Topology.Fading = channel.FadingSpec{Kind: channel.FadingRayleigh}
+	faded, err := NewEngine(cfg).Run(AliceBob(), SchemeANC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewEngine(Config{Packets: 3}).Run(AliceBob(), SchemeANC, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faded.Throughput() == plain.Throughput() && faded.MeanBER() == plain.MeanBER() {
+		t.Error("engine-level fading config did not change the alice-bob run")
+	}
+}
+
+// TestNearFarAsymmetry: the cell-edge handicap must be visible — Bob's
+// weak uplink raises the ANC BER pool above the symmetric cell's on the
+// same seeds.
+func TestNearFarAsymmetry(t *testing.T) {
+	eng := NewEngine(Config{Packets: 4})
+	var sym, asym float64
+	for seed := int64(1); seed <= 3; seed++ {
+		s, err := eng.Run(AliceBob(), SchemeANC, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := eng.Run(NearFar(), SchemeANC, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sym += s.MeanBER()
+		asym += a.MeanBER()
+	}
+	if asym <= sym {
+		t.Errorf("near-far mean BER %v not above symmetric %v", asym/3, sym/3)
+	}
+}
+
+// TestChainNGainGrowsWithLength: the point of the generalized chain —
+// ANC pipelines any length into two slots per packet, so the gain over
+// sequential routing grows with the hop count (Fig. 2's 3→2 becomes
+// hops→2).
+func TestChainNGainGrowsWithLength(t *testing.T) {
+	eng := NewEngine(Config{Packets: 4})
+	gain := func(sc Scenario, seed int64) float64 {
+		a, err := eng.Run(sc, SchemeANC, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := eng.Run(sc, SchemeRouting, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a.Throughput() / r.Throughput()
+	}
+	var short, long float64
+	for seed := int64(1); seed <= 3; seed++ {
+		short += gain(Chain(), seed)
+		long += gain(MustScenario("chain-5"), seed)
+	}
+	if long <= short {
+		t.Errorf("chain-5 mean gain %v not above 3-hop chain %v", long/3, short/3)
+	}
+}
+
+// TestGraphLinkAtDoesNotAllocate pins the zero-allocation discipline on
+// the per-slot hot path: realizing any model kind at a slot — what every
+// schedule does through Graph.Link — must not allocate.
+func TestGraphLinkAtDoesNotAllocate(t *testing.T) {
+	for _, spec := range []channel.FadingSpec{
+		{},
+		{Kind: channel.FadingRayleigh, BlockSlots: 2},
+		{Kind: channel.FadingRician, RicianK: 8},
+		{Kind: channel.FadingMobility, DopplerRad: 0.01},
+	} {
+		cfg := topology.DefaultConfig()
+		cfg.Fading = spec
+		g := topology.AliceBob(cfg, rand.New(rand.NewSource(3)))
+		slot := 0
+		allocs := testing.AllocsPerRun(100, func() {
+			g.SetSlot(slot)
+			slot++
+			if _, ok := g.Link(topology.Alice, topology.Router); !ok {
+				t.Fatal("link missing")
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%v: per-slot link realization allocates %.1f objects", spec.Kind, allocs)
+		}
+	}
+}

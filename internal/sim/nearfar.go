@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/cope"
+	"repro/internal/topology"
+)
+
+// nearFarPowerRatio is the far endpoint's power handicap: Bob's links
+// carry half of Alice's power (−3 dB), the cell-edge client of an
+// asymmetric-SNR cell — the examples/scenarios sketch, promoted. The
+// Lemma 6.1 phase solver feeds on exactly this amplitude gap, while the
+// weak uplink raises Bob-side BER; past about 6 dB of asymmetry the
+// interference decode degrades faster than the clean hops and the ANC
+// gain inverts, which is the regime boundary the scenario probes.
+const nearFarPowerRatio = 0.5
+
+// nearFarBuild lays out alice(0) — router(1) — bob(2) with Bob's links
+// drawn around the handicapped mean. This promotes the
+// examples/scenarios sketch into the registry.
+func nearFarBuild(cfg topology.Config, rng *rand.Rand) *topology.Graph {
+	g := topology.New(3, []string{"alice", "router", "bob"}, cfg, rng)
+	g.ConnectBoth(topology.Alice, topology.Router, cfg.MeanPowerGain, cfg.GainJitterDB, rng)
+	g.ConnectBoth(topology.Bob, topology.Router, cfg.MeanPowerGain*nearFarPowerRatio, cfg.GainJitterDB, rng)
+	return g
+}
+
+// nearFar is the asymmetric-SNR Alice–Bob cell: the Fig. 1 schedules
+// verbatim, over a topology where Bob sits at the cell edge.
+var nearFar = &simpleScenario{
+	name:  "near-far",
+	desc:  "Alice–Bob cell with Bob at the cell edge: his links carry 3 dB less power",
+	build: nearFarBuild,
+	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
+	start: map[Scheme]func(*Env) StepFunc{
+		SchemeANC: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepAliceBobANC(e, m, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+		SchemeRouting: func(e *Env) StepFunc {
+			return func(i int, m *Metrics) {
+				stepAliceBobTraditional(e, m, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+		SchemeCOPE: func(e *Env) StepFunc {
+			pool := cope.NewPool()
+			return func(i int, m *Metrics) {
+				stepAliceBobCOPE(e, m, pool, topology.Alice, topology.Router, topology.Bob)
+			}
+		},
+	},
+}
+
+func init() { Register(nearFar) }
+
+// NearFar returns the registered asymmetric-SNR cell scenario.
+func NearFar() Scenario { return nearFar }

@@ -10,7 +10,7 @@ func engineCfg() Config {
 }
 
 func TestRegistryHasPaperAndNewScenarios(t *testing.T) {
-	for _, name := range []string{"alice-bob", "x", "chain", "pairs", "pairs4", "x-cross"} {
+	for _, name := range []string{"alice-bob", "x", "chain", "pairs", "pairs4", "x-cross", "near-far", "fading", "chain-5"} {
 		if _, ok := LookupScenario(name); !ok {
 			t.Errorf("scenario %q not registered", name)
 		}
@@ -111,31 +111,46 @@ func TestScenariosANCBeatsRouting(t *testing.T) {
 
 // TestCampaignMatchesSequentialRuns pins the worker pool to the
 // single-goroutine path: the campaign matrix must equal run-by-run
-// results, independent of scheduling and scratch reuse.
+// results, independent of scheduling and scratch reuse. The sweep
+// includes the time-varying scenarios, so per-slot channel evolution is
+// covered by the equivalence too.
 func TestCampaignMatchesSequentialRuns(t *testing.T) {
-	sc := AliceBob()
-	eng := NewEngine(engineCfg())
-	schemes := []Scheme{SchemeANC, SchemeRouting, SchemeCOPE}
-	seeds := []int64{5, 17, 101, 4242}
-	rows, err := eng.Campaign(sc, schemes, seeds)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != len(seeds) {
-		t.Fatalf("%d rows, want %d", len(rows), len(seeds))
-	}
-	for i, seed := range seeds {
-		for j, scheme := range schemes {
-			want, err := eng.Run(sc, scheme, seed)
+	for _, tc := range []struct {
+		sc    Scenario
+		seeds []int64
+	}{
+		{AliceBob(), []int64{5, 17, 101, 4242}},
+		{MustScenario("near-far"), []int64{5, 17}},
+		{MustScenario("fading"), []int64{5, 17}},
+		{MustScenario("chain-5"), []int64{5, 17}},
+	} {
+		sc := tc.sc
+		seeds := tc.seeds
+		t.Run(sc.Name(), func(t *testing.T) {
+			t.Parallel()
+			eng := NewEngine(engineCfg())
+			schemes := sc.Schemes()
+			rows, err := eng.Campaign(sc, schemes, seeds)
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := rows[i][j]
-			if got.Throughput() != want.Throughput() || got.MeanBER() != want.MeanBER() ||
-				got.Delivered != want.Delivered || got.Lost != want.Lost {
-				t.Errorf("seed %d scheme %s: campaign %+v != sequential %+v", seed, scheme, got, want)
+			if len(rows) != len(seeds) {
+				t.Fatalf("%d rows, want %d", len(rows), len(seeds))
 			}
-		}
+			for i, seed := range seeds {
+				for j, scheme := range schemes {
+					want, err := eng.Run(sc, scheme, seed)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := rows[i][j]
+					if got.Throughput() != want.Throughput() || got.MeanBER() != want.MeanBER() ||
+						got.Delivered != want.Delivered || got.Lost != want.Lost {
+						t.Errorf("seed %d scheme %s: campaign %+v != sequential %+v", seed, scheme, got, want)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -51,17 +51,20 @@ type Config struct {
 	SamplesPerSymbol int
 	// PayloadBytes per packet (default 128).
 	PayloadBytes int
-	// SNRdB is the nominal per-link SNR at the mean channel gain
-	// (default 25 dB — the paper: "WLANs operate at SNR around 25-40dB").
-	SNRdB float64
+	// SNRdB is the nominal per-link SNR at the mean channel gain. nil
+	// means the default 25 dB (the paper: "WLANs operate at SNR around
+	// 25-40dB"); set it with Ptr — Ptr(0) is a legitimate 0 dB run, not
+	// a request for the default.
+	SNRdB *float64
 	// Topology holds the channel realization parameters.
 	Topology topology.Config
 	// Delay is the §7.2 random-delay configuration; derived from the
 	// frame length when zero (mean overlap ≈ 80%).
 	Delay mac.DelayConfig
 	// GuardFrac is the per-transmission turnaround overhead as a fraction
-	// of the frame duration (default 0.08).
-	GuardFrac float64
+	// of the frame duration. nil means the default 0.08; Ptr(0) disables
+	// the guard entirely.
+	GuardFrac *float64
 	// Packets is the number of exchanges (or delivered packets, for the
 	// chain) per run (default 25; the paper used 1000 — the statistic is
 	// a mean, so the run count matters more than the per-run count).
@@ -72,6 +75,11 @@ type Config struct {
 	// (used by the matcher ablations).
 	DecoderTweak func(*core.Config)
 }
+
+// Ptr wraps a value for the Config fields whose zero is meaningful
+// (SNRdB, GuardFrac): nil means "use the default", Ptr(v) means exactly
+// v — including v = 0.
+func Ptr(v float64) *float64 { return &v }
 
 // DefaultConfig returns the repository-default experiment parameters.
 func DefaultConfig() Config {
@@ -85,14 +93,21 @@ func (c Config) withDefaults() Config {
 	if c.PayloadBytes == 0 {
 		c.PayloadBytes = 128
 	}
-	if c.SNRdB == 0 {
-		c.SNRdB = 25
+	if c.SNRdB == nil {
+		c.SNRdB = Ptr(25)
 	}
-	if c.Topology == (topology.Config{}) {
+	// The topology default applies when no channel parameters were set —
+	// including when only a fading model was chosen (the README's
+	// "campaign-wide fading" path), which must not zero out every gain.
+	sansFading := c.Topology
+	sansFading.Fading = channel.FadingSpec{}
+	if sansFading == (topology.Config{}) {
+		fading := c.Topology.Fading
 		c.Topology = topology.DefaultConfig()
+		c.Topology.Fading = fading
 	}
-	if c.GuardFrac == 0 {
-		c.GuardFrac = 0.08
+	if c.GuardFrac == nil {
+		c.GuardFrac = Ptr(0.08)
 	}
 	if c.Packets == 0 {
 		c.Packets = 25
@@ -194,7 +209,7 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 	rng := rand.New(rand.NewSource(seed))
 	modem := msk.New(msk.WithSamplesPerSymbol(cfg.SamplesPerSymbol))
 	g := build(cfg.Topology, rng)
-	floor := cfg.Topology.MeanPowerGain / dsp.FromDB(cfg.SNRdB)
+	floor := cfg.Topology.MeanPowerGain / dsp.FromDB(*cfg.SNRdB)
 	fixedFrame := frame.FrameBits(cfg.PayloadBytes)
 	nodes := make([]*radio.Node, g.N)
 	ws := scratch.Workspace()
@@ -220,7 +235,7 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 		nodes:      nodes,
 		noiseFloor: floor,
 		frameLen:   L,
-		guard:      mac.Guard(cfg.GuardFrac, L),
+		guard:      mac.Guard(*cfg.GuardFrac, L),
 		tailPad:    4 * window,
 		scratch:    scratch,
 		noiseSrc:   dsp.NewNoiseSource(floor, 0),

@@ -163,7 +163,7 @@ func TestDeterministicRuns(t *testing.T) {
 
 func TestDefaultsDerived(t *testing.T) {
 	cfg := DefaultConfig()
-	if cfg.PayloadBytes != 128 || cfg.SamplesPerSymbol != 4 || cfg.SNRdB != 25 {
+	if cfg.PayloadBytes != 128 || cfg.SamplesPerSymbol != 4 || *cfg.SNRdB != 25 || *cfg.GuardFrac != 0.08 {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
 	if err := cfg.Delay.Validate(); err != nil {

@@ -4,6 +4,14 @@
 // random channel realizations: every link gets an attenuation drawn
 // around its mean, a uniform phase, and a residual carrier offset from
 // the oscillator mismatch of its endpoints.
+//
+// Every edge is a time-varying channel.Model, not a bare gain: the
+// Config's FadingSpec chooses how each link evolves over the schedule
+// slots of a run (static, Rayleigh/Rician block fading, or a
+// deterministic mobility trace). The graph keeps a current-slot cursor
+// (SetSlot) so schedule code written against Link sees the evolving
+// channel without changing a call site; Static models make every slot
+// identical, preserving the pre-fading behavior bit for bit.
 package topology
 
 import (
@@ -15,11 +23,16 @@ import (
 
 // Graph is a set of nodes with directed links. Absent links model nodes
 // out of radio range (the chain's N1→N4, for example).
+//
+// A Graph is one run's channel realization and is not safe for
+// concurrent use: SetSlot advances its time cursor in place.
 type Graph struct {
-	N     int
-	names []string
-	links map[[2]int]channel.Link
-	cfo   []float64 // per-node oscillator offset, rad/sample
+	N      int
+	names  []string
+	links  map[[2]int]channel.Model
+	cfo    []float64 // per-node oscillator offset, rad/sample
+	fading channel.FadingSpec
+	slot   int // current schedule slot, set by the engine
 }
 
 // Config controls the channel realizations.
@@ -40,6 +53,10 @@ type Config struct {
 	// CrossPowerGain is the mean power gain of the weak interference
 	// paths in the "X" topology (N3→N2, N1→N4) that corrupt overhearing.
 	CrossPowerGain float64
+	// Fading selects the time-varying model realized on every link. The
+	// zero value is static — one realization per run, the behavior every
+	// golden campaign is pinned to.
+	Fading channel.FadingSpec
 }
 
 // DefaultConfig returns the channel parameters used by the experiments.
@@ -59,10 +76,11 @@ func DefaultConfig() Config {
 // the same per-run channel randomization as the canonical topologies.
 func New(n int, names []string, cfg Config, rng *rand.Rand) *Graph {
 	g := &Graph{
-		N:     n,
-		names: names,
-		links: make(map[[2]int]channel.Link),
-		cfo:   make([]float64, n),
+		N:      n,
+		names:  names,
+		links:  make(map[[2]int]channel.Model),
+		cfo:    make([]float64, n),
+		fading: cfg.Fading,
 	}
 	for i := range g.cfo {
 		g.cfo[i] = (rng.Float64()*2 - 1) * cfg.CFORange
@@ -70,9 +88,12 @@ func New(n int, names []string, cfg Config, rng *rand.Rand) *Graph {
 	return g
 }
 
-// Connect adds a directed link i→j with the given mean power gain.
+// Connect adds a directed link i→j with the given mean power gain,
+// wrapped in the graph's fading model: the static realization is drawn
+// exactly as before (same RNG stream), then handed to the FadingSpec to
+// evolve over slots.
 func (g *Graph) Connect(i, j int, mean, jitterDB float64, rng *rand.Rand) {
-	g.links[[2]int{i, j}] = channel.RandomLink(rng, mean, jitterDB)
+	g.links[[2]int{i, j}] = g.fading.Realize(channel.RandomLink(rng, mean, jitterDB), rng)
 }
 
 // ConnectBoth adds links in both directions (independent realizations —
@@ -82,16 +103,44 @@ func (g *Graph) ConnectBoth(i, j int, mean, jitterDB float64, rng *rand.Rand) {
 	g.Connect(j, i, mean, jitterDB, rng)
 }
 
-// Link returns the directed channel i→j with the relative carrier offset
-// of the endpoints applied, and whether the nodes are in range.
+// ConnectModel adds a directed link i→j backed by an explicit channel
+// model, bypassing the graph's FadingSpec — how custom scenarios mix
+// static and time-varying edges in one network.
+func (g *Graph) ConnectModel(i, j int, m channel.Model) {
+	g.links[[2]int{i, j}] = m
+}
+
+// Link returns the directed channel i→j realized at the graph's current
+// slot, with the relative carrier offset of the endpoints applied, and
+// whether the nodes are in range.
 func (g *Graph) Link(i, j int) (channel.Link, bool) {
-	l, ok := g.links[[2]int{i, j}]
+	return g.LinkAt(i, j, g.slot)
+}
+
+// LinkAt is Link at an explicit slot, independent of the cursor.
+func (g *Graph) LinkAt(i, j, slot int) (channel.Link, bool) {
+	m, ok := g.links[[2]int{i, j}]
 	if !ok {
 		return channel.Link{}, false
 	}
+	l := m.LinkAt(slot)
 	l.FreqOffset = g.cfo[i] - g.cfo[j]
 	return l, true
 }
+
+// Model returns the channel model backing the directed link i→j.
+func (g *Graph) Model(i, j int) (channel.Model, bool) {
+	m, ok := g.links[[2]int{i, j}]
+	return m, ok
+}
+
+// SetSlot moves the graph's time cursor: subsequent Link calls realize
+// every edge at slot s. The engine advances it once per schedule cycle;
+// a graph that is never advanced behaves statically.
+func (g *Graph) SetSlot(s int) { g.slot = s }
+
+// Slot returns the current time cursor.
+func (g *Graph) Slot() int { return g.slot }
 
 // InRange reports whether i can be heard by j.
 func (g *Graph) InRange(i, j int) bool {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"repro/internal/channel"
 )
 
 func TestAliceBobConnectivity(t *testing.T) {
@@ -148,6 +150,69 @@ func TestXCrossConnectivity(t *testing.T) {
 	}
 	if g.InRange(XCrossAlice, X1) || g.InRange(XCrossAlice, XCrossBob) {
 		t.Error("cross-traffic pair has spurious links")
+	}
+}
+
+// TestFadingConfigRealizesTimeVaryingLinks: a fading spec in the config
+// must make every link evolve over slots, reachable both through the
+// explicit LinkAt and through the cursor-following Link.
+func TestFadingConfigRealizesTimeVaryingLinks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Fading = channel.FadingSpec{Kind: channel.FadingRayleigh, BlockSlots: 1}
+	g := AliceBob(cfg, rand.New(rand.NewSource(10)))
+	a, ok := g.LinkAt(Alice, Router, 0)
+	if !ok {
+		t.Fatal("link missing")
+	}
+	b, _ := g.LinkAt(Alice, Router, 1)
+	if a == b {
+		t.Error("rayleigh link identical across adjacent slots")
+	}
+	g.SetSlot(1)
+	if got, _ := g.Link(Alice, Router); got != b {
+		t.Errorf("cursor Link %+v != LinkAt(1) %+v", got, b)
+	}
+	if g.Slot() != 1 {
+		t.Errorf("Slot() = %d", g.Slot())
+	}
+	// The CFO stays a per-node property, applied on top of any model.
+	up, _ := g.LinkAt(Alice, Router, 3)
+	down, _ := g.LinkAt(Router, Alice, 3)
+	if math.Abs(up.FreqOffset+down.FreqOffset) > 1e-15 {
+		t.Error("CFO antisymmetry lost under fading")
+	}
+}
+
+// TestStaticGraphSlotInvariant pins the golden-compatibility contract:
+// without a fading spec, moving the slot cursor never changes a link.
+func TestStaticGraphSlotInvariant(t *testing.T) {
+	g := AliceBob(DefaultConfig(), rand.New(rand.NewSource(12)))
+	want, _ := g.Link(Alice, Router)
+	for _, s := range []int{1, 5, 1000} {
+		g.SetSlot(s)
+		if got, _ := g.Link(Alice, Router); got != want {
+			t.Fatalf("slot %d changed a static link: %+v != %+v", s, got, want)
+		}
+	}
+}
+
+// TestConnectModel: custom scenarios can attach an explicit model to one
+// edge, bypassing the graph-wide spec.
+func TestConnectModel(t *testing.T) {
+	g := New(2, []string{"a", "b"}, DefaultConfig(), rand.New(rand.NewSource(1)))
+	g.ConnectModel(0, 1, channel.Mobility{
+		Base: channel.Link{Gain: 0.9}, PeriodSlots: 4, SwingDB: 6,
+	})
+	if _, ok := g.Model(0, 1); !ok {
+		t.Fatal("model accessor missing the edge")
+	}
+	l0, _ := g.LinkAt(0, 1, 0)
+	l1, _ := g.LinkAt(0, 1, 1)
+	if l0.Gain == l1.Gain {
+		t.Error("mobility edge did not swing")
+	}
+	if _, ok := g.Model(1, 0); ok {
+		t.Error("reverse edge exists without Connect")
 	}
 }
 
