@@ -295,6 +295,9 @@ const (
 
 // Engine runs scenarios: per-run seeding, channel realization, node
 // lifecycle, reusable reception buffers and the campaign worker pool.
+// Engine.CampaignStream delivers per-seed rows to a Sink in seed order
+// while holding O(workers) rows in memory; Engine.Campaign materializes
+// the matrix.
 type Engine = sim.Engine
 
 // NewEngine returns a scenario engine for the given configuration.
@@ -304,11 +307,45 @@ func NewEngine(cfg SimConfig) *Engine { return sim.NewEngine(cfg) }
 // nodes, the channel realization, the run RNG and the reception buffers.
 type Env = sim.Env
 
-// Stepper advances one run by one schedule cycle.
+// Stepper advances one run by one schedule cycle, emitting observations
+// into the run's Recorder.
 type Stepper = sim.Stepper
 
 // StepFunc adapts a function to the Stepper interface.
 type StepFunc = sim.StepFunc
+
+// Recorder consumes the typed observations a schedule emits: deliveries,
+// losses, interference-decode BERs, collision overlaps, air time, and
+// per-slot link states. Metrics is the default accumulating Recorder;
+// TraceRecorder additionally retains per-slot channel gains; custom
+// implementations stream observations wherever analysis wants them.
+type Recorder = sim.Recorder
+
+// TraceRecorder is a Recorder that retains every edge's per-slot power
+// gain alongside the usual Metrics — the raw material of outage
+// statistics for fading and mobility campaigns.
+type TraceRecorder = sim.TraceRecorder
+
+// NewTraceRecorder returns an empty trace recorder.
+func NewTraceRecorder() *TraceRecorder { return sim.NewTraceRecorder() }
+
+// LinkTrace is one directed edge's per-slot power-gain trace.
+type LinkTrace = sim.LinkTrace
+
+// Row is one seed's streamed campaign outcome: per-scheme metrics (and,
+// with WithLinkTraces, per-slot channel traces) delivered to a Sink in
+// seed order.
+type Row = sim.Row
+
+// Sink consumes streamed campaign rows; see Engine.CampaignStream.
+type Sink = sim.Sink
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc = sim.SinkFunc
+
+// WithLinkTraces makes a streaming campaign run every scheme under a
+// TraceRecorder, attaching per-slot link-gain traces to each Row.
+var WithLinkTraces = sim.WithLinkTraces
 
 // Scenario registry access.
 var (

@@ -16,14 +16,20 @@
 //	ancsim -scenario alice-bob -fading rayleigh   # time-varying channels
 //	ancsim -scenario near-far -fading mobility -doppler 0.02
 //
+//	ancsim -scenario alice-bob -format json        # machine-readable rows
+//	ancsim -scenario fading -format json -trace    # + per-slot outage stats
+//	ancsim -scenario pairs -format csv > rows.csv  # flat per-run table
+//
 // Every campaign is deterministic in -seed, including the fading and
-// mobility channel evolutions.
+// mobility channel evolutions. The JSON schema is documented in the
+// README ("Results & output formats").
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -51,11 +57,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fading   = fs.String("fading", "static", "per-link channel model: static|rayleigh|rician|mobility")
 		doppler  = fs.Float64("doppler", 0, "mobility-model phase advance in rad/slot (with -fading mobility)")
 		maxRows  = fs.Int("rows", 25, "max CDF rows to print")
+		format   = fs.String("format", "text", "scenario campaign output: text|json|csv")
+		trace    = fs.Bool("trace", false, "retain per-slot link gains and report outage statistics (-format json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
 		}
+		return 2
+	}
+
+	// Validate the numeric campaign parameters before any work: a
+	// mistyped flag must fail loudly with usage, not run a zero-length
+	// campaign whose empty output looks like a result.
+	if *runs <= 0 {
+		fmt.Fprintf(stderr, "ancsim: -runs must be positive, got %d\n", *runs)
+		fs.Usage()
+		return 2
+	}
+	if *packets < 0 {
+		fmt.Fprintf(stderr, "ancsim: -packets must be ≥ 0 (0 = default), got %d\n", *packets)
+		fs.Usage()
+		return 2
+	}
+	if math.IsNaN(*snr) || math.IsInf(*snr, 0) {
+		fmt.Fprintf(stderr, "ancsim: -snr must be a finite dB value, got %v\n", *snr)
+		fs.Usage()
+		return 2
+	}
+	switch *format {
+	case "text", "json", "csv":
+	default:
+		fmt.Fprintf(stderr, "ancsim: unknown -format %q (text|json|csv)\n", *format)
+		fs.Usage()
+		return 2
+	}
+	if *trace && *format != "json" {
+		fmt.Fprintf(stderr, "ancsim: -trace requires -format json (per-slot outage statistics do not fit %s output)\n", *format)
+		fs.Usage()
 		return 2
 	}
 
@@ -74,7 +113,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed}
 
 	if *scenario != "" {
-		return runScenario(stdout, stderr, *scenario, opts, *maxRows)
+		return runScenario(stdout, stderr, *scenario, opts, *maxRows, *format, *trace)
+	}
+	if *format != "text" {
+		fmt.Fprintf(stderr, "ancsim: -format %s applies to -scenario campaigns; the -exp figures are text series\n", *format)
+		return 2
 	}
 
 	switch *exp {
@@ -122,7 +165,10 @@ func registeredNames() []string {
 // runScenario executes the ANC-versus-baselines campaign for one
 // registered scenario, or lists the registry. An unknown name fails
 // with the registry enumerated, so the fix is in the error message.
-func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options, maxRows int) int {
+// format selects the output: the classic text CDF series, or the
+// streamed machine-readable forms (json carries per-run pools and, with
+// trace, per-link outage statistics; csv is a flat per-run table).
+func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options, maxRows int, format string, trace bool) int {
 	if name == "list" {
 		fmt.Fprintf(stdout, "%-10s %-22s %s\n", "name", "schemes", "description")
 		for _, sc := range sim.Scenarios() {
@@ -138,6 +184,20 @@ func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options
 		fmt.Fprintf(stderr, "ancsim: unknown scenario %q\nregistered scenarios: %s\n",
 			name, strings.Join(registeredNames(), ", "))
 		return 2
+	}
+	switch format {
+	case "json":
+		if err := experiments.WriteCampaignJSON(stdout, experiments.StreamOptions{Options: opts, Trace: trace}, name); err != nil {
+			fmt.Fprintf(stderr, "ancsim: %v\n", err)
+			return 2
+		}
+		return 0
+	case "csv":
+		if err := experiments.WriteCampaignCSV(stdout, experiments.StreamOptions{Options: opts, Trace: trace}, name); err != nil {
+			fmt.Fprintf(stderr, "ancsim: %v\n", err)
+			return 2
+		}
+		return 0
 	}
 	res, err := experiments.ScenarioCampaign(opts, name)
 	if err != nil {

@@ -1,6 +1,13 @@
 package main
 
 import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -64,6 +71,223 @@ func TestUnknownExperimentFails(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-exp", "fig99"}, &stdout, &stderr); code == 0 {
 		t.Fatal("unknown experiment exited zero")
+	}
+}
+
+// TestInvalidCampaignParameters pins the numeric-flag validation: a
+// mistyped campaign size must exit 2 with a usage message naming the
+// flag, mirroring the -scenario=<unknown> contract.
+func TestInvalidCampaignParameters(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the error must carry
+	}{
+		{"zero runs", []string{"-runs", "0"}, "-runs"},
+		{"negative runs", []string{"-runs", "-3"}, "-runs"},
+		{"negative packets", []string{"-packets", "-1"}, "-packets"},
+		{"NaN snr", []string{"-snr", "NaN"}, "-snr"},
+		{"infinite snr", []string{"-snr", "+Inf"}, "-snr"},
+		{"unknown format", []string{"-format", "xml"}, "-format"},
+		{"trace without json", []string{"-scenario", "fading", "-format", "csv", "-trace"}, "-trace"},
+		{"format without scenario", []string{"-exp", "summary", "-format", "json"}, "-format"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Errorf("error does not name %s: %s", tc.want, stderr.String())
+			}
+			if tc.name != "format without scenario" && !strings.Contains(stderr.String(), "Usage") {
+				t.Errorf("usage not printed: %s", stderr.String())
+			}
+		})
+	}
+}
+
+// updateGolden regenerates the CLI's JSON golden. The campaigns are
+// deterministic in -seed, so the machine-readable contract is pinned the
+// same way the experiments text series are.
+var updateGolden = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenJSONArgs is the pinned campaign: tiny, traced, deterministic.
+var goldenJSONArgs = []string{"-scenario", "alice-bob", "-runs", "2", "-packets", "3", "-seed", "3", "-format", "json", "-trace"}
+
+// TestGoldenJSON pins `ancsim -format json` output. Values are compared
+// as parsed JSON with a relative tolerance, so last-digit libm drift
+// across architectures does not break the pin while any schema or
+// accounting change does.
+func TestGoldenJSON(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(goldenJSONArgs, &stdout, &stderr); code != 0 {
+		t.Fatalf("campaign exited %d: %s", code, stderr.String())
+	}
+	path := filepath.Join("testdata", "alice-bob.json.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(stdout.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	var got, want any
+	if err := json.Unmarshal([]byte(stdout.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if err := json.Unmarshal(wantBytes, &want); err != nil {
+		t.Fatalf("golden is not valid JSON: %v", err)
+	}
+	compareJSON(t, "$", got, want)
+}
+
+// compareJSON walks two parsed JSON values, comparing numbers within a
+// relative tolerance and everything else exactly.
+func compareJSON(t *testing.T, path string, got, want any) {
+	t.Helper()
+	switch w := want.(type) {
+	case map[string]any:
+		g, ok := got.(map[string]any)
+		if !ok || len(g) != len(w) {
+			t.Errorf("%s: object mismatch: got %v, want %v", path, got, want)
+			return
+		}
+		for k, wv := range w {
+			gv, ok := g[k]
+			if !ok {
+				t.Errorf("%s.%s: missing", path, k)
+				continue
+			}
+			compareJSON(t, path+"."+k, gv, wv)
+		}
+	case []any:
+		g, ok := got.([]any)
+		if !ok || len(g) != len(w) {
+			t.Errorf("%s: array mismatch: got %v, want %v", path, got, want)
+			return
+		}
+		for i := range w {
+			compareJSON(t, fmt.Sprintf("%s[%d]", path, i), g[i], w[i])
+		}
+	case float64:
+		g, ok := got.(float64)
+		if !ok {
+			t.Errorf("%s: got %v, want number %v", path, got, w)
+			return
+		}
+		if g == w {
+			return
+		}
+		if math.Abs(g-w) > 1e-6*math.Max(math.Abs(g), math.Abs(w)) {
+			t.Errorf("%s: %v != golden %v", path, g, w)
+		}
+	default:
+		if got != want {
+			t.Errorf("%s: %v != golden %v", path, got, want)
+		}
+	}
+}
+
+// TestJSONRoundTrip is the machine-readable acceptance check: the traced
+// JSON document round-trips through encoding/json and carries per-run
+// gains, the BER/overlap pools, and per-slot outage statistics.
+func TestJSONRoundTrip(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "fading", "-runs", "2", "-packets", "3", "-seed", "5", "-format", "json", "-trace"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("campaign exited %d: %s", code, stderr.String())
+	}
+	var doc struct {
+		Scenario string `json:"scenario"`
+		Fading   string `json:"fading"`
+		Schemes  []string
+		Rows     []struct {
+			Run             int      `json:"run"`
+			Seed            int64    `json:"seed"`
+			GainOverRouting float64  `json:"gain_over_routing"`
+			GainOverCOPE    *float64 `json:"gain_over_cope"`
+			Schemes         []struct {
+				Scheme   string    `json:"scheme"`
+				BERs     []float64 `json:"bers"`
+				Overlaps []float64 `json:"overlaps"`
+			} `json:"schemes"`
+			Links []struct {
+				Slots          int     `json:"slots"`
+				OutageProb     float64 `json:"outage_prob"`
+				FadeMarginP5DB float64 `json:"fade_margin_p5_db"`
+			} `json:"links"`
+		} `json:"rows"`
+		Summary map[string]json.RawMessage `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &doc); err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, stdout.String())
+	}
+	if doc.Scenario != "fading" || len(doc.Rows) != 2 {
+		t.Fatalf("document shape wrong: scenario %q, %d rows", doc.Scenario, len(doc.Rows))
+	}
+	// The header reports the model the campaign actually runs: the
+	// fading scenario installs Rician block fading even though the CLI
+	// config is static.
+	if doc.Fading != "rician" {
+		t.Errorf("fading = %q, want effective model \"rician\"", doc.Fading)
+	}
+	for _, row := range doc.Rows {
+		if row.GainOverRouting <= 0 {
+			t.Errorf("run %d: non-positive gain %v", row.Run, row.GainOverRouting)
+		}
+		if row.GainOverCOPE == nil {
+			t.Errorf("run %d: missing COPE gain", row.Run)
+		}
+		if len(row.Schemes[0].BERs) == 0 || len(row.Schemes[0].Overlaps) == 0 {
+			t.Errorf("run %d: ANC pools missing: %+v", row.Run, row.Schemes[0])
+		}
+		if len(row.Links) == 0 {
+			t.Fatalf("run %d: no per-link outage statistics under -trace", row.Run)
+		}
+		for _, l := range row.Links {
+			if l.Slots != 3 {
+				t.Errorf("run %d: link traced %d slots, want 3", row.Run, l.Slots)
+			}
+			if l.OutageProb < 0 || l.OutageProb > 1 {
+				t.Errorf("run %d: outage probability %v out of range", row.Run, l.OutageProb)
+			}
+		}
+	}
+	if _, ok := doc.Summary["gain_over_routing"]; !ok {
+		t.Error("summary missing gain_over_routing")
+	}
+}
+
+// TestFormatCSV parses the CSV surface: a header plus one record per
+// run, with the gain column populated.
+func TestFormatCSV(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "chain", "-runs", "2", "-packets", "2", "-format", "csv"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("campaign exited %d: %s", code, stderr.String())
+	}
+	recs, err := csv.NewReader(strings.NewReader(stdout.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v\n%s", err, stdout.String())
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d CSV records, want header + 2 rows", len(recs))
+	}
+	if recs[0][0] != "run" || recs[0][2] != "gain_over_routing" {
+		t.Errorf("unexpected header: %v", recs[0])
+	}
+	// The chain has no COPE: the gain_over_cope column must be empty.
+	if recs[1][3] != "" {
+		t.Errorf("chain row has a COPE gain: %v", recs[1])
 	}
 }
 

@@ -90,7 +90,7 @@ func (asymmetric) Start(e *anc.Env, scheme anc.Scheme) (anc.Stepper, error) {
 		return nil, fmt.Errorf("asymmetric: unsupported scheme %q", scheme)
 	}
 	alice, bob := e.Node(0), e.Node(2)
-	return anc.StepFunc(func(i int, m *anc.Metrics) {
+	return anc.StepFunc(func(i int, r anc.Recorder) {
 		recA := alice.BuildFrame(anc.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.Payload()))
 		recB := bob.BuildFrame(anc.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.Payload()))
 
@@ -110,12 +110,12 @@ func (asymmetric) Start(e *anc.Env, scheme anc.Scheme) (anc.Stepper, error) {
 		downB, _ := e.Graph().Link(1, 2)
 		rxA := e.Receive(anc.Transmission{Signal: relayed, Link: downA})
 		rxB := e.Receive(anc.Transmission{Signal: relayed, Link: downB})
-		e.AccountANCDecode(m, alice, rxA, recB)
-		e.AccountANCDecode(m, bob, rxB, recA)
+		e.AccountANCDecode(r, alice, rxA, recB)
+		e.AccountANCDecode(r, bob, rxB, recA)
 		e.Release(rxA)
 		e.Release(rxB)
 
-		e.RecordOverlap(m, delta)
-		e.ChargeCollisionSlots(m, 2, delta)
+		e.RecordOverlap(r, delta)
+		e.ChargeCollisionSlots(r, 2, delta)
 	}), nil
 }

@@ -21,6 +21,41 @@ import (
 // letter — the matcher refinements, the amplitude estimator, the
 // subtraction strawman §6 rejects, and the overlap/throughput trade-off.
 
+// runTally is the ablations' Recorder: streaming aggregates only — BER
+// sum/count, goodput, air time, losses — with none of the per-packet
+// pools Metrics retains, so an ablation sweep's memory is O(1) however
+// many runs it spans. It is also the minimal example of the Recorder
+// contract: consume the typed observations, keep only what the analysis
+// needs.
+type runTally struct {
+	deliveredBits float64
+	timeSamples   float64
+	berSum        float64
+	berN          int
+	lost          int
+}
+
+func (t *runTally) RecordDelivered(bits float64)           { t.deliveredBits += bits }
+func (t *runTally) RecordLost(n int)                       { t.lost += n }
+func (t *runTally) RecordANCDecode(ber float64)            { t.berSum += ber; t.berN++ }
+func (t *runTally) RecordCollision(float64)                {}
+func (t *runTally) RecordAirTime(samples float64)          { t.timeSamples += samples }
+func (t *runTally) RecordLinkState(int, int, int, float64) {}
+
+func (t *runTally) throughput() float64 {
+	if t.timeSamples == 0 {
+		return 0
+	}
+	return t.deliveredBits / t.timeSamples
+}
+
+func (t *runTally) meanBER() float64 {
+	if t.berN == 0 {
+		return 0
+	}
+	return t.berSum / float64(t.berN)
+}
+
 // AblationMatcher measures the Alice–Bob BER with each matcher refinement
 // disabled in turn, against the full decoder. The refinements are this
 // implementation's additions on top of the paper's per-sample matching:
@@ -44,24 +79,18 @@ func AblationMatcher(opts Options) string {
 	var b strings.Builder
 	b.WriteString("== Ablation: interference matcher refinements (Alice–Bob BER) ==\n")
 	fmt.Fprintf(&b, "# %-26s %-12s %s\n", "variant", "mean BER", "lost")
+	scratch := sim.NewScratch()
 	for _, v := range variants {
 		cfg := opts.Sim
 		cfg.DecoderTweak = v.tweak
-		var sum float64
-		var count, lost int
+		eng := sim.NewEngine(cfg)
+		var tally runTally
 		for run := 0; run < opts.Runs; run++ {
-			m := sim.RunAliceBobANC(cfg, opts.Seed+int64(run)*127)
-			for _, ber := range m.BERs {
-				sum += ber
-				count++
+			if err := eng.RunRecording(sim.AliceBob(), sim.SchemeANC, opts.Seed+int64(run)*127, &tally, scratch); err != nil {
+				panic(err)
 			}
-			lost += m.Lost
 		}
-		mean := 0.0
-		if count > 0 {
-			mean = sum / float64(count)
-		}
-		fmt.Fprintf(&b, "%-28s %-12.5f %d\n", v.name, mean, lost)
+		fmt.Fprintf(&b, "%-28s %-12.5f %d\n", v.name, tally.meanBER(), tally.lost)
 	}
 	return b.String()
 }
@@ -188,13 +217,20 @@ func AblationOverlap(opts Options) string {
 		}
 		slot := int(slotPart * 2 / 31)
 		cfg.Delay = mac.DelayConfig{MinSeparation: minSep, Slots: 32, SlotSamples: slot}
+		eng := sim.NewEngine(cfg)
+		scratch := sim.NewScratch()
 		var gain, ber float64
 		for run := 0; run < opts.Runs; run++ {
 			seed := opts.Seed + int64(run)*31
-			a := sim.RunAliceBobANC(cfg, seed)
-			t := sim.RunAliceBobTraditional(cfg, seed)
-			gain += a.Throughput() / t.Throughput()
-			ber += a.MeanBER()
+			var a, t runTally
+			if err := eng.RunRecording(sim.AliceBob(), sim.SchemeANC, seed, &a, scratch); err != nil {
+				panic(err)
+			}
+			if err := eng.RunRecording(sim.AliceBob(), sim.SchemeRouting, seed, &t, scratch); err != nil {
+				panic(err)
+			}
+			gain += a.throughput() / t.throughput()
+			ber += a.meanBER()
 		}
 		fmt.Fprintf(&b, "%-14.2f %-14.3f %.5f\n", target, gain/float64(opts.Runs), ber/float64(opts.Runs))
 	}

@@ -54,31 +54,44 @@ type GainResult struct {
 	Overlap      *stats.Sample
 }
 
-// runCampaign pairs ANC runs against the scenario's baselines on
-// identical seeds (identical channel realizations) through the scenario
-// engine's worker pool. The gain-over-routing framing requires the
-// scenario to support at least ANC and routing.
-func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
-	opts = opts.withDefaults()
+// campaignSchemes resolves the scheme set of a gain campaign: ANC and
+// routing are required (the gain-over-routing framing), COPE rides along
+// when the scenario supports it.
+func campaignSchemes(sc sim.Scenario) ([]sim.Scheme, bool, error) {
 	schemes := []sim.Scheme{sim.SchemeANC, sim.SchemeRouting}
 	for _, s := range schemes {
 		if !sim.HasScheme(sc, s) {
-			return nil, fmt.Errorf("experiments: scenario %q does not support scheme %q, required for gain campaigns", sc.Name(), s)
+			return nil, false, fmt.Errorf("experiments: scenario %q does not support scheme %q, required for gain campaigns", sc.Name(), s)
 		}
 	}
 	useCope := sim.HasScheme(sc, sim.SchemeCOPE)
 	if useCope {
 		schemes = append(schemes, sim.SchemeCOPE)
 	}
+	return schemes, useCope, nil
+}
+
+// campaignSeeds derives the per-run seeds of a campaign.
+func campaignSeeds(opts Options) []int64 {
 	seeds := make([]int64, opts.Runs)
 	for run := range seeds {
 		seeds[run] = opts.Seed + int64(run)*7919
 	}
-	rows, err := sim.NewEngine(opts.Sim).Campaign(sc, schemes, seeds)
+	return seeds
+}
+
+// runCampaign pairs ANC runs against the scenario's baselines on
+// identical seeds (identical channel realizations) through the scenario
+// engine's streaming worker pool: rows feed the gain/BER/overlap pools
+// as they arrive, so the campaign holds O(workers) rows however many
+// runs it spans. The gain-over-routing framing requires the scenario to
+// support at least ANC and routing.
+func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
+	opts = opts.withDefaults()
+	schemes, useCope, err := campaignSchemes(sc)
 	if err != nil {
 		return nil, err
 	}
-
 	res := &GainResult{
 		Topology:     sc.Name(),
 		GainOverTrad: stats.NewSample(nil),
@@ -88,11 +101,11 @@ func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
 	if useCope {
 		res.GainOverCOPE = stats.NewSample(nil)
 	}
-	for _, row := range rows {
-		a, t := row[0], row[1]
+	sink := sim.SinkFunc(func(row sim.Row) error {
+		a, t := row.Metrics[0], row.Metrics[1]
 		res.GainOverTrad.Add(stats.GainRatio(a.Throughput(), t.Throughput()))
 		if useCope {
-			res.GainOverCOPE.Add(stats.GainRatio(a.Throughput(), row[2].Throughput()))
+			res.GainOverCOPE.Add(stats.GainRatio(a.Throughput(), row.Metrics[2].Throughput()))
 		}
 		for _, b := range a.BERs {
 			res.BER.Add(b)
@@ -100,6 +113,10 @@ func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
 		for _, ov := range a.Overlaps {
 			res.Overlap.Add(ov)
 		}
+		return nil
+	})
+	if err := sim.NewEngine(opts.Sim).CampaignStream(sc, schemes, campaignSeeds(opts), sink); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

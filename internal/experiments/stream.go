@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/channel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// This file is the machine-readable campaign surface: any registered
+// scenario's ANC-versus-baselines campaign streamed as a single JSON
+// document or a CSV table, one row per seed, written as rows arrive from
+// sim.CampaignStream — the campaign itself holds O(workers) rows however
+// many runs it spans. The JSON schema is documented in the README
+// ("Results & output formats") and pinned by cmd/ancsim's golden test.
+
+// DefaultOutageThresholdDB is the outage threshold the trace statistics
+// use: a slot is in outage when its power gain falls more than this many
+// dB below the link's observed mean — equivalently, when the
+// instantaneous SNR drops that far below the configured budget.
+const DefaultOutageThresholdDB = 10.0
+
+// StreamOptions configures a machine-readable campaign.
+type StreamOptions struct {
+	Options
+	// Trace runs every scheme under a sim.TraceRecorder and attaches
+	// per-link outage statistics (JSON only).
+	Trace bool
+	// OutageThresholdDB overrides DefaultOutageThresholdDB when positive.
+	OutageThresholdDB float64
+}
+
+func (o StreamOptions) outageDB() float64 {
+	if o.OutageThresholdDB > 0 {
+		return o.OutageThresholdDB
+	}
+	return DefaultOutageThresholdDB
+}
+
+// campaignHeader is the metadata block opening the JSON document.
+type campaignHeader struct {
+	Scenario          string   `json:"scenario"`
+	Schemes           []string `json:"schemes"`
+	Runs              int      `json:"runs"`
+	PacketsPerRun     int      `json:"packets_per_run"`
+	Seed              int64    `json:"seed"`
+	SNRdB             float64  `json:"snr_db"`
+	Fading            string   `json:"fading"`
+	OutageThresholdDB float64  `json:"outage_threshold_db,omitempty"`
+}
+
+// SchemeResult is one scheme's metrics of one run.
+type SchemeResult struct {
+	Scheme         string    `json:"scheme"`
+	Throughput     float64   `json:"throughput"`
+	DeliveredBits  float64   `json:"delivered_bits"`
+	AirTimeSamples float64   `json:"air_time_samples"`
+	Delivered      int       `json:"delivered"`
+	Lost           int       `json:"lost"`
+	BERs           []float64 `json:"bers,omitempty"`
+	Overlaps       []float64 `json:"overlaps,omitempty"`
+}
+
+// LinkStats is one directed edge's per-slot channel statistics of one
+// run, computed from its TraceRecorder gain trace.
+type LinkStats struct {
+	From           int     `json:"from"`
+	To             int     `json:"to"`
+	Slots          int     `json:"slots"`
+	MeanPowerGain  float64 `json:"mean_power_gain"`
+	MinPowerGain   float64 `json:"min_power_gain"`
+	OutageProb     float64 `json:"outage_prob"`
+	FadeMarginP5DB float64 `json:"fade_margin_p5_db"`
+}
+
+// CampaignRow is one seed's campaign outcome rendered for machine
+// consumption: the paired-scheme metrics, the throughput gains the
+// pairing exists for, and (under Trace) the per-link channel statistics.
+type CampaignRow struct {
+	Run             int            `json:"run"`
+	Seed            int64          `json:"seed"`
+	GainOverRouting float64        `json:"gain_over_routing"`
+	GainOverCOPE    *float64       `json:"gain_over_cope,omitempty"`
+	Schemes         []SchemeResult `json:"schemes"`
+	Links           []LinkStats    `json:"links,omitempty"`
+}
+
+// distSummary summarizes one streamed distribution.
+type distSummary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Median float64 `json:"median"`
+	P90    float64 `json:"p90"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+func summarize(s *stats.Sample) distSummary {
+	return distSummary{
+		N: s.Len(), Mean: s.Mean(), Median: s.Median(),
+		P90: s.Quantile(0.9), Min: s.Min(), Max: s.Max(),
+	}
+}
+
+// campaignSummary closes the JSON document with the campaign-wide
+// distributions (the data behind the Fig. 9/10/12-style CDFs).
+type campaignSummary struct {
+	GainOverRouting distSummary  `json:"gain_over_routing"`
+	GainOverCOPE    *distSummary `json:"gain_over_cope,omitempty"`
+	BER             distSummary  `json:"ber"`
+	Overlap         distSummary  `json:"overlap"`
+}
+
+// effectiveFadingKind reports the channel model the campaign actually
+// runs, not merely the configured one: scenarios may install their own
+// models at build time (the fading scenario defaults to Rician when the
+// config is static; custom builders attach per-edge models), so the
+// header probes a throwaway build and classifies its edges. Mixed edge
+// models report "mixed".
+func effectiveFadingKind(sc sim.Scenario, cfg sim.Config) string {
+	g := sc.Build(cfg.Topology, rand.New(rand.NewSource(1)))
+	kinds := make(map[string]bool)
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			m, ok := g.Model(i, j)
+			if !ok {
+				continue
+			}
+			switch m := m.(type) {
+			case channel.Static:
+				kinds["static"] = true
+			case channel.BlockFading:
+				if m.K == 0 {
+					kinds["rayleigh"] = true
+				} else {
+					kinds["rician"] = true
+				}
+			case channel.Mobility:
+				kinds["mobility"] = true
+			default:
+				kinds["custom"] = true
+			}
+		}
+	}
+	if len(kinds) == 1 {
+		for k := range kinds {
+			return k
+		}
+	}
+	if len(kinds) > 1 {
+		return "mixed"
+	}
+	return cfg.Topology.Fading.Kind.String()
+}
+
+// campaignContext is the resolved machinery one streamed campaign shares
+// between its formats.
+type campaignContext struct {
+	sc      sim.Scenario
+	schemes []sim.Scheme
+	useCope bool
+	seeds   []int64
+	eng     *sim.Engine
+	header  campaignHeader
+}
+
+func newCampaignContext(opts StreamOptions, name string) (*campaignContext, error) {
+	opts.Options = opts.Options.withDefaults()
+	sc, ok := sim.LookupScenario(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+	schemes, useCope, err := campaignSchemes(sc)
+	if err != nil {
+		return nil, err
+	}
+	simCfg := opts.Sim.WithDefaults()
+	names := make([]string, len(schemes))
+	for i, s := range schemes {
+		names[i] = string(s)
+	}
+	hdr := campaignHeader{
+		Scenario:      sc.Name(),
+		Schemes:       names,
+		Runs:          opts.Runs,
+		PacketsPerRun: simCfg.Packets,
+		Seed:          opts.Seed,
+		SNRdB:         *simCfg.SNRdB,
+		Fading:        effectiveFadingKind(sc, simCfg),
+	}
+	if opts.Trace {
+		hdr.OutageThresholdDB = opts.outageDB()
+	}
+	return &campaignContext{
+		sc:      sc,
+		schemes: schemes,
+		useCope: useCope,
+		seeds:   campaignSeeds(opts.Options),
+		eng:     sim.NewEngine(opts.Sim),
+		header:  hdr,
+	}, nil
+}
+
+// renderRow converts one streamed sim.Row into its machine-readable form.
+func (c *campaignContext) renderRow(opts StreamOptions, row sim.Row) CampaignRow {
+	a, t := row.Metrics[0], row.Metrics[1]
+	out := CampaignRow{
+		Run:             row.Index,
+		Seed:            row.Seed,
+		GainOverRouting: stats.GainRatio(a.Throughput(), t.Throughput()),
+		Schemes:         make([]SchemeResult, len(row.Metrics)),
+	}
+	if c.useCope {
+		g := stats.GainRatio(a.Throughput(), row.Metrics[2].Throughput())
+		out.GainOverCOPE = &g
+	}
+	for j, m := range row.Metrics {
+		out.Schemes[j] = SchemeResult{
+			Scheme:         string(c.schemes[j]),
+			Throughput:     m.Throughput(),
+			DeliveredBits:  m.DeliveredBits,
+			AirTimeSamples: m.TimeSamples,
+			Delivered:      m.Delivered,
+			Lost:           m.Lost,
+			BERs:           m.BERs,
+			Overlaps:       m.Overlaps,
+		}
+	}
+	if row.Traces != nil {
+		// Every scheme of a seed shares the channel realization, so the
+		// first scheme's trace stands for the row.
+		thresh := math.Pow(10, -opts.outageDB()/10)
+		for _, tr := range row.Traces[0].Traces() {
+			s := tr.GainSample()
+			mean := s.Mean()
+			out.Links = append(out.Links, LinkStats{
+				From:           tr.From,
+				To:             tr.To,
+				Slots:          s.Len(),
+				MeanPowerGain:  mean,
+				MinPowerGain:   s.Min(),
+				OutageProb:     s.OutageBelow(mean * thresh),
+				FadeMarginP5DB: s.FadeMarginDB(0.05),
+			})
+		}
+	}
+	return out
+}
+
+// streamOpts returns the CampaignStream options the context needs.
+func streamOpts(trace bool) []sim.StreamOption {
+	if trace {
+		return []sim.StreamOption{sim.WithLinkTraces()}
+	}
+	return nil
+}
+
+// WriteCampaignJSON streams a registered scenario's campaign as one JSON
+// document: a metadata header, a "rows" array with one entry per seed
+// (written as rows arrive — the campaign is never materialized), and a
+// closing "summary" with the campaign-wide distributions.
+func WriteCampaignJSON(w io.Writer, opts StreamOptions, name string) error {
+	c, err := newCampaignContext(opts, name)
+	if err != nil {
+		return err
+	}
+	hdr, err := json.Marshal(c.header)
+	if err != nil {
+		return err
+	}
+	// Reopen the marshaled header object so the rows stream into the
+	// same document. The header is a struct, so the trailing byte is
+	// always the closing brace.
+	if _, err := w.Write(hdr[:len(hdr)-1]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, `,"rows":[`); err != nil {
+		return err
+	}
+
+	gainTrad := stats.NewSample(nil)
+	gainCope := stats.NewSample(nil)
+	berPool := stats.NewSample(nil)
+	overlapPool := stats.NewSample(nil)
+	first := true
+	sink := sim.SinkFunc(func(row sim.Row) error {
+		r := c.renderRow(opts, row)
+		gainTrad.Add(r.GainOverRouting)
+		if r.GainOverCOPE != nil {
+			gainCope.Add(*r.GainOverCOPE)
+		}
+		for _, b := range row.Metrics[0].BERs {
+			berPool.Add(b)
+		}
+		for _, ov := range row.Metrics[0].Overlaps {
+			overlapPool.Add(ov)
+		}
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+		_, err = w.Write(b)
+		return err
+	})
+	if err := c.eng.CampaignStream(c.sc, c.schemes, c.seeds, sink, streamOpts(opts.Trace)...); err != nil {
+		return err
+	}
+
+	summary := campaignSummary{
+		GainOverRouting: summarize(gainTrad),
+		BER:             summarize(berPool),
+		Overlap:         summarize(overlapPool),
+	}
+	if c.useCope {
+		s := summarize(gainCope)
+		summary.GainOverCOPE = &s
+	}
+	sb, err := json.Marshal(summary)
+	if err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, "\n],\"summary\":"); err != nil {
+		return err
+	}
+	if _, err := w.Write(sb); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, "}\n")
+	return err
+}
+
+// WriteCampaignCSV streams a registered scenario's campaign as a CSV
+// table, one row per seed: the per-scheme aggregates plus the paired
+// gains. Pools and traces do not fit a flat table; use JSON for those.
+func WriteCampaignCSV(w io.Writer, opts StreamOptions, name string) error {
+	c, err := newCampaignContext(opts, name)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"run", "seed", "gain_over_routing", "gain_over_cope"}
+	for _, s := range c.schemes {
+		header = append(header,
+			string(s)+"_throughput", string(s)+"_delivered", string(s)+"_lost")
+	}
+	header = append(header, "anc_mean_ber", "anc_mean_overlap")
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	sink := sim.SinkFunc(func(row sim.Row) error {
+		r := c.renderRow(opts, row)
+		rec := []string{
+			strconv.Itoa(r.Run),
+			strconv.FormatInt(r.Seed, 10),
+			f(r.GainOverRouting),
+		}
+		if r.GainOverCOPE != nil {
+			rec = append(rec, f(*r.GainOverCOPE))
+		} else {
+			rec = append(rec, "")
+		}
+		for _, sr := range r.Schemes {
+			rec = append(rec, f(sr.Throughput), strconv.Itoa(sr.Delivered), strconv.Itoa(sr.Lost))
+		}
+		rec = append(rec, f(row.Metrics[0].MeanBER()), f(row.Metrics[0].MeanOverlap()))
+		return cw.Write(rec)
+	})
+	if err := c.eng.CampaignStream(c.sc, c.schemes, c.seeds, sink); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

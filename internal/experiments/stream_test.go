@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func streamOptsForTest() StreamOptions {
+	return StreamOptions{Options: Options{Runs: 2, Sim: sim.Config{Packets: 2}, Seed: 3}}
+}
+
+// TestWriteCampaignJSONShape unmarshals the streamed document and checks
+// the contract the README documents: header, one row per run in order,
+// closing summary.
+func TestWriteCampaignJSONShape(t *testing.T) {
+	var b strings.Builder
+	opts := streamOptsForTest()
+	opts.Trace = true
+	if err := WriteCampaignJSON(&b, opts, "pairs"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Scenario      string `json:"scenario"`
+		Schemes       []string
+		PacketsPerRun int `json:"packets_per_run"`
+		Rows          []struct {
+			Run   int `json:"run"`
+			Links []struct {
+				From  int `json:"from"`
+				To    int `json:"to"`
+				Slots int `json:"slots"`
+			} `json:"links"`
+		} `json:"rows"`
+		Summary struct {
+			BER struct {
+				N int `json:"n"`
+			} `json:"ber"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Scenario != "pairs" || doc.PacketsPerRun != 2 || len(doc.Rows) != 2 {
+		t.Fatalf("document shape: %+v", doc)
+	}
+	for i, row := range doc.Rows {
+		if row.Run != i {
+			t.Errorf("row %d has run %d (order broken)", i, row.Run)
+		}
+		// pairs: 2 disjoint Alice–Bob cells → 8 directed edges.
+		if len(row.Links) != 8 {
+			t.Errorf("row %d has %d links, want 8", i, len(row.Links))
+		}
+	}
+	if doc.Summary.BER.N == 0 {
+		t.Error("summary BER pool empty")
+	}
+}
+
+// TestWriteCampaignJSONMatchesGainResult pins the streamed summary to
+// the text-surface campaign: same runs, same numbers, different format.
+func TestWriteCampaignJSONMatchesGainResult(t *testing.T) {
+	opts := streamOptsForTest()
+	var b strings.Builder
+	if err := WriteCampaignJSON(&b, opts, "alice-bob"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Summary struct {
+			GainOverRouting struct {
+				Mean float64 `json:"mean"`
+				N    int     `json:"n"`
+			} `json:"gain_over_routing"`
+		} `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ScenarioCampaign(opts.Options, "alice-bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := doc.Summary.GainOverRouting.Mean, res.GainOverTrad.Mean(); got != want {
+		t.Errorf("streamed mean gain %v != campaign %v", got, want)
+	}
+	if doc.Summary.GainOverRouting.N != res.GainOverTrad.Len() {
+		t.Errorf("streamed n %d != campaign %d", doc.Summary.GainOverRouting.N, res.GainOverTrad.Len())
+	}
+}
+
+func TestWriteCampaignCSVShape(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCampaignCSV(&b, streamOptsForTest(), "alice-bob"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, b.String())
+	}
+	// header + 2 runs; alice-bob has 3 schemes → 4 + 3*3 + 2 columns.
+	if len(recs) != 3 || len(recs[0]) != 15 {
+		t.Fatalf("CSV shape %dx%d, want 3x15", len(recs), len(recs[0]))
+	}
+}
+
+func TestWriteCampaignUnknownScenario(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCampaignJSON(&b, streamOptsForTest(), "no-such"); err == nil {
+		t.Error("JSON writer accepted an unknown scenario")
+	}
+	if err := WriteCampaignCSV(&b, streamOptsForTest(), "no-such"); err == nil {
+		t.Error("CSV writer accepted an unknown scenario")
+	}
+	if err := WriteCampaignJSON(&b, streamOptsForTest(), "chain-5"); err != nil {
+		t.Errorf("chain-5 (no COPE) must stream fine: %v", err)
+	}
+}

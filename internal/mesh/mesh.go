@@ -26,6 +26,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/msk"
 	"repro/internal/radio"
+	"repro/internal/sim"
 	"repro/internal/topology"
 )
 
@@ -88,6 +89,66 @@ func (s Stats) MeanBER() float64 {
 		return 0
 	}
 	return s.TotalBER / float64(s.Delivered)
+}
+
+// Stats speaks the sim.Recorder vocabulary: the session's accounting
+// emits the same typed observations the scenario engine's schedules do
+// (a delivery, a loss, an interference-decode BER) and Stats folds them
+// into its counters. Protocol-level events (triggers, router decisions)
+// stay outside the vocabulary — they are mesh-specific counters, not
+// results.
+
+// RecordDelivered implements sim.Recorder. The closed loop counts
+// packets, not goodput bits.
+func (s *Stats) RecordDelivered(bits float64) { s.Delivered++ }
+
+// RecordLost implements sim.Recorder.
+func (s *Stats) RecordLost(n int) { s.Lost += n }
+
+// RecordANCDecode implements sim.Recorder; the session emits it only for
+// delivered packets, so MeanBER keeps its delivered-only denominator.
+func (s *Stats) RecordANCDecode(ber float64) { s.TotalBER += ber }
+
+// RecordCollision implements sim.Recorder as a no-op: the session's
+// relative delays are protocol-enforced, not measured.
+func (s *Stats) RecordCollision(overlap float64) {}
+
+// RecordAirTime implements sim.Recorder as a no-op: the closed loop has
+// no air-time accounting (internal/sim owns throughput figures).
+func (s *Stats) RecordAirTime(samples float64) {}
+
+// RecordLinkState implements sim.Recorder as a no-op.
+func (s *Stats) RecordLinkState(slot, from, to int, powerGain float64) {}
+
+// teeRecorder forwards every observation to both recorders: the
+// session's own Stats and a caller-supplied stream.
+type teeRecorder struct {
+	a, b sim.Recorder
+}
+
+func (t teeRecorder) RecordDelivered(bits float64) {
+	t.a.RecordDelivered(bits)
+	t.b.RecordDelivered(bits)
+}
+func (t teeRecorder) RecordLost(n int) {
+	t.a.RecordLost(n)
+	t.b.RecordLost(n)
+}
+func (t teeRecorder) RecordANCDecode(ber float64) {
+	t.a.RecordANCDecode(ber)
+	t.b.RecordANCDecode(ber)
+}
+func (t teeRecorder) RecordCollision(overlap float64) {
+	t.a.RecordCollision(overlap)
+	t.b.RecordCollision(overlap)
+}
+func (t teeRecorder) RecordAirTime(samples float64) {
+	t.a.RecordAirTime(samples)
+	t.b.RecordAirTime(samples)
+}
+func (t teeRecorder) RecordLinkState(slot, from, to int, powerGain float64) {
+	t.a.RecordLinkState(slot, from, to, powerGain)
+	t.b.RecordLinkState(slot, from, to, powerGain)
 }
 
 // Session is a running closed-loop Alice–Bob network.
@@ -158,21 +219,32 @@ func opposite(a, b frame.Header) bool {
 
 // Run executes trigger rounds until the configured cycle count or both
 // queues drain.
-func (s *Session) Run() Stats {
+func (s *Session) Run() Stats { return s.RunWith(nil) }
+
+// RunWith is Run additionally streaming every delivery observation into
+// rec (a sim.Metrics, a trace, a live accumulator — any sim.Recorder).
+// The returned Stats is always complete; rec, when non-nil, sees the
+// identical event stream.
+func (s *Session) RunWith(rec sim.Recorder) Stats {
 	var st Stats
+	var r sim.Recorder = &st
+	if rec != nil {
+		r = teeRecorder{a: &st, b: rec}
+	}
 	for cycle := 0; cycle < s.cfg.Cycles; cycle++ {
 		if len(s.queueA) == 0 && len(s.queueB) == 0 {
 			break
 		}
 		st.Cycles++
-		s.runCycle(&st)
+		s.runCycle(&st, r)
 	}
 	return st
 }
 
 // runCycle is one trigger round: endpoints transmit simultaneously, the
-// router classifies and (usually) forwards, endpoints decode.
-func (s *Session) runCycle(st *Stats) {
+// router classifies and (usually) forwards, endpoints decode. Protocol
+// counters go to st; delivery observations to r.
+func (s *Session) runCycle(st *Stats, r sim.Recorder) {
 	// The router's previous broadcast carried the trigger (§7.6); both
 	// endpoints respond, each after its own random delay. The relative
 	// offset is the difference of the two draws.
@@ -214,22 +286,22 @@ func (s *Session) runCycle(st *Stats) {
 	case radio.ActionAmplifyForward:
 		st.RouterForwards++
 		relayed := channel.AmplifyTo(routerRx, 1)
-		s.deliver(st, s.alice, relayed, okB, recB)
-		s.deliver(st, s.bob, relayed, okA, recA)
+		s.deliver(r, s.alice, relayed, okB, recB)
+		s.deliver(r, s.bob, relayed, okA, recA)
 	case radio.ActionDecode:
 		// Not expected in this topology (the router never knows either
 		// packet); counted as a drop for accounting.
 		st.RouterDrops++
-		s.countLost(st, okA, okB)
+		s.countLost(r, okA, okB)
 	default:
 		// A single transmission (starved queue) is routed traditionally:
 		// decode and re-send. For simplicity the cycle just counts it
 		// dropped if the router cannot identify two flows.
 		if len(txs) == 1 {
-			s.forwardSingle(st, routerRx, okA, recA, okB, recB)
+			s.forwardSingle(st, r, routerRx, okA, recA, okB, recB)
 		} else {
 			st.RouterDrops++
-			s.countLost(st, okA, okB)
+			s.countLost(r, okA, okB)
 		}
 	}
 }
@@ -250,7 +322,7 @@ func (s *Session) nextFrame(n *radio.Node, dst uint16, queue *[][]byte) (frame.S
 
 // deliver runs one endpoint's decode of the relayed broadcast and scores
 // it against ground truth.
-func (s *Session) deliver(st *Stats, n *radio.Node, relayed dsp.Signal, wantedSent bool, wanted frame.SentRecord) {
+func (s *Session) deliver(r sim.Recorder, n *radio.Node, relayed dsp.Signal, wantedSent bool, wanted frame.SentRecord) {
 	if !wantedSent {
 		return
 	}
@@ -265,25 +337,25 @@ func (s *Session) deliver(st *Stats, n *radio.Node, relayed dsp.Signal, wantedSe
 		channel.Transmission{Signal: relayed, Link: link})
 	res, err := n.Receive(rx)
 	if err != nil {
-		st.Lost++
+		r.RecordLost(1)
 		return
 	}
 	ber := bits.BER(wanted.Bits, res.WantedBits)
 	if ber > 0.1 {
-		st.Lost++
+		r.RecordLost(1)
 		return
 	}
-	st.Delivered++
-	st.TotalBER += ber
+	r.RecordANCDecode(ber)
+	r.RecordDelivered(float64(len(wanted.Packet.Payload) * 8))
 }
 
 // forwardSingle is the traditional path for a lone uplink packet: the
 // router decodes it and retransmits a regenerated copy to its destination.
-func (s *Session) forwardSingle(st *Stats, routerRx dsp.Signal, okA bool, recA frame.SentRecord, okB bool, recB frame.SentRecord) {
+func (s *Session) forwardSingle(st *Stats, r sim.Recorder, routerRx dsp.Signal, okA bool, recA frame.SentRecord, okB bool, recB frame.SentRecord) {
 	res, err := s.router.Receive(routerRx)
 	if err != nil || !res.BodyOK {
 		st.RouterDrops++
-		s.countLost(st, okA, okB)
+		s.countLost(r, okA, okB)
 		return
 	}
 	fwd := s.router.BuildFrame(frame.Packet{Header: res.Packet.Header, Payload: res.Packet.Payload})
@@ -302,23 +374,25 @@ func (s *Session) forwardSingle(st *Stats, routerRx dsp.Signal, okA bool, recA f
 		channel.Transmission{Signal: fwd.Samples, Link: link, Delay: 100})
 	got, err := n.Receive(rx)
 	if err != nil || !got.BodyOK {
-		st.Lost++
+		r.RecordLost(1)
 		return
 	}
 	if !bits.Equal(got.WantedBits, wanted.Bits) {
 		// Regeneration changes nothing observable; any mismatch is a
-		// decode error downstream.
+		// decode error downstream. This is a traditional (regenerated)
+		// forward, not an ANC interference decode, so the BER goes to the
+		// session's own tally, not the RecordANCDecode stream.
 		st.TotalBER += bits.BER(wanted.Bits, got.WantedBits)
 	}
-	st.Delivered++
+	r.RecordDelivered(float64(len(wanted.Packet.Payload) * 8))
 }
 
-func (s *Session) countLost(st *Stats, okA, okB bool) {
+func (s *Session) countLost(r sim.Recorder, okA, okB bool) {
 	if okA {
-		st.Lost++
+		r.RecordLost(1)
 	}
 	if okB {
-		st.Lost++
+		r.RecordLost(1)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+
+	"repro/internal/sim"
 )
 
 func payloads(rng *rand.Rand, n, size int) [][]byte {
@@ -76,6 +78,43 @@ func TestClosedLoopDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if a != b {
 		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}
+
+// TestRunWithStreamsRecorder verifies the session speaks the
+// sim.Recorder vocabulary: an external recorder sees the identical
+// delivery stream the session's own Stats folds up.
+func TestRunWithStreamsRecorder(t *testing.T) {
+	mk := func() *Session {
+		s := NewSession(Config{Cycles: 6, Seed: 11})
+		var toBob, toAlice [][]byte
+		for i := 0; i < 5; i++ {
+			toBob = append(toBob, []byte{byte(i), 1, 2, 3})
+			toAlice = append(toAlice, []byte{byte(i), 9, 8, 7})
+		}
+		s.Enqueue(toBob, toAlice)
+		return s
+	}
+	var m sim.Metrics
+	st := mk().RunWith(&m)
+	if m.Delivered != st.Delivered || m.Lost != st.Lost {
+		t.Errorf("streamed delivered/lost %d/%d != stats %d/%d", m.Delivered, m.Lost, st.Delivered, st.Lost)
+	}
+	// With this seed every delivery is an amplify-forward ANC decode, so
+	// the streamed ANC pool sums to the session's whole BER tally. (A
+	// traditional regenerated forward would count in TotalBER only — the
+	// RecordANCDecode stream is ANC decodes by contract.)
+	var berSum float64
+	for _, b := range m.BERs {
+		berSum += b
+	}
+	if berSum != st.TotalBER {
+		t.Errorf("streamed BER sum %v != stats TotalBER %v", berSum, st.TotalBER)
+	}
+	// And streaming must not perturb the session itself.
+	plain := mk().Run()
+	if plain != st {
+		t.Errorf("RunWith stats %+v != Run stats %+v", st, plain)
 	}
 }
 

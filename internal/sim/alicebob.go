@@ -18,19 +18,19 @@ var aliceBob = &simpleScenario{
 	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
 	start: map[Scheme]func(*Env) StepFunc{
 		SchemeANC: func(e *Env) StepFunc {
-			return func(i int, m *Metrics) {
-				stepAliceBobANC(e, m, topology.Alice, topology.Router, topology.Bob)
+			return func(i int, r Recorder) {
+				stepAliceBobANC(e, r, topology.Alice, topology.Router, topology.Bob)
 			}
 		},
 		SchemeRouting: func(e *Env) StepFunc {
-			return func(i int, m *Metrics) {
-				stepAliceBobTraditional(e, m, topology.Alice, topology.Router, topology.Bob)
+			return func(i int, r Recorder) {
+				stepAliceBobTraditional(e, r, topology.Alice, topology.Router, topology.Bob)
 			}
 		},
 		SchemeCOPE: func(e *Env) StepFunc {
 			pool := cope.NewPool()
-			return func(i int, m *Metrics) {
-				stepAliceBobCOPE(e, m, pool, topology.Alice, topology.Router, topology.Bob)
+			return func(i int, r Recorder) {
+				stepAliceBobCOPE(e, r, pool, topology.Alice, topology.Router, topology.Bob)
 			}
 		},
 	},
@@ -47,7 +47,7 @@ func AliceBob() Scenario { return aliceBob }
 // second starts after the §7.2 random delay), the router amplifies and
 // broadcasts the interfered signal, and each endpoint cancels its own
 // packet to decode the other's.
-func stepAliceBobANC(e *Env, m *Metrics, ai, ri, bi int) {
+func stepAliceBobANC(e *Env, r Recorder, ai, ri, bi int) {
 	alice, bob := e.nodes[ai], e.nodes[bi]
 	pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
 	pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
@@ -79,78 +79,76 @@ func stepAliceBobANC(e *Env, m *Metrics, ai, ri, bi int) {
 	rxB := e.receive(channel.Transmission{Signal: relayed, Link: linkRB})
 	e.release(relayed)
 
-	e.accountANCDecode(m, alice, rxA, recB)
-	e.accountANCDecode(m, bob, rxB, recA)
+	e.accountANCDecode(r, alice, rxA, recB)
+	e.accountANCDecode(r, bob, rxB, recA)
 	e.release(rxA)
 	e.release(rxB)
 
-	m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
-	m.TimeSamples += float64(2 * (delta + e.frameLen + e.guard))
+	r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
+	r.RecordAirTime(float64(2 * (delta + e.frameLen + e.guard)))
 }
 
 // accountANCDecode decodes an interfered reception at a node, measures the
 // payload BER against the wanted frame, and charges goodput/loss.
-func (e *Env) accountANCDecode(m *Metrics, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
+func (e *Env) accountANCDecode(r Recorder, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
 	res, err := n.Receive(rx)
 	if err != nil {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
 	// Delivery is BER-gated, not header-CRC-gated: with the fixed frame
 	// size configured, header bit errors are repaired by the same FEC
 	// whose overhead the redundancy model charges (paper §11.2, §11.4).
 	ber := payloadBER(wanted.Bits, res.WantedBits, int(wanted.Packet.Header.Len))
-	m.BERs = append(m.BERs, ber)
+	r.RecordANCDecode(ber)
 	good := e.cfg.Redundancy.Goodput(ber)
 	if good == 0 {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
-	m.Delivered++
-	m.DeliveredBits += float64(int(wanted.Packet.Header.Len)*8) * good
+	r.RecordDelivered(float64(int(wanted.Packet.Header.Len)*8) * good)
 }
 
 // stepAliceBobTraditional runs one exchange of the Fig. 1(b) schedule
 // under the optimal MAC: four sequential single-signal transmissions,
 // with the router decoding and re-modulating (digital regeneration) at
 // each relay hop.
-func stepAliceBobTraditional(e *Env, m *Metrics, ai, ri, bi int) {
+func stepAliceBobTraditional(e *Env, r Recorder, ai, ri, bi int) {
 	alice, router, bob := e.nodes[ai], e.nodes[ri], e.nodes[bi]
 	pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
 	pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
-	e.traditionalRelay(m, alice, router, bob, pktA, ai, ri, bi)
-	e.traditionalRelay(m, bob, router, alice, pktB, bi, ri, ai)
+	e.traditionalRelay(r, alice, router, bob, pktA, ai, ri, bi)
+	e.traditionalRelay(r, bob, router, alice, pktB, bi, ri, ai)
 }
 
 // traditionalRelay delivers one packet src→relay→dst with two clean hops.
-func (e *Env) traditionalRelay(m *Metrics, src, relay, dst *radio.Node, pkt frame.Packet, si, ri, di int) {
+func (e *Env) traditionalRelay(r Recorder, src, relay, dst *radio.Node, pkt frame.Packet, si, ri, di int) {
 	rec := src.BuildFrame(pkt)
-	m.TimeSamples += float64(2 * (e.frameLen + e.guard))
+	r.RecordAirTime(float64(2 * (e.frameLen + e.guard)))
 	ok, payload := e.cleanHop(rec, si, ri)
 	if !ok {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
 	fwd := relay.BuildFrame(frame.Packet{Header: pkt.Header, Payload: payload})
 	ok, payload = e.cleanHop(fwd, ri, di)
 	if !ok {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
-	m.Delivered++
-	m.DeliveredBits += float64(len(payload) * 8)
+	r.RecordDelivered(float64(len(payload) * 8))
 }
 
 // stepAliceBobCOPE runs one exchange of the Fig. 1(c) schedule:
 // sequential uplinks, then a single XOR-coded broadcast that both
 // endpoints decode with their own packet (digital network coding, [17]).
-func stepAliceBobCOPE(e *Env, m *Metrics, pool *cope.Pool, ai, ri, bi int) {
+func stepAliceBobCOPE(e *Env, r Recorder, pool *cope.Pool, ai, ri, bi int) {
 	alice, router, bob := e.nodes[ai], e.nodes[ri], e.nodes[bi]
 	pktA := frame.NewPacket(alice.ID, bob.ID, alice.NextSeq(), e.payload())
 	pktB := frame.NewPacket(bob.ID, alice.ID, bob.NextSeq(), e.payload())
 
 	// Slots 1 and 2: the two uplinks.
-	m.TimeSamples += float64(2 * (e.frameLen + e.guard))
+	r.RecordAirTime(float64(2 * (e.frameLen + e.guard)))
 	okA, gotA := e.cleanHop(alice.BuildFrame(pktA), ai, ri)
 	okB, gotB := e.cleanHop(bob.BuildFrame(pktB), bi, ri)
 	if okA {
@@ -166,42 +164,41 @@ func stepAliceBobCOPE(e *Env, m *Metrics, pool *cope.Pool, ai, ri, bi int) {
 		// An uplink loss starves the coding opportunity; the missing
 		// counterpart is lost outright (no retransmission modeling,
 		// matching the other schemes).
-		m.Lost += 2 - boolToInt(okA) - boolToInt(okB)
+		r.RecordLost(2 - boolToInt(okA) - boolToInt(okB))
 		return
 	}
 	coded, err := cope.Encode(router.ID, router.NextSeq(), a, b)
 	if err != nil {
-		m.Lost += 2
+		r.RecordLost(2)
 		return
 	}
-	m.TimeSamples += float64(e.frameLen + e.guard)
+	r.RecordAirTime(float64(e.frameLen + e.guard))
 	rec := router.BuildFrame(coded)
 	okToA, codedAtA := e.cleanHop(rec, ri, ai)
 	okToB, codedAtB := e.cleanHop(rec, ri, bi)
-	e.accountCOPEDecode(m, okToA, codedAtA, coded.Header, a.Payload, b.Payload)
-	e.accountCOPEDecode(m, okToB, codedAtB, coded.Header, b.Payload, a.Payload)
+	e.accountCOPEDecode(r, okToA, codedAtA, coded.Header, a.Payload, b.Payload)
+	e.accountCOPEDecode(r, okToB, codedAtB, coded.Header, b.Payload, a.Payload)
 }
 
 // accountCOPEDecode XORs a received coded payload with the endpoint's own
 // native payload and checks the result against the counterpart.
-func (e *Env) accountCOPEDecode(m *Metrics, ok bool, codedPayload []byte, h frame.Header, own, want []byte) {
+func (e *Env) accountCOPEDecode(r Recorder, ok bool, codedPayload []byte, h frame.Header, own, want []byte) {
 	if !ok {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
 	got, err := cope.Decode(frame.Packet{Header: h, Payload: codedPayload}, own)
 	if err != nil || string(got) != string(want) {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
-	m.Delivered++
-	m.DeliveredBits += float64(len(want) * 8)
+	r.RecordDelivered(float64(len(want) * 8))
 }
 
 // AccountCOPEDecode exposes the COPE accounting rule to out-of-package
 // scenarios.
-func (e *Env) AccountCOPEDecode(m *Metrics, ok bool, codedPayload []byte, h frame.Header, own, want []byte) {
-	e.accountCOPEDecode(m, ok, codedPayload, h, own, want)
+func (e *Env) AccountCOPEDecode(r Recorder, ok bool, codedPayload []byte, h frame.Header, own, want []byte) {
+	e.accountCOPEDecode(r, ok, codedPayload, h, own, want)
 }
 
 func boolToInt(b bool) int {

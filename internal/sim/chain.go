@@ -15,8 +15,8 @@ var chain = &simpleScenario{
 	build: topology.Chain,
 	order: []Scheme{SchemeANC, SchemeRouting},
 	start: map[Scheme]func(*Env) StepFunc{
-		SchemeANC:     func(e *Env) StepFunc { return func(i int, m *Metrics) { stepChainANC(e, m, i) } },
-		SchemeRouting: func(e *Env) StepFunc { return func(i int, m *Metrics) { stepChainTraditional(e, m) } },
+		SchemeANC:     func(e *Env) StepFunc { return func(i int, r Recorder) { stepChainANC(e, r, i) } },
+		SchemeRouting: func(e *Env) StepFunc { return func(i int, r Recorder) { stepChainTraditional(e, r) } },
 	},
 }
 
@@ -36,7 +36,7 @@ func Chain() Scenario { return chain }
 // Per delivered packet: one collision slot (offset + frame + guard) and
 // one clean slot (frame + guard), versus three clean slots for routing —
 // the 3 → 2 reduction of §2(b).
-func stepChainANC(e *Env, m *Metrics, i int) {
+func stepChainANC(e *Env, r Recorder, i int) {
 	n1, n2, n3, n4 := e.nodes[0], e.nodes[1], e.nodes[2], e.nodes[3]
 	// p_i: the packet N2 already forwarded to N3 (steady state). N2
 	// knows its bits; N3 retransmits the same frame.
@@ -74,48 +74,46 @@ func stepChainANC(e *Env, m *Metrics, i int) {
 	sinkOK := errN4 == nil && resN4.BodyOK
 
 	if errN2 != nil {
-		m.Lost++
+		r.RecordLost(1)
 	} else {
 		ber := payloadBER(recNew.Bits, resN2.WantedBits, int(pktNew.Header.Len))
-		m.BERs = append(m.BERs, ber)
+		r.RecordANCDecode(ber)
 		good := e.cfg.Redundancy.Goodput(ber)
 		if good == 0 || !sinkOK {
-			m.Lost++
+			r.RecordLost(1)
 		} else {
-			m.Delivered++
-			m.DeliveredBits += float64(int(pktNew.Header.Len)*8) * good
+			r.RecordDelivered(float64(int(pktNew.Header.Len)*8) * good)
 		}
 	}
 
-	m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
+	r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
 	// Collision slot plus N2's forwarding slot.
-	m.TimeSamples += float64((delta + e.frameLen + e.guard) + (e.frameLen + e.guard))
+	r.RecordAirTime(float64((delta + e.frameLen + e.guard) + (e.frameLen + e.guard)))
 }
 
 // stepChainTraditional runs one packet of Fig. 2(b): three sequential
 // clean hops under the optimal MAC.
-func stepChainTraditional(e *Env, m *Metrics) {
+func stepChainTraditional(e *Env, r Recorder) {
 	n1, n2, n3, n4 := e.nodes[0], e.nodes[1], e.nodes[2], e.nodes[3]
 	pkt := frame.NewPacket(n1.ID, n4.ID, n1.NextSeq(), e.payload())
-	m.TimeSamples += float64(3 * (e.frameLen + e.guard))
+	r.RecordAirTime(float64(3 * (e.frameLen + e.guard)))
 
 	ok, payload := e.cleanHop(n1.BuildFrame(pkt), topology.ChainN1, topology.ChainN2)
 	if !ok {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
 	ok, payload = e.cleanHop(n2.BuildFrame(frame.Packet{Header: pkt.Header, Payload: payload}), topology.ChainN2, topology.ChainN3)
 	if !ok {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
 	ok, payload = e.cleanHop(n3.BuildFrame(frame.Packet{Header: pkt.Header, Payload: payload}), topology.ChainN3, topology.ChainN4)
 	if !ok {
-		m.Lost++
+		r.RecordLost(1)
 		return
 	}
-	m.Delivered++
-	m.DeliveredBits += float64(len(payload) * 8)
+	r.RecordDelivered(float64(len(payload) * 8))
 }
 
 // RunChainANC simulates one run of the steady state of Fig. 2(c).

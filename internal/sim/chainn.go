@@ -32,8 +32,8 @@ func NewChainN(hops int) Scenario {
 		build: chainNBuild(n),
 		order: []Scheme{SchemeANC, SchemeRouting},
 		start: map[Scheme]func(*Env) StepFunc{
-			SchemeANC:     func(e *Env) StepFunc { return func(i int, m *Metrics) { stepChainNANC(e, m, n, i) } },
-			SchemeRouting: func(e *Env) StepFunc { return func(i int, m *Metrics) { stepChainNTraditional(e, m, n) } },
+			SchemeANC:     func(e *Env) StepFunc { return func(i int, r Recorder) { stepChainNANC(e, r, n, i) } },
+			SchemeRouting: func(e *Env) StepFunc { return func(i int, r Recorder) { stepChainNTraditional(e, r, n) } },
 		},
 	}
 }
@@ -68,7 +68,7 @@ func chainNBuild(n int) func(topology.Config, *rand.Rand) *topology.Graph {
 // Delivery is the conjunction of the whole pipeline: the delivered
 // packet's goodput is discounted by the FEC charge of every interference
 // decode it traversed, and any failed stage loses it.
-func stepChainNANC(e *Env, m *Metrics, n, i int) {
+func stepChainNANC(e *Env, r Recorder, n, i int) {
 	sink := n - 1
 	src := e.nodes[0]
 	good := 1.0
@@ -106,10 +106,10 @@ func stepChainNANC(e *Env, m *Metrics, n, i int) {
 			ok = false
 		} else {
 			ber := payloadBER(recFresh.Bits, res.WantedBits, int(fresh.Header.Len))
-			m.BERs = append(m.BERs, ber)
+			r.RecordANCDecode(ber)
 			good *= e.cfg.Redundancy.Goodput(ber)
 		}
-		m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
+		r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
 		// Collisions at odd j happen while the even nodes transmit
 		// (slot A); at even j, while the odd nodes do (slot B).
 		if j%2 == 1 {
@@ -125,10 +125,9 @@ func stepChainNANC(e *Env, m *Metrics, n, i int) {
 	sinkOK, _ := e.cleanHop(e.nodes[n-2].BuildFrame(last), n-2, sink)
 
 	if !ok || good == 0 || !sinkOK {
-		m.Lost++
+		r.RecordLost(1)
 	} else {
-		m.Delivered++
-		m.DeliveredBits += float64(int(last.Header.Len)*8) * good
+		r.RecordDelivered(float64(int(last.Header.Len)*8) * good)
 	}
 
 	// Two slots per delivered packet, however long the chain. A slot
@@ -142,22 +141,22 @@ func stepChainNANC(e *Env, m *Metrics, n, i int) {
 	if maxDeltaB >= 0 {
 		spanB += maxDeltaB
 	}
-	m.TimeSamples += float64(spanA + spanB)
+	r.RecordAirTime(float64(spanA + spanB))
 }
 
 // stepChainNTraditional delivers one packet over n−1 sequential clean
 // hops under the optimal MAC, the Fig. 2(b) schedule at any length.
-func stepChainNTraditional(e *Env, m *Metrics, n int) {
+func stepChainNTraditional(e *Env, r Recorder, n int) {
 	src, sink := e.nodes[0], e.nodes[n-1]
 	pkt := frame.NewPacket(src.ID, sink.ID, src.NextSeq(), e.payload())
-	m.TimeSamples += float64((n - 1) * (e.frameLen + e.guard))
+	r.RecordAirTime(float64((n - 1) * (e.frameLen + e.guard)))
 
 	payload := pkt.Payload
 	rec := src.BuildFrame(pkt)
 	for hop := 0; hop+1 < n; hop++ {
 		ok, p := e.cleanHop(rec, hop, hop+1)
 		if !ok {
-			m.Lost++
+			r.RecordLost(1)
 			return
 		}
 		payload = p
@@ -165,8 +164,7 @@ func stepChainNTraditional(e *Env, m *Metrics, n int) {
 			rec = e.nodes[hop+1].BuildFrame(frame.Packet{Header: pkt.Header, Payload: payload})
 		}
 	}
-	m.Delivered++
-	m.DeliveredBits += float64(len(payload) * 8)
+	r.RecordDelivered(float64(len(payload) * 8))
 }
 
 func init() { Register(NewChainN(5)) }

@@ -92,76 +92,235 @@ func (eng *Engine) Run(sc Scenario, scheme Scheme, seed int64) (Metrics, error) 
 // RunReusing is Run drawing reception buffers from a caller-owned
 // Scratch, for callers that execute many runs on one goroutine.
 func (eng *Engine) RunReusing(sc Scenario, scheme Scheme, seed int64, scratch *Scratch) (Metrics, error) {
-	e := newEnv(eng.cfg, seed, sc.Build, scratch)
-	st, err := sc.Start(e, scheme)
+	var m Metrics
+	err := eng.RunRecording(sc, scheme, seed, &m, scratch)
 	if err != nil {
 		return Metrics{}, err
-	}
-	var m Metrics
-	for i := 0; i < e.cfg.Packets; i++ {
-		// One schedule cycle is one channel-model slot: every link the
-		// step observes is realized at slot i. Static models make this a
-		// no-op; fading and mobility models evolve in place (no per-slot
-		// allocation — the realization is computed on demand).
-		e.graph.SetSlot(i)
-		st.Step(i, &m)
 	}
 	return m, nil
 }
 
-// Campaign executes runs[seed][scheme] for every seed and scheme: each
-// seed is one independent run whose channel realization is shared by all
-// schemes. Runs are distributed over a worker pool (each worker reusing
-// its own Scratch) and the result matrix is indexed [seed][scheme], fully
-// deterministic regardless of scheduling.
-func (eng *Engine) Campaign(sc Scenario, schemes []Scheme, seeds []int64) ([][]Metrics, error) {
+// RunRecording executes one seeded run emitting every observation into a
+// caller-supplied Recorder — the primitive Run and the campaigns are
+// built on. Custom recorders (a TraceRecorder, a streaming accumulator)
+// see the same typed events the default Metrics folds into aggregates.
+// A nil scratch uses a private buffer pool.
+func (eng *Engine) RunRecording(sc Scenario, scheme Scheme, seed int64, rec Recorder, scratch *Scratch) error {
+	e := newEnv(eng.cfg, seed, sc.Build, scratch)
+	st, err := sc.Start(e, scheme)
+	if err != nil {
+		return err
+	}
+	// Bind the link-state method once so the per-slot edge walk below
+	// allocates nothing.
+	emit := rec.RecordLinkState
+	for i := 0; i < e.cfg.Packets; i++ {
+		// One schedule cycle is one channel-model slot: every link the
+		// step observes is realized at slot i. Static models make this a
+		// no-op; fading and mobility models evolve in place (no per-slot
+		// allocation — the realization is computed on demand). The slot's
+		// channel state is reported before the step runs, so a trace
+		// records exactly what the schedule saw.
+		e.graph.SetSlot(i)
+		e.graph.VisitLinkStates(i, emit)
+		st.Step(i, rec)
+	}
+	return nil
+}
+
+// Row is one seed's campaign outcome: the per-scheme metrics of the runs
+// that shared that seed's channel realization. Rows are built fresh per
+// seed and never reused, so a Sink may retain them.
+type Row struct {
+	// Index is the seed's position in the campaign's seed slice; sinks
+	// receive rows in strictly increasing Index order.
+	Index int
+	// Seed is seeds[Index].
+	Seed int64
+	// Metrics is indexed by the campaign's scheme slice.
+	Metrics []Metrics
+	// Traces holds the per-scheme trace recorders when the campaign ran
+	// with WithLinkTraces; nil otherwise. All schemes of one seed see the
+	// identical channel realization, so Traces[0] usually suffices.
+	Traces []*TraceRecorder
+}
+
+// Sink consumes streamed campaign rows, in seed order. Returning an
+// error stops the campaign; CampaignStream returns that error.
+type Sink interface {
+	Consume(Row) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Row) error
+
+// Consume implements Sink.
+func (f SinkFunc) Consume(r Row) error { return f(r) }
+
+// StreamOption adjusts a streaming campaign.
+type StreamOption func(*streamConfig)
+
+type streamConfig struct {
+	trace bool
+}
+
+// WithLinkTraces runs every scheme's run under a TraceRecorder, so each
+// Row carries per-slot link-gain traces alongside its Metrics.
+func WithLinkTraces() StreamOption {
+	return func(c *streamConfig) { c.trace = true }
+}
+
+// campaignWindow bounds the rows in flight — executing, queued, or
+// awaiting in-order emission — of one streaming campaign: enough slack
+// that workers never idle waiting for the emitter, small enough that a
+// million-seed campaign holds O(workers) rows, not the matrix.
+func campaignWindow(workers int) int { return 2 * workers }
+
+// CampaignStream executes runs[seed][scheme] for every seed and scheme
+// and delivers each seed's Row to the sink in seed order, holding at most
+// O(workers) rows in memory: workers run ahead of the sink only as far as
+// the admission window allows. Each seed is one independent run whose
+// channel realization is shared by all schemes; runs are distributed over
+// a worker pool (each worker reusing its own Scratch) and the streamed
+// rows are fully deterministic regardless of scheduling.
+//
+// On a run error the campaign stops and returns the error of the
+// earliest-index failing seed; rows before it have already been emitted.
+func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, sink Sink, opts ...StreamOption) error {
+	var cfg streamConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
 	for _, scheme := range schemes {
 		if !HasScheme(sc, scheme) {
-			return nil, fmt.Errorf("sim: scenario %q does not support scheme %q", sc.Name(), scheme)
+			return fmt.Errorf("sim: scenario %q does not support scheme %q", sc.Name(), scheme)
 		}
 	}
-	out := make([][]Metrics, len(seeds))
+	if len(seeds) == 0 {
+		return nil
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
+	window := campaignWindow(workers)
+
+	type result struct {
+		row Row
+		err error
+	}
 	next := make(chan int)
+	results := make(chan result, window)
+	admit := make(chan struct{}, window)
+	done := make(chan struct{})
+
 	var wg sync.WaitGroup
-	var firstErr error
-	var errOnce sync.Once
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			scratch := NewScratch()
-			failed := false
 			for idx := range next {
-				if failed {
-					continue // keep draining so the feeder never blocks
+				res := result{row: Row{Index: idx, Seed: seeds[idx], Metrics: make([]Metrics, len(schemes))}}
+				if cfg.trace {
+					res.row.Traces = make([]*TraceRecorder, len(schemes))
 				}
-				row := make([]Metrics, len(schemes))
 				for j, scheme := range schemes {
-					m, err := eng.RunReusing(sc, scheme, seeds[idx], scratch)
-					if err != nil {
-						errOnce.Do(func() { firstErr = err })
-						failed = true
+					var rec Recorder = &res.row.Metrics[j]
+					if cfg.trace {
+						tr := NewTraceRecorder()
+						res.row.Traces[j] = tr
+						rec = tr
+					}
+					if res.err = eng.RunRecording(sc, scheme, seeds[idx], rec, scratch); res.err != nil {
 						break
 					}
-					row[j] = m
+					if cfg.trace {
+						res.row.Metrics[j] = res.row.Traces[j].Metrics
+					}
 				}
-				if !failed {
-					out[idx] = row
-				}
+				results <- res
 			}
 		}()
 	}
-	for idx := range seeds {
-		next <- idx
+
+	// Feeder: admission is token-gated, so at most `window` seeds are in
+	// flight at any moment; tokens are released as rows are emitted (or
+	// discarded after a failure). `done` aborts it without deadlocking.
+	go func() {
+		defer close(next)
+		for idx := range seeds {
+			select {
+			case admit <- struct{}{}:
+			case <-done:
+				return
+			}
+			select {
+			case next <- idx:
+			case <-done:
+				return
+			}
+		}
+	}()
+	go func() { wg.Wait(); close(results) }()
+
+	// Reorder and emit in seed order on the caller's goroutine. After a
+	// failure the loop keeps draining so no worker blocks on a full
+	// results channel.
+	pending := make(map[int]result, window)
+	nextEmit := 0
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+			close(done)
+		}
 	}
-	close(next)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for res := range results {
+		if firstErr != nil {
+			<-admit
+			continue
+		}
+		pending[res.row.Index] = res
+		for {
+			r, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			if r.err != nil {
+				<-admit
+				fail(r.err)
+				break
+			}
+			err := sink.Consume(r.row)
+			// The row's admission token is held until the sink returns: a
+			// row at the sink is still in flight, so a blocked sink caps
+			// the workers' run-ahead at exactly the window.
+			<-admit
+			if err != nil {
+				fail(err)
+				break
+			}
+			nextEmit++
+		}
+	}
+	return firstErr
+}
+
+// Campaign executes runs[seed][scheme] for every seed and scheme and
+// materializes the result matrix, indexed [seed][scheme]. It is a thin
+// wrapper over CampaignStream — use the stream directly when the
+// campaign is too large to hold, or when rows should feed analysis as
+// they arrive.
+func (eng *Engine) Campaign(sc Scenario, schemes []Scheme, seeds []int64) ([][]Metrics, error) {
+	out := make([][]Metrics, len(seeds))
+	err := eng.CampaignStream(sc, schemes, seeds, SinkFunc(func(r Row) error {
+		out[r.Index] = r.Metrics
+		return nil
+	}))
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

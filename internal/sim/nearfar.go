@@ -35,19 +35,19 @@ var nearFar = &simpleScenario{
 	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
 	start: map[Scheme]func(*Env) StepFunc{
 		SchemeANC: func(e *Env) StepFunc {
-			return func(i int, m *Metrics) {
-				stepAliceBobANC(e, m, topology.Alice, topology.Router, topology.Bob)
+			return func(i int, r Recorder) {
+				stepAliceBobANC(e, r, topology.Alice, topology.Router, topology.Bob)
 			}
 		},
 		SchemeRouting: func(e *Env) StepFunc {
-			return func(i int, m *Metrics) {
-				stepAliceBobTraditional(e, m, topology.Alice, topology.Router, topology.Bob)
+			return func(i int, r Recorder) {
+				stepAliceBobTraditional(e, r, topology.Alice, topology.Router, topology.Bob)
 			}
 		},
 		SchemeCOPE: func(e *Env) StepFunc {
 			pool := cope.NewPool()
-			return func(i int, m *Metrics) {
-				stepAliceBobCOPE(e, m, pool, topology.Alice, topology.Router, topology.Bob)
+			return func(i int, r Recorder) {
+				stepAliceBobCOPE(e, r, pool, topology.Alice, topology.Router, topology.Bob)
 			}
 		},
 	},

@@ -30,18 +30,18 @@ func NewParallelPairs(k int) Scenario {
 		order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
 		start: map[Scheme]func(*Env) StepFunc{
 			SchemeANC: func(e *Env) StepFunc {
-				return func(i int, m *Metrics) {
+				return func(i int, r Recorder) {
 					for p := 0; p < k; p++ {
 						base := topology.PairBase(p)
-						stepAliceBobANC(e, m, base, base+1, base+2)
+						stepAliceBobANC(e, r, base, base+1, base+2)
 					}
 				}
 			},
 			SchemeRouting: func(e *Env) StepFunc {
-				return func(i int, m *Metrics) {
+				return func(i int, r Recorder) {
 					for p := 0; p < k; p++ {
 						base := topology.PairBase(p)
-						stepAliceBobTraditional(e, m, base, base+1, base+2)
+						stepAliceBobTraditional(e, r, base, base+1, base+2)
 					}
 				}
 			},
@@ -50,10 +50,10 @@ func NewParallelPairs(k int) Scenario {
 				for p := range pools {
 					pools[p] = cope.NewPool()
 				}
-				return func(i int, m *Metrics) {
+				return func(i int, r Recorder) {
 					for p := 0; p < k; p++ {
 						base := topology.PairBase(p)
-						stepAliceBobCOPE(e, m, pools[p], base, base+1, base+2)
+						stepAliceBobCOPE(e, r, pools[p], base, base+1, base+2)
 					}
 				}
 			},

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Recorder consumes the typed observations a scenario schedule emits.
+// Steppers do not mutate result storage directly: they report what
+// happened — a delivery, a loss, an interference decode, a collision, air
+// time — and the Recorder decides what to keep. Metrics is the default
+// Recorder, accumulating exactly the aggregates the paper's figures need;
+// TraceRecorder additionally retains per-slot channel state; custom
+// implementations can stream observations anywhere (a file, a histogram,
+// a live dashboard) without touching the schedules.
+//
+// Implementations must be cheap: every method sits inside the per-slot
+// hot path of a run, and the engine's zero-allocation discipline extends
+// to recording (Metrics' methods allocate nothing beyond the amortized
+// growth of its BER/overlap pools).
+//
+// A Recorder is owned by one run on one goroutine; the engine never
+// shares one across concurrent runs.
+type Recorder interface {
+	// RecordDelivered accounts one packet delivered end to end carrying
+	// the given goodput payload bits (already discounted by the FEC
+	// redundancy charge for ANC decodes).
+	RecordDelivered(bits float64)
+	// RecordLost accounts n packets lost. n may be zero (a schedule
+	// charging "whatever did not make it" of a batch).
+	RecordLost(n int)
+	// RecordANCDecode reports the payload bit error rate of one ANC
+	// interference decode — the per-packet observation behind the
+	// Fig. 9b/10b/12b BER CDFs.
+	RecordANCDecode(ber float64)
+	// RecordCollision reports the overlap fraction of one collision slot
+	// (§11.4).
+	RecordCollision(overlap float64)
+	// RecordAirTime charges air time consumed, in samples.
+	RecordAirTime(samples float64)
+	// RecordLinkState reports one directed edge's realized power gain at
+	// a schedule slot. The engine emits it for every edge of the topology
+	// once per slot, before the slot's schedule step runs, sourced from
+	// the channel-model cursor. Edge order within a slot is unspecified;
+	// implementations must key by (from, to).
+	RecordLinkState(slot, from, to int, powerGain float64)
+}
+
+// --- Metrics as the default Recorder ---
+
+// RecordDelivered implements Recorder: one more delivered packet, its
+// goodput bits added.
+func (m *Metrics) RecordDelivered(bits float64) {
+	m.Delivered++
+	m.DeliveredBits += bits
+}
+
+// RecordLost implements Recorder.
+func (m *Metrics) RecordLost(n int) { m.Lost += n }
+
+// RecordANCDecode implements Recorder: the BER joins the run's pool.
+func (m *Metrics) RecordANCDecode(ber float64) { m.BERs = append(m.BERs, ber) }
+
+// RecordCollision implements Recorder: the overlap joins the run's pool.
+func (m *Metrics) RecordCollision(overlap float64) { m.Overlaps = append(m.Overlaps, overlap) }
+
+// RecordAirTime implements Recorder.
+func (m *Metrics) RecordAirTime(samples float64) { m.TimeSamples += samples }
+
+// RecordLinkState implements Recorder as a no-op: the aggregate metrics
+// do not retain channel state. TraceRecorder does.
+func (m *Metrics) RecordLinkState(slot, from, to int, powerGain float64) {}
+
+// --- TraceRecorder ---
+
+// LinkTrace is one directed edge's per-slot power-gain trace, in slot
+// order.
+type LinkTrace struct {
+	From, To int
+	Gains    []float64
+}
+
+// GainSample returns the trace's gains as a stats.Sample, the input the
+// outage/fade-margin helpers consume.
+func (t LinkTrace) GainSample() *stats.Sample { return stats.NewSample(t.Gains) }
+
+// TraceRecorder is a Recorder that accumulates the usual Metrics and
+// additionally retains every edge's per-slot power gain — the raw
+// material of outage statistics (stats.Sample.OutageBelow,
+// stats.Sample.FadeMarginDB). Use it where channel dynamics are the
+// point: fading and mobility campaigns whose per-run aggregate hides the
+// deep fades.
+type TraceRecorder struct {
+	Metrics
+	traces map[[2]int]*LinkTrace
+}
+
+// NewTraceRecorder returns an empty trace recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{traces: make(map[[2]int]*LinkTrace)}
+}
+
+// RecordLinkState implements Recorder: the gain joins the edge's trace.
+// The engine emits slots in increasing order, so each trace is in slot
+// order.
+func (t *TraceRecorder) RecordLinkState(slot, from, to int, powerGain float64) {
+	key := [2]int{from, to}
+	tr := t.traces[key]
+	if tr == nil {
+		tr = &LinkTrace{From: from, To: to}
+		t.traces[key] = tr
+	}
+	tr.Gains = append(tr.Gains, powerGain)
+}
+
+// Traces returns every edge's trace, sorted by (From, To) so output is
+// deterministic regardless of emission order.
+func (t *TraceRecorder) Traces() []LinkTrace {
+	out := make([]LinkTrace, 0, len(t.traces))
+	for _, tr := range t.traces {
+		out = append(out, *tr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}

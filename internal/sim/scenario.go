@@ -45,16 +45,17 @@ type Scenario interface {
 
 // Stepper advances one run by one schedule cycle (one exchange, one
 // delivered packet, one round over the parallel pairs — whatever the
-// scenario's unit of progress is).
+// scenario's unit of progress is), emitting its observations into the
+// run's Recorder.
 type Stepper interface {
-	Step(i int, m *Metrics)
+	Step(i int, r Recorder)
 }
 
 // StepFunc adapts a function to the Stepper interface.
-type StepFunc func(i int, m *Metrics)
+type StepFunc func(i int, r Recorder)
 
 // Step implements Stepper.
-func (f StepFunc) Step(i int, m *Metrics) { f(i, m) }
+func (f StepFunc) Step(i int, r Recorder) { f(i, r) }
 
 // simpleScenario implements Scenario from a builder plus one schedule
 // constructor per scheme. All scenarios in this package are built from it.

@@ -13,6 +13,13 @@
 // topologies are Scenario implementations like any other; see Scenario,
 // Engine and Register.
 //
+// Results flow through the Recorder interface: schedules emit typed
+// observations (deliveries, losses, decode BERs, collision overlaps,
+// air time, per-slot link states) and the recorder decides what to
+// keep — Metrics accumulates the paper's aggregates, TraceRecorder
+// retains channel traces, and Engine.CampaignStream delivers per-seed
+// rows to a Sink in seed order at constant memory. See Recorder.
+//
 // Two calibration constants connect simulated time accounting to the
 // paper's testbed (see DESIGN.md and EXPERIMENTS.md):
 //
@@ -131,7 +138,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Metrics aggregates one run's outcome.
+// Metrics aggregates one run's outcome. It is the default Recorder: the
+// schedules emit typed observations (see Recorder) and Metrics folds them
+// into exactly these aggregates, which keeps the accounting bit-identical
+// to the era when steppers mutated the fields directly.
 type Metrics struct {
 	// DeliveredBits is goodput: payload bits delivered, discounted by the
 	// BER-dependent redundancy charge for ANC decodes.
@@ -186,6 +196,7 @@ func (m Metrics) MeanOverlap() float64 {
 // per-slot schedule from.
 type Env struct {
 	cfg        Config
+	seed       int64
 	rng        *rand.Rand
 	modem      *msk.Modem
 	graph      *topology.Graph
@@ -229,6 +240,7 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 	window := 4 * cfg.SamplesPerSymbol * 8
 	return &Env{
 		cfg:        cfg,
+		seed:       seed,
 		rng:        rng,
 		modem:      modem,
 		graph:      g,
@@ -276,6 +288,10 @@ func (e *Env) release(sig dsp.Signal) { e.scratch.give(sig) }
 // Config returns the run configuration with defaults applied.
 func (e *Env) Config() Config { return e.cfg }
 
+// Seed returns the run's seed — the identity of this run's channel
+// realization, shared by every scheme compared against it.
+func (e *Env) Seed() int64 { return e.seed }
+
 // RNG returns the run's random source. Every random choice a schedule
 // makes must come from it (or from streams seeded by it) to keep runs
 // reproducible and channel realizations identical across compared schemes.
@@ -317,26 +333,26 @@ func (e *Env) CleanHop(rec frame.SentRecord, from, to int) (ok bool, payload []b
 
 // AccountANCDecode decodes an interfered reception at a node and charges
 // goodput/loss against the wanted frame (see accountANCDecode).
-func (e *Env) AccountANCDecode(m *Metrics, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
-	e.accountANCDecode(m, n, rx, wanted)
+func (e *Env) AccountANCDecode(r Recorder, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
+	e.accountANCDecode(r, n, rx, wanted)
 }
 
-// RecordOverlap appends the §11.4 overlap fraction of a collision with
+// RecordOverlap reports the §11.4 overlap fraction of a collision with
 // the drawn start offset delta.
-func (e *Env) RecordOverlap(m *Metrics, delta int) {
-	m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
+func (e *Env) RecordOverlap(r Recorder, delta int) {
+	r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
 }
 
 // ChargeCleanSlots charges air time for k sequential single-signal
 // transmissions (frame plus turnaround guard each).
-func (e *Env) ChargeCleanSlots(m *Metrics, k int) {
-	m.TimeSamples += float64(k * (e.frameLen + e.guard))
+func (e *Env) ChargeCleanSlots(r Recorder, k int) {
+	r.RecordAirTime(float64(k * (e.frameLen + e.guard)))
 }
 
 // ChargeCollisionSlots charges air time for k slots that each carry the
 // union of a collision whose second transmission started delta late.
-func (e *Env) ChargeCollisionSlots(m *Metrics, k, delta int) {
-	m.TimeSamples += float64(k * (delta + e.frameLen + e.guard))
+func (e *Env) ChargeCollisionSlots(r Recorder, k, delta int) {
+	r.RecordAirTime(float64(k * (delta + e.frameLen + e.guard)))
 }
 
 // payloadBER compares the payload section (payload bits + CRC) of a

@@ -20,22 +20,22 @@ var xCross = &simpleScenario{
 	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
 	start: map[Scheme]func(*Env) StepFunc{
 		SchemeANC: func(e *Env) StepFunc {
-			return func(i int, m *Metrics) {
-				stepXANC(e, m)
-				stepAliceBobANC(e, m, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
+			return func(i int, r Recorder) {
+				stepXANC(e, r)
+				stepAliceBobANC(e, r, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
 			}
 		},
 		SchemeRouting: func(e *Env) StepFunc {
-			return func(i int, m *Metrics) {
-				stepXTraditional(e, m)
-				stepAliceBobTraditional(e, m, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
+			return func(i int, r Recorder) {
+				stepXTraditional(e, r)
+				stepAliceBobTraditional(e, r, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
 			}
 		},
 		SchemeCOPE: func(e *Env) StepFunc {
 			pool := cope.NewPool()
-			return func(i int, m *Metrics) {
-				stepXCOPE(e, m)
-				stepAliceBobCOPE(e, m, pool, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
+			return func(i int, r Recorder) {
+				stepXCOPE(e, r)
+				stepAliceBobCOPE(e, r, pool, topology.XCrossAlice, topology.XRouter, topology.XCrossBob)
 			}
 		},
 	},

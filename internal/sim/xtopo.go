@@ -16,9 +16,9 @@ var xTopo = &simpleScenario{
 	build: topology.X,
 	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
 	start: map[Scheme]func(*Env) StepFunc{
-		SchemeANC:     func(e *Env) StepFunc { return func(i int, m *Metrics) { stepXANC(e, m) } },
-		SchemeRouting: func(e *Env) StepFunc { return func(i int, m *Metrics) { stepXTraditional(e, m) } },
-		SchemeCOPE:    func(e *Env) StepFunc { return func(i int, m *Metrics) { stepXCOPE(e, m) } },
+		SchemeANC:     func(e *Env) StepFunc { return func(i int, r Recorder) { stepXANC(e, r) } },
+		SchemeRouting: func(e *Env) StepFunc { return func(i int, r Recorder) { stepXTraditional(e, r) } },
+		SchemeCOPE:    func(e *Env) StepFunc { return func(i int, r Recorder) { stepXCOPE(e, r) } },
 	},
 }
 
@@ -42,7 +42,7 @@ func XTopo() Scenario { return xTopo }
 // schedule addresses nodes through the topology.X* indices, so it applies
 // to any graph whose first five nodes follow that layout (topology.XCross
 // reuses it).
-func stepXANC(e *Env, m *Metrics) {
+func stepXANC(e *Env, r Recorder) {
 	n1, n2, n3, n4 := e.nodes[topology.X1], e.nodes[topology.X2], e.nodes[topology.X3], e.nodes[topology.X4]
 	pkt1 := frame.NewPacket(n1.ID, n4.ID, n1.NextSeq(), e.payload()) // N1 → N4
 	pkt3 := frame.NewPacket(n3.ID, n2.ID, n3.NextSeq(), e.payload()) // N3 → N2
@@ -92,30 +92,30 @@ func stepXANC(e *Env, m *Metrics) {
 	rxN4 := e.receive(channel.Transmission{Signal: relayed, Link: downTo4})
 	e.release(relayed)
 
-	e.accountANCDecode(m, n2, rxN2, rec3)
-	e.accountANCDecode(m, n4, rxN4, rec1)
+	e.accountANCDecode(r, n2, rxN2, rec3)
+	e.accountANCDecode(r, n4, rxN4, rec1)
 	e.release(rxN2)
 	e.release(rxN4)
 
-	m.Overlaps = append(m.Overlaps, mac.OverlapFraction(e.frameLen, delta))
-	m.TimeSamples += float64(2 * (delta + e.frameLen + e.guard))
+	r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
+	r.RecordAirTime(float64(2 * (delta + e.frameLen + e.guard)))
 }
 
 // stepXTraditional routes both flows through the center router with four
 // sequential transmissions per packet pair.
-func stepXTraditional(e *Env, m *Metrics) {
+func stepXTraditional(e *Env, r Recorder) {
 	n1, n2, n3, n4, router := e.nodes[topology.X1], e.nodes[topology.X2], e.nodes[topology.X3], e.nodes[topology.X4], e.nodes[topology.XRouter]
 	pkt1 := frame.NewPacket(n1.ID, n4.ID, n1.NextSeq(), e.payload())
 	pkt3 := frame.NewPacket(n3.ID, n2.ID, n3.NextSeq(), e.payload())
-	e.traditionalRelay(m, n1, router, n4, pkt1, topology.X1, topology.XRouter, topology.X4)
-	e.traditionalRelay(m, n3, router, n2, pkt3, topology.X3, topology.XRouter, topology.X2)
+	e.traditionalRelay(r, n1, router, n4, pkt1, topology.X1, topology.XRouter, topology.X4)
+	e.traditionalRelay(r, n3, router, n2, pkt3, topology.X3, topology.XRouter, topology.X2)
 }
 
 // stepXCOPE runs one cycle of digital network coding over the "X":
 // sequential uplinks (so overhearing is interference free — the
 // idealization the paper grants COPE), then one XOR broadcast decoded
 // against the overheard packets.
-func stepXCOPE(e *Env, m *Metrics) {
+func stepXCOPE(e *Env, r Recorder) {
 	n1, n2, n3, n4, router := e.nodes[topology.X1], e.nodes[topology.X2], e.nodes[topology.X3], e.nodes[topology.X4], e.nodes[topology.XRouter]
 	pkt1 := frame.NewPacket(n1.ID, n4.ID, n1.NextSeq(), e.payload())
 	pkt3 := frame.NewPacket(n3.ID, n2.ID, n3.NextSeq(), e.payload())
@@ -123,7 +123,7 @@ func stepXCOPE(e *Env, m *Metrics) {
 	rec3 := n3.BuildFrame(pkt3)
 
 	// Slot 1: N1's uplink; N2 snoops it cleanly.
-	m.TimeSamples += float64(e.frameLen + e.guard)
+	r.RecordAirTime(float64(e.frameLen + e.guard))
 	ok1, got1 := e.cleanHop(rec1, topology.X1, topology.XRouter)
 	over12, _ := e.graph.Link(topology.X1, topology.X2)
 	snoopRx2 := e.receive(channel.Transmission{Signal: rec1.Samples, Link: over12, Delay: cleanLead})
@@ -132,7 +132,7 @@ func stepXCOPE(e *Env, m *Metrics) {
 	snoop2OK := errSnoop2 == nil && resSnoop2.BodyOK
 
 	// Slot 2: N3's uplink; N4 snoops.
-	m.TimeSamples += float64(e.frameLen + e.guard)
+	r.RecordAirTime(float64(e.frameLen + e.guard))
 	ok3, got3 := e.cleanHop(rec3, topology.X3, topology.XRouter)
 	over34, _ := e.graph.Link(topology.X3, topology.X4)
 	snoopRx4 := e.receive(channel.Transmission{Signal: rec3.Samples, Link: over34, Delay: cleanLead})
@@ -141,17 +141,17 @@ func stepXCOPE(e *Env, m *Metrics) {
 	snoop4OK := errSnoop4 == nil && resSnoop4.BodyOK
 
 	if !ok1 || !ok3 {
-		m.Lost += 2
+		r.RecordLost(2)
 		return
 	}
 	coded, err := cope.Encode(router.ID, router.NextSeq(), frame.Packet{Header: pkt1.Header, Payload: got1}, frame.Packet{Header: pkt3.Header, Payload: got3})
 	if err != nil {
-		m.Lost += 2
+		r.RecordLost(2)
 		return
 	}
 
 	// Slot 3: XOR broadcast.
-	m.TimeSamples += float64(e.frameLen + e.guard)
+	r.RecordAirTime(float64(e.frameLen + e.guard))
 	rec := router.BuildFrame(coded)
 	okTo2, codedAt2 := e.cleanHop(rec, topology.XRouter, topology.X2)
 	okTo4, codedAt4 := e.cleanHop(rec, topology.XRouter, topology.X4)
@@ -162,8 +162,8 @@ func stepXCOPE(e *Env, m *Metrics) {
 	if snoop4OK {
 		known4 = resSnoop4.Packet.Payload
 	}
-	e.accountCOPEDecode(m, okTo2 && snoop2OK, codedAt2, coded.Header, known2, pkt3.Payload)
-	e.accountCOPEDecode(m, okTo4 && snoop4OK, codedAt4, coded.Header, known4, pkt1.Payload)
+	e.accountCOPEDecode(r, okTo2 && snoop2OK, codedAt2, coded.Header, known2, pkt3.Payload)
+	e.accountCOPEDecode(r, okTo4 && snoop4OK, codedAt4, coded.Header, known4, pkt1.Payload)
 }
 
 // RunXANC simulates one run of the "X" topology of Fig. 11 under ANC.

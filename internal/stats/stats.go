@@ -11,25 +11,40 @@ import (
 )
 
 // Sample is a collection of scalar observations (e.g. per-run throughput
-// gains or per-packet BERs).
+// gains or per-packet BERs). Observations are buffered as they arrive
+// and sorted lazily on the first order-dependent read, so a streamed
+// campaign feeding a Sample pays O(n log n) total instead of the O(n²)
+// an insertion-sorted Add would cost.
+//
+// A Sample is not safe for concurrent use: the lazy sort makes every
+// order-dependent reader (Min, Max, Quantile, CDF, CDFAt, OutageBelow)
+// a potential mutator.
 type Sample struct {
-	xs []float64
+	xs       []float64
+	unsorted bool
 }
 
 // NewSample returns a sample over a copy of xs.
 func NewSample(xs []float64) *Sample {
 	cp := make([]float64, len(xs))
 	copy(cp, xs)
-	sort.Float64s(cp)
-	return &Sample{xs: cp}
+	return &Sample{xs: cp, unsorted: true}
 }
 
-// Add inserts an observation.
+// Add appends an observation. The cost is amortized O(1); ordering is
+// deferred to the next order-dependent read (Min, Max, Quantile, CDF).
 func (s *Sample) Add(x float64) {
-	i := sort.SearchFloat64s(s.xs, x)
-	s.xs = append(s.xs, 0)
-	copy(s.xs[i+1:], s.xs[i:])
-	s.xs[i] = x
+	s.xs = append(s.xs, x)
+	s.unsorted = true
+}
+
+// ensureSorted establishes the sorted order every order-dependent
+// accessor reads. Cheap when nothing was added since the last read.
+func (s *Sample) ensureSorted() {
+	if s.unsorted {
+		sort.Float64s(s.xs)
+		s.unsorted = false
+	}
 }
 
 // Len returns the number of observations.
@@ -52,6 +67,7 @@ func (s *Sample) Min() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
+	s.ensureSorted()
 	return s.xs[0]
 }
 
@@ -60,6 +76,7 @@ func (s *Sample) Max() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
+	s.ensureSorted()
 	return s.xs[len(s.xs)-1]
 }
 
@@ -69,6 +86,7 @@ func (s *Sample) Quantile(q float64) float64 {
 	if n == 0 {
 		return 0
 	}
+	s.ensureSorted()
 	if q <= 0 {
 		return s.xs[0]
 	}
@@ -95,6 +113,7 @@ type CDFPoint struct {
 
 // CDF returns the full empirical CDF, one point per observation.
 func (s *Sample) CDF() []CDFPoint {
+	s.ensureSorted()
 	out := make([]CDFPoint, len(s.xs))
 	for i, x := range s.xs {
 		out[i] = CDFPoint{X: x, Frac: float64(i+1) / float64(len(s.xs))}
@@ -102,13 +121,41 @@ func (s *Sample) CDF() []CDFPoint {
 	return out
 }
 
-// CDFAt returns the empirical CDF evaluated at x.
+// CDFAt returns the empirical CDF evaluated at x: the fraction of
+// observations ≤ x.
 func (s *Sample) CDFAt(x float64) float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
+	s.ensureSorted()
 	i := sort.Search(len(s.xs), func(i int) bool { return s.xs[i] > x })
 	return float64(i) / float64(len(s.xs))
+}
+
+// OutageBelow returns the fraction of observations strictly below x —
+// the empirical outage probability of a power-gain (or SNR) trace
+// against a threshold: P[g < x].
+func (s *Sample) OutageBelow(x float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	i := sort.SearchFloat64s(s.xs, x) // first index with xs[i] >= x
+	return float64(i) / float64(len(s.xs))
+}
+
+// FadeMarginDB returns how many dB the q-quantile observation sits below
+// the sample mean: 10·log10(mean / Quantile(q)). For a power-gain trace
+// this is the fade margin a link budget must reserve to keep (1−q) of
+// the slots above threshold. Returns 0 for empty samples or when either
+// term is non-positive (margins are only meaningful over powers).
+func (s *Sample) FadeMarginDB(q float64) float64 {
+	m := s.Mean()
+	v := s.Quantile(q)
+	if m <= 0 || v <= 0 {
+		return 0
+	}
+	return 10 * math.Log10(m/v)
 }
 
 // FormatCDF renders the CDF as the two-column text series the paper's

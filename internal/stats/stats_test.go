@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -139,6 +140,107 @@ func TestFormatCDFDownsamples(t *testing.T) {
 	// The final point (frac = 1) must survive downsampling.
 	if !strings.Contains(out, "1.0000\n") {
 		t.Errorf("last CDF point missing:\n%s", out)
+	}
+}
+
+func TestOutageBelow(t *testing.T) {
+	s := NewSample([]float64{0.1, 0.2, 0.5, 1.0})
+	cases := []struct{ x, want float64 }{
+		{0.05, 0}, {0.1, 0}, {0.15, 0.25}, {0.2, 0.25}, {0.6, 0.75}, {2, 1},
+	}
+	for _, c := range cases {
+		if got := s.OutageBelow(c.x); got != c.want {
+			t.Errorf("OutageBelow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if got := NewSample(nil).OutageBelow(1); got != 0 {
+		t.Errorf("empty OutageBelow = %v", got)
+	}
+}
+
+func TestFadeMarginDB(t *testing.T) {
+	// Constant sample: every quantile equals the mean, margin 0 dB.
+	flat := NewSample([]float64{0.5, 0.5, 0.5})
+	if got := flat.FadeMarginDB(0.05); math.Abs(got) > 1e-12 {
+		t.Errorf("flat FadeMarginDB = %v, want 0", got)
+	}
+	// Mean 10× the low quantile → 10 dB margin.
+	s := NewSample([]float64{0.1, 1.9})
+	if got := s.FadeMarginDB(0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("FadeMarginDB(0) = %v, want 10", got)
+	}
+	if got := NewSample(nil).FadeMarginDB(0.05); got != 0 {
+		t.Errorf("empty FadeMarginDB = %v", got)
+	}
+	if got := NewSample([]float64{-1, 1}).FadeMarginDB(0); got != 0 {
+		t.Errorf("non-positive quantile FadeMarginDB = %v, want 0 guard", got)
+	}
+}
+
+// TestAddAfterReadResorts covers the lazy-sort edge the insertion-sorted
+// implementation never had: reads interleaved with appends must always
+// see the fully sorted sample.
+func TestAddAfterReadResorts(t *testing.T) {
+	s := NewSample([]float64{5, 1})
+	if s.Min() != 1 {
+		t.Fatalf("Min = %v", s.Min())
+	}
+	s.Add(0) // below the current minimum, after a read
+	if s.Min() != 0 || s.Max() != 5 {
+		t.Errorf("Min/Max after post-read Add = %v/%v, want 0/5", s.Min(), s.Max())
+	}
+	s.Add(9)
+	if got := s.CDF(); got[len(got)-1].X != 9 {
+		t.Errorf("CDF tail = %v, want 9", got[len(got)-1].X)
+	}
+}
+
+// BenchmarkSampleStream measures the streamed-campaign pattern the lazy
+// sort exists for: N appends followed by one quantile read. The
+// insertion-sorted Add this replaced cost O(n) per append — O(n²) for
+// the stream — where buffering with one deferred sort is O(n log n).
+func BenchmarkSampleStream(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := NewSample(nil)
+				for _, x := range xs {
+					s.Add(x)
+				}
+				_ = s.Quantile(0.9)
+			}
+		})
+	}
+}
+
+// BenchmarkSampleAddSortedInsertion is the pre-lazy-sort behavior,
+// reconstructed, so benchdiff keeps the contrast visible: run it against
+// BenchmarkSampleStream to see the O(n²) → O(n log n) win.
+func BenchmarkSampleAddSortedInsertion(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			xs := make([]float64, n)
+			for i := range xs {
+				xs[i] = rng.Float64()
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sorted := make([]float64, 0, n)
+				for _, x := range xs {
+					j := sort.SearchFloat64s(sorted, x)
+					sorted = append(sorted, 0)
+					copy(sorted[j+1:], sorted[j:])
+					sorted[j] = x
+				}
+			}
+		})
 	}
 }
 

@@ -134,6 +134,18 @@ func (g *Graph) Model(i, j int) (channel.Model, bool) {
 	return m, ok
 }
 
+// VisitLinkStates reports every directed edge's realized power gain at
+// slot s to fn — the per-slot channel-state observation hook the engine
+// feeds into a run's Recorder. Edge order is unspecified (map
+// iteration); consumers must key by (from, to). The walk allocates
+// nothing: models realize links on demand and fn is called with plain
+// scalars.
+func (g *Graph) VisitLinkStates(s int, fn func(slot, from, to int, powerGain float64)) {
+	for key, m := range g.links {
+		fn(s, key[0], key[1], m.LinkAt(s).PowerGain())
+	}
+}
+
 // SetSlot moves the graph's time cursor: subsequent Link calls realize
 // every edge at slot s. The engine advances it once per schedule cycle;
 // a graph that is never advanced behaves statically.
