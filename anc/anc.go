@@ -41,6 +41,7 @@ import (
 	"repro/internal/frame"
 	"repro/internal/mesh"
 	"repro/internal/msk"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -55,12 +56,44 @@ type Signal = dsp.Signal
 // π/4-DQPSK ([NewDQPSKModem]).
 type PhyModem = core.PhyModem
 
-// Modem is the MSK modulator/demodulator (§5).
-type Modem = msk.Modem
+// Modem is the pluggable PHY contract: PhyModem plus the registry
+// identity (Name). Registered modems are an experiment axis — every
+// scenario campaign runs under any of them (SimConfig.Modem, ancsim
+// -modem). Implementations must be stateless, safe for concurrent use,
+// and keep the *Into ownership rules: results go into the caller's dst
+// storage, internal working buffers come only from the caller's
+// scratch, so steady-state decodes allocate nothing.
+type Modem = phy.Modem
 
-// NewModem returns a modem with the given options (defaults: 4 samples
-// per symbol, unit amplitude).
-func NewModem(opts ...ModemOption) *Modem { return msk.New(opts...) }
+// RegisterModem adds a modem factory to the PHY registry under a
+// CLI-facing name (duplicates panic). The factory builds an instance at
+// a given oversampling factor.
+var RegisterModem = phy.Register
+
+// Modems returns the registered modem names, sorted ("msk" and "dqpsk"
+// ship built in).
+func Modems() []string { return phy.Names() }
+
+// NewModemByName builds a registered modem at the given oversampling
+// factor; unknown names fail with the registry enumerated.
+func NewModemByName(name string, samplesPerSymbol int) (Modem, error) {
+	return phy.New(name, samplesPerSymbol)
+}
+
+// ModemSupportsBackward reports whether the modem's frames can also be
+// decoded from a conjugate time-reversed stream (§7.4) — true exactly
+// for one-bit-per-symbol modulations, because the frame format mirrors
+// its tail bit-wise. Forward-only modems lose the ANC decode at the
+// endpoint whose own packet started second (see the README support
+// matrix).
+func ModemSupportsBackward(m PhyModem) bool { return phy.SupportsBackward(m) }
+
+// MSKModem is the concrete MSK modulator/demodulator (§5).
+type MSKModem = msk.Modem
+
+// NewModem returns an MSK modem with the given options (defaults: 4
+// samples per symbol, unit amplitude).
+func NewModem(opts ...ModemOption) *MSKModem { return msk.New(opts...) }
 
 // ModemOption configures an MSK Modem.
 type ModemOption = msk.Option

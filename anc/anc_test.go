@@ -167,3 +167,47 @@ func TestPublicChannelModels(t *testing.T) {
 		t.Error("chain-5 not registered or NewChainN name mismatch")
 	}
 }
+
+// TestPublicModemRegistry covers the PHY axis through the facade: the
+// built-in modems resolve by name, capabilities report per §7.4, and
+// SimConfig.Modem drives a whole campaign under the second modem.
+func TestPublicModemRegistry(t *testing.T) {
+	names := anc.Modems()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	if !have["msk"] || !have["dqpsk"] {
+		t.Fatalf("built-in modems missing from registry: %v", names)
+	}
+
+	m, err := anc.NewModemByName("dqpsk", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "dqpsk" || m.BitsPerSymbol() != 2 {
+		t.Errorf("dqpsk modem wrong: name %q, %d bits/symbol", m.Name(), m.BitsPerSymbol())
+	}
+	if anc.ModemSupportsBackward(m) {
+		t.Error("dqpsk claims backward decoding")
+	}
+	if !anc.ModemSupportsBackward(anc.NewModem()) {
+		t.Error("MSK lost backward decoding")
+	}
+	if _, err := anc.NewModemByName("warp", 4); err == nil {
+		t.Error("unknown modem name resolved")
+	}
+
+	sc, ok := anc.LookupScenario("alice-bob")
+	if !ok {
+		t.Fatal("alice-bob not registered")
+	}
+	cfg := anc.SimConfig{Packets: 2, Modem: "dqpsk"}
+	metrics, err := anc.NewEngine(cfg).Run(sc, anc.SchemeANC, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.TimeSamples <= 0 || len(metrics.BERs) == 0 {
+		t.Errorf("dqpsk campaign degenerate: %+v", metrics)
+	}
+}

@@ -401,6 +401,62 @@ func applyCFO(s dsp.Signal, cfo float64) dsp.Signal {
 	return channel.Link{Gain: 1, Phase: 0.9, FreqOffset: cfo}.Apply(s)
 }
 
+// dqpskInterferenceFixture builds one forward-decodable π/4-DQPSK
+// collision (the known packet starts first — the only interference
+// direction the bit-wise frame mirror grants multi-bit modems) for the
+// decode benchmarks below.
+func dqpskInterferenceFixture() (core.Config, dsp.Signal, *frame.SentBuffer) {
+	rng := rand.New(rand.NewSource(5))
+	m := dqpsk.New()
+	payloadA := make([]byte, 128)
+	payloadB := make([]byte, 128)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	pktA := frame.NewPacket(1, 2, 1, payloadA)
+	pktB := frame.NewPacket(2, 1, 1, payloadB)
+	bitsA := frame.Marshal(pktA)
+	sigA := m.Modulate(bitsA)
+	sigB := m.Modulate(frame.Marshal(pktB))
+
+	mix := sigA.Scale(complex(0.8, 0)).Add(applyCFO(sigB, 0.01).Delay(1200))
+	rx := dsp.NewNoiseSource(1e-3, 6).AddTo(mix.PadTo(len(mix) + 500))
+
+	buf := frame.NewSentBuffer(0)
+	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	return core.DefaultConfig(m, 1e-3), rx, buf
+}
+
+// BenchmarkInterferenceDecodeDQPSK is BenchmarkInterferenceDecode under
+// the second registered modem: the workspace-reusing steady state of a
+// π/4-DQPSK forward interference decode. Its allocs/op column holds the
+// dqpsk pipeline to the same zero-steady-state-allocation contract the
+// core alloc-regression tests pin for MSK.
+func BenchmarkInterferenceDecodeDQPSK(b *testing.B) {
+	cfg, rx, buf := dqpskInterferenceFixture()
+	dec := core.NewDecoder(cfg)
+	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(rx, buf.Get); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInterferenceDecodeDQPSKFresh is the cold-workspace contrast
+// case, mirroring BenchmarkInterferenceDecodeFresh.
+func BenchmarkInterferenceDecodeDQPSKFresh(b *testing.B) {
+	cfg, rx, buf := dqpskInterferenceFixture()
+	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := core.NewDecoder(cfg)
+		if _, err := dec.Decode(rx, buf.Get); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkModulationGenerality exercises §4's claim that the decoding
 // technique applies to any phase-shift keying: one full forward
 // interference decode per iteration over π/4-DQPSK instead of MSK.

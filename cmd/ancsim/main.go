@@ -16,6 +16,10 @@
 //	ancsim -scenario alice-bob -fading rayleigh   # time-varying channels
 //	ancsim -scenario near-far -fading mobility -doppler 0.02
 //
+//	ancsim -modem list                  # list registered PHY modems
+//	ancsim -scenario x-cross -modem dqpsk         # any scenario × any modem
+//	ancsim -scenario alice-bob -scheme anc,routing  # scheme subset
+//
 //	ancsim -scenario alice-bob -format json        # machine-readable rows
 //	ancsim -scenario fading -format json -trace    # + per-slot outage stats
 //	ancsim -scenario pairs -format csv > rows.csv  # flat per-run table
@@ -35,6 +39,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/experiments"
+	"repro/internal/phy"
 	"repro/internal/sim"
 )
 
@@ -56,6 +61,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		snr      = fs.Float64("snr", 25, "per-link SNR in dB")
 		fading   = fs.String("fading", "static", "per-link channel model: static|rayleigh|rician|mobility")
 		doppler  = fs.Float64("doppler", 0, "mobility-model phase advance in rad/slot (with -fading mobility)")
+		modem    = fs.String("modem", "", "PHY modem: msk|dqpsk ('list' prints the registry; default: the scenario's preference, else msk)")
+		scheme   = fs.String("scheme", "", "comma-separated scheme subset for -scenario campaigns: anc,routing,cope (default: all the scenario supports)")
 		maxRows  = fs.Int("rows", 25, "max CDF rows to print")
 		format   = fs.String("format", "text", "scenario campaign output: text|json|csv")
 		trace    = fs.Bool("trace", false, "retain per-slot link gains and report outage statistics (-format json)")
@@ -104,13 +111,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	cfg := sim.DefaultConfig()
+	// The modem axis mirrors the scenario registry's CLI contract: "list"
+	// enumerates, an unknown name exits 2 with the valid spellings.
+	if *modem == "list" {
+		for _, name := range phy.Names() {
+			fmt.Fprintf(stdout, "%-8s %s\n", name, phy.Description(name))
+		}
+		return 0
+	}
+	if *modem != "" {
+		if _, ok := phy.Get(*modem); !ok {
+			fmt.Fprintf(stderr, "ancsim: unknown modem %q\nregistered modems: %s\n",
+				*modem, strings.Join(phy.Names(), ", "))
+			return 2
+		}
+	}
+
+	// The scheme filter parses up front (unknown spellings exit 2), but
+	// is checked against the scenario's supported set after lookup.
+	var schemes []sim.Scheme
+	if *scheme != "" {
+		if *scenario == "" {
+			fmt.Fprintf(stderr, "ancsim: -scheme applies to -scenario campaigns; the -exp figures run their fixed scheme sets\n")
+			return 2
+		}
+		for _, tok := range strings.Split(*scheme, ",") {
+			s, err := sim.ParseScheme(strings.TrimSpace(tok))
+			if err != nil {
+				fmt.Fprintf(stderr, "ancsim: %v\n", err)
+				return 2
+			}
+			schemes = append(schemes, s)
+		}
+	}
+
+	// The config stays raw here: derived parameters (the delay
+	// distribution scales with the modem's frame length) are filled in by
+	// the engine once the effective modem — explicit, or the scenario's
+	// preference — is known.
+	var cfg sim.Config
 	cfg.SNRdB = sim.Ptr(*snr)
+	cfg.Modem = *modem
 	cfg.Topology.Fading = channel.FadingSpec{Kind: kind, DopplerRad: *doppler}
 	if *packets > 0 {
 		cfg.Packets = *packets
 	}
-	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed}
+	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed, Schemes: schemes}
 
 	if *scenario != "" {
 		return runScenario(stdout, stderr, *scenario, opts, *maxRows, *format, *trace)
@@ -170,13 +216,14 @@ func registeredNames() []string {
 // trace, per-link outage statistics; csv is a flat per-run table).
 func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options, maxRows int, format string, trace bool) int {
 	if name == "list" {
-		fmt.Fprintf(stdout, "%-10s %-22s %s\n", "name", "schemes", "description")
+		fmt.Fprintf(stdout, "%-10s %-22s %-7s %s\n", "name", "schemes", "modem", "description")
 		for _, sc := range sim.Scenarios() {
 			schemes := make([]string, 0, 3)
 			for _, s := range sc.Schemes() {
 				schemes = append(schemes, string(s))
 			}
-			fmt.Fprintf(stdout, "%-10s %-22s %s\n", sc.Name(), strings.Join(schemes, ","), sc.Description())
+			fmt.Fprintf(stdout, "%-10s %-22s %-7s %s\n", sc.Name(), strings.Join(schemes, ","),
+				sim.EffectiveModemName(sc, sim.Config{}), sc.Description())
 		}
 		return 0
 	}
@@ -185,6 +232,8 @@ func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options
 			name, strings.Join(registeredNames(), ", "))
 		return 2
 	}
+	// A scheme the scenario does not support fails inside planSchemes
+	// (reached by every format below) with the supported set enumerated.
 	switch format {
 	case "json":
 		if err := experiments.WriteCampaignJSON(stdout, experiments.StreamOptions{Options: opts, Trace: trace}, name); err != nil {

@@ -45,6 +45,124 @@ func TestScenarioListSucceeds(t *testing.T) {
 	}
 }
 
+// TestUnknownModemFailsAndEnumerates pins the modem axis to the same
+// CLI contract as -scenario: an unknown -modem exits 2 and prints the
+// registered names.
+func TestUnknownModemFailsAndEnumerates(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-modem", "warp"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("unknown modem exited %d, want 2", code)
+	}
+	out := stderr.String()
+	if !strings.Contains(out, `"warp"`) {
+		t.Errorf("error does not name the bad modem: %s", out)
+	}
+	for _, name := range []string{"msk", "dqpsk"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("error does not enumerate registered modem %q: %s", name, out)
+		}
+	}
+}
+
+func TestModemListSucceeds(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-modem", "list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-modem list exited %d: %s", code, stderr.String())
+	}
+	for _, name := range []string{"msk", "dqpsk"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("listing missing %q", name)
+		}
+	}
+}
+
+// TestSchemeFilterValidation pins the -scheme contract: unknown
+// spellings and schemes the scenario does not support exit 2, with the
+// valid set in the error.
+func TestSchemeFilterValidation(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-scenario", "alice-bob", "-scheme", "warp"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown scheme exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "anc|routing|cope") {
+		t.Errorf("error does not list valid schemes: %s", stderr.String())
+	}
+
+	stderr.Reset()
+	// chain supports no COPE: the filter must fail listing what it does.
+	if code := run([]string{"-scenario", "chain", "-scheme", "cope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unsupported scheme exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "anc, routing") {
+		t.Errorf("error does not enumerate supported schemes: %s", stderr.String())
+	}
+
+	stderr.Reset()
+	if code := run([]string{"-scheme", "anc"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-scheme without -scenario exited %d, want 2", code)
+	}
+}
+
+// TestSchemeFilterRuns drives a filtered campaign through every format:
+// the CSV has empty gain columns (no routing baseline) and the text
+// output falls back to the per-scheme throughput summary.
+func TestSchemeFilterRuns(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "alice-bob", "-scheme", "anc", "-runs", "2", "-packets", "2", "-format", "csv"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("filtered campaign exited %d: %s", code, stderr.String())
+	}
+	recs, err := csv.NewReader(strings.NewReader(stdout.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, stdout.String())
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d CSV records, want header + 2 rows", len(recs))
+	}
+	if recs[1][2] != "" || recs[1][3] != "" {
+		t.Errorf("filtered row carries gains without baselines: %v", recs[1])
+	}
+	if recs[1][4] != "msk" {
+		t.Errorf("modem column = %q, want msk", recs[1][4])
+	}
+
+	stdout.Reset()
+	code = run([]string{"-scenario", "alice-bob", "-scheme", "routing,cope", "-runs", "2", "-packets", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("baseline-only campaign exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "per-scheme throughput") {
+		t.Errorf("text output missing the filtered summary:\n%s", stdout.String())
+	}
+}
+
+// TestDQPSKModemJSONHeader is the acceptance smoke for the modem axis:
+// any scenario runs under -modem dqpsk and the machine-readable header
+// names the modem.
+func TestDQPSKModemJSONHeader(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-scenario", "x-cross", "-modem", "dqpsk", "-runs", "2", "-packets", "2", "-format", "json"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("dqpsk campaign exited %d: %s", code, stderr.String())
+	}
+	var doc struct {
+		Modem string `json:"modem"`
+		Rows  []struct {
+			Modem string `json:"modem"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout.String())
+	}
+	if doc.Modem != "dqpsk" {
+		t.Errorf("header modem = %q, want dqpsk", doc.Modem)
+	}
+	if len(doc.Rows) != 2 || doc.Rows[0].Modem != "dqpsk" {
+		t.Errorf("rows do not carry the modem: %+v", doc.Rows)
+	}
+}
+
 func TestUnknownFadingKindFails(t *testing.T) {
 	var stdout, stderr strings.Builder
 	if code := run([]string{"-fading", "warp"}, &stdout, &stderr); code == 0 {

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math/rand"
 	"testing"
 
+	"repro/internal/channel"
+	"repro/internal/dqpsk"
 	"repro/internal/dsp"
 	"repro/internal/frame"
 	"repro/internal/msk"
@@ -104,6 +107,76 @@ func TestTryCleanSteadyStateAllocs(t *testing.T) {
 	})
 	if allocs > maxCleanDecodeAllocs {
 		t.Errorf("TryClean allocates %.1f objects/op in steady state, budget %d", allocs, maxCleanDecodeAllocs)
+	}
+}
+
+// dqpskABExchange synthesizes the forward-decodable half of an
+// Alice–Bob exchange under π/4-DQPSK: Alice's (known) packet starts
+// first, so her decode of Bob's packet runs the forward pipeline —
+// the only interference-decode direction the bit-wise frame mirror
+// grants multi-bit modems.
+func dqpskABExchange(t *testing.T, seed int64, bobDelay int) (*Decoder, dsp.Signal, KnownLookup) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := dqpsk.New()
+
+	payloadA := make([]byte, 64)
+	payloadB := make([]byte, 64)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	pktA := frame.NewPacket(1, 2, 100, payloadA)
+	pktB := frame.NewPacket(2, 1, 200, payloadB)
+	bitsA := frame.Marshal(pktA)
+	sigA := m.Modulate(bitsA)
+	sigB := dqpsk.New(dqpsk.WithAmplitude(0.9)).Modulate(frame.Marshal(pktB))
+
+	routerRx := channel.Receive(dsp.NewNoiseSource(1e-3, seed+1), 200,
+		channel.Transmission{Signal: sigA, Link: channel.Link{Gain: 0.8, Phase: 0.7, FreqOffset: 0.006}},
+		channel.Transmission{Signal: sigB, Link: channel.Link{Gain: 0.75, Phase: -1.1, FreqOffset: -0.008}, Delay: bobDelay},
+	)
+	relayed := channel.AmplifyTo(routerRx, 1)
+	rxA := channel.Receive(dsp.NewNoiseSource(1e-3, seed+2), 300,
+		channel.Transmission{Signal: relayed, Link: channel.Link{Gain: 0.7, Phase: 2.2}, Delay: 50})
+
+	buf := frame.NewSentBuffer(0)
+	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	dec := NewDecoder(abConfig(m, 2e-3))
+	dec.SetWorkspace(NewWorkspace())
+	return dec, rxA, buf.Get
+}
+
+// TestDQPSKDecodeInterferedSteadyStateAllocs holds the second modem to
+// the same zero-steady-state-allocation contract as MSK: once the
+// shared workspace has grown, a forward interference decode allocates
+// only what the caller keeps.
+func TestDQPSKDecodeInterferedSteadyStateAllocs(t *testing.T) {
+	dec, rx, lookup := dqpskABExchange(t, 21, 700)
+	if allocs := decodeAllocs(t, dec, rx, lookup); allocs > maxInterferedDecodeAllocs {
+		t.Errorf("dqpsk interfered Decode allocates %.1f objects/op in steady state, budget %d", allocs, maxInterferedDecodeAllocs)
+	}
+}
+
+func TestDQPSKTryCleanSteadyStateAllocs(t *testing.T) {
+	m := dqpsk.New()
+	pkt := frame.NewPacket(3, 4, 9, []byte("clean-path payload for the dqpsk allocation budget test"))
+	rec := frame.SentRecord{Packet: pkt, Bits: frame.Marshal(pkt)}
+	sig := m.Modulate(rec.Bits)
+	rx := dsp.NewNoiseSource(1e-3, 5).AddTo(sig.Delay(150).PadTo(len(sig) + 500))
+	dec := NewDecoder(DefaultConfig(m, 1e-3))
+	dec.SetWorkspace(NewWorkspace())
+	for i := 0; i < 2; i++ {
+		if _, err := dec.TryClean(rx); err != nil {
+			t.Fatalf("warmup TryClean: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		res, err := dec.TryClean(rx)
+		if err != nil || !res.BodyOK {
+			t.Errorf("TryClean err=%v", err)
+		}
+	})
+	if allocs > maxCleanDecodeAllocs {
+		t.Errorf("dqpsk TryClean allocates %.1f objects/op in steady state, budget %d", allocs, maxCleanDecodeAllocs)
 	}
 }
 

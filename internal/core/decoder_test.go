@@ -31,7 +31,7 @@ type abExchange struct {
 // defaults plus the fixed frame size, so a header hit by residual bit
 // errors still yields forward-oriented, frame-aligned bits for BER
 // accounting (exactly how the simulator configures its nodes).
-func abConfig(m *msk.Modem, floor float64) Config {
+func abConfig(m PhyModem, floor float64) Config {
 	cfg := DefaultConfig(m, floor)
 	cfg.FallbackFrameBits = frame.FrameBits(64)
 	return cfg

@@ -22,10 +22,15 @@ type Options struct {
 	// Runs is the number of independent runs (the paper repeats each
 	// experiment 40 times).
 	Runs int
-	// Sim parameterizes each run.
+	// Sim parameterizes each run (including Sim.Modem, the PHY axis).
 	Sim sim.Config
 	// Seed derives all per-run seeds.
 	Seed int64
+	// Schemes, when non-empty, restricts the campaign to a subset of the
+	// scenario's schemes (ancsim -scheme). Every named scheme must be
+	// supported by the scenario. Empty keeps the default gain framing:
+	// ANC and routing required, COPE when the scenario supports it.
+	Schemes []sim.Scheme
 }
 
 // DefaultOptions mirrors the paper's campaign sizes scaled to simulation:
@@ -45,30 +50,84 @@ func (o Options) withDefaults() Options {
 }
 
 // GainResult holds one scenario's throughput-gain campaign: per-run gains
-// of ANC over each baseline plus the per-packet BER pool.
+// of ANC over each baseline plus the per-packet BER pool. Under a scheme
+// filter (Options.Schemes) a pairing or pool is nil when the schemes it
+// needs were filtered out; Throughput is always populated, one
+// distribution per ran scheme.
 type GainResult struct {
-	Topology     string
-	GainOverTrad *stats.Sample
-	GainOverCOPE *stats.Sample // nil when COPE does not apply (chain)
-	BER          *stats.Sample
-	Overlap      *stats.Sample
+	Topology string
+	// Modem is the effective PHY the campaign ran under.
+	Modem string
+	// Schemes lists the schemes the campaign ran, in row order.
+	Schemes []sim.Scheme
+	// Throughput holds one per-run throughput distribution per scheme,
+	// parallel to Schemes.
+	Throughput   []*stats.Sample
+	GainOverTrad *stats.Sample // nil when ANC or routing was filtered out
+	GainOverCOPE *stats.Sample // nil when COPE does not apply (chain) or was filtered out
+	BER          *stats.Sample // nil when ANC was filtered out
+	Overlap      *stats.Sample // nil when ANC was filtered out
 }
 
-// campaignSchemes resolves the scheme set of a gain campaign: ANC and
-// routing are required (the gain-over-routing framing), COPE rides along
-// when the scenario supports it.
-func campaignSchemes(sc sim.Scenario) ([]sim.Scheme, bool, error) {
-	schemes := []sim.Scheme{sim.SchemeANC, sim.SchemeRouting}
-	for _, s := range schemes {
-		if !sim.HasScheme(sc, s) {
-			return nil, false, fmt.Errorf("experiments: scenario %q does not support scheme %q, required for gain campaigns", sc.Name(), s)
+// campaignPlan is a resolved scheme set: the schemes to run plus the
+// row indices the gain pairings and pools read from (-1 = not running).
+type campaignPlan struct {
+	schemes []sim.Scheme
+	anc     int
+	routing int
+	cope    int
+}
+
+func (p campaignPlan) index(s sim.Scheme) int {
+	for i, have := range p.schemes {
+		if have == s {
+			return i
 		}
 	}
-	useCope := sim.HasScheme(sc, sim.SchemeCOPE)
-	if useCope {
-		schemes = append(schemes, sim.SchemeCOPE)
+	return -1
+}
+
+// planSchemes resolves the scheme set of a campaign. With no filter, ANC
+// and routing are required (the gain-over-routing framing) and COPE
+// rides along when the scenario supports it. A filter restricts the
+// campaign to exactly the named schemes; naming one the scenario does
+// not support fails with the supported set enumerated, so the fix is in
+// the error message.
+func planSchemes(sc sim.Scenario, filter []sim.Scheme) (campaignPlan, error) {
+	var schemes []sim.Scheme
+	if len(filter) == 0 {
+		schemes = []sim.Scheme{sim.SchemeANC, sim.SchemeRouting}
+		for _, s := range schemes {
+			if !sim.HasScheme(sc, s) {
+				return campaignPlan{}, fmt.Errorf("experiments: scenario %q does not support scheme %q, required for gain campaigns", sc.Name(), s)
+			}
+		}
+		if sim.HasScheme(sc, sim.SchemeCOPE) {
+			schemes = append(schemes, sim.SchemeCOPE)
+		}
+	} else {
+		seen := make(map[sim.Scheme]bool, len(filter))
+		for _, s := range filter {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			if !sim.HasScheme(sc, s) {
+				supported := make([]string, 0, 3)
+				for _, have := range sc.Schemes() {
+					supported = append(supported, string(have))
+				}
+				return campaignPlan{}, fmt.Errorf("experiments: scenario %q does not support scheme %q (supported: %s)",
+					sc.Name(), s, strings.Join(supported, ", "))
+			}
+			schemes = append(schemes, s)
+		}
 	}
-	return schemes, useCope, nil
+	p := campaignPlan{schemes: schemes}
+	p.anc = p.index(sim.SchemeANC)
+	p.routing = p.index(sim.SchemeRouting)
+	p.cope = p.index(sim.SchemeCOPE)
+	return p, nil
 }
 
 // campaignSeeds derives the per-run seeds of a campaign.
@@ -88,24 +147,42 @@ func campaignSeeds(opts Options) []int64 {
 // support at least ANC and routing.
 func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
 	opts = opts.withDefaults()
-	schemes, useCope, err := campaignSchemes(sc)
+	plan, err := planSchemes(sc, opts.Schemes)
 	if err != nil {
 		return nil, err
 	}
 	res := &GainResult{
-		Topology:     sc.Name(),
-		GainOverTrad: stats.NewSample(nil),
-		BER:          stats.NewSample(nil),
-		Overlap:      stats.NewSample(nil),
+		Topology:   sc.Name(),
+		Modem:      sim.EffectiveModemName(sc, opts.Sim),
+		Schemes:    plan.schemes,
+		Throughput: make([]*stats.Sample, len(plan.schemes)),
 	}
-	if useCope {
-		res.GainOverCOPE = stats.NewSample(nil)
+	for i := range res.Throughput {
+		res.Throughput[i] = stats.NewSample(nil)
+	}
+	if plan.anc >= 0 {
+		res.BER = stats.NewSample(nil)
+		res.Overlap = stats.NewSample(nil)
+		if plan.routing >= 0 {
+			res.GainOverTrad = stats.NewSample(nil)
+		}
+		if plan.cope >= 0 {
+			res.GainOverCOPE = stats.NewSample(nil)
+		}
 	}
 	sink := sim.SinkFunc(func(row sim.Row) error {
-		a, t := row.Metrics[0], row.Metrics[1]
-		res.GainOverTrad.Add(stats.GainRatio(a.Throughput(), t.Throughput()))
-		if useCope {
-			res.GainOverCOPE.Add(stats.GainRatio(a.Throughput(), row.Metrics[2].Throughput()))
+		for j, m := range row.Metrics {
+			res.Throughput[j].Add(m.Throughput())
+		}
+		if plan.anc < 0 {
+			return nil
+		}
+		a := row.Metrics[plan.anc]
+		if res.GainOverTrad != nil {
+			res.GainOverTrad.Add(stats.GainRatio(a.Throughput(), row.Metrics[plan.routing].Throughput()))
+		}
+		if res.GainOverCOPE != nil {
+			res.GainOverCOPE.Add(stats.GainRatio(a.Throughput(), row.Metrics[plan.cope].Throughput()))
 		}
 		for _, b := range a.BERs {
 			res.BER.Add(b)
@@ -115,7 +192,7 @@ func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
 		}
 		return nil
 	})
-	if err := sim.NewEngine(opts.Sim).CampaignStream(sc, schemes, campaignSeeds(opts), sink); err != nil {
+	if err := sim.NewEngine(opts.Sim).CampaignStream(sc, plan.schemes, campaignSeeds(opts), sink); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -158,9 +235,22 @@ func Fig12(opts Options) *GainResult {
 	return mustCampaign(opts, sim.Chain())
 }
 
-// FormatGain renders the Fig. 9a/10a/12a CDF series.
+// FormatGain renders the Fig. 9a/10a/12a CDF series. When the scheme
+// filter removed the routing baseline it falls back to a per-scheme
+// throughput summary, still rendering whichever gain pairings were
+// computed (ANC vs COPE survives an anc,cope filter).
 func (g *GainResult) FormatGain(maxRows int) string {
 	var b strings.Builder
+	if g.GainOverTrad == nil {
+		fmt.Fprintf(&b, "== %s: per-scheme throughput (no routing baseline in scheme set) ==\n", g.Topology)
+		for i, s := range g.Schemes {
+			fmt.Fprintf(&b, "%-8s mean throughput %.6f  n=%d\n", s, g.Throughput[i].Mean(), g.Throughput[i].Len())
+		}
+		if g.GainOverCOPE != nil {
+			b.WriteString(g.GainOverCOPE.FormatCDF("gain over COPE", maxRows))
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "== %s: CDF of throughput gain ==\n", g.Topology)
 	b.WriteString(g.GainOverTrad.FormatCDF("gain over traditional", maxRows))
 	if g.GainOverCOPE != nil {
@@ -169,8 +259,12 @@ func (g *GainResult) FormatGain(maxRows int) string {
 	return b.String()
 }
 
-// FormatBER renders the Fig. 9b/10b/12b CDF series.
+// FormatBER renders the Fig. 9b/10b/12b CDF series. Empty when the
+// scheme filter removed ANC — the BER pool is an ANC observation.
 func (g *GainResult) FormatBER(maxRows int) string {
+	if g.BER == nil {
+		return ""
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s: CDF of bit error rate ==\n", g.Topology)
 	b.WriteString(g.BER.FormatCDF("ANC packet BER", maxRows))

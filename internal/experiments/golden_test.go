@@ -130,11 +130,30 @@ func TestGoldenSummary(t *testing.T) {
 // traces are seeded from the run RNG, so the rendered series are as
 // deterministic as the static ones.
 func TestGoldenNewScenarios(t *testing.T) {
-	for _, name := range []string{"pairs", "x-cross", "near-far", "fading", "chain-5"} {
+	for _, name := range []string{"pairs", "x-cross", "near-far", "fading", "chain-5", "dqpsk"} {
 		res, err := ScenarioCampaign(goldenOpts(), name)
 		if err != nil {
 			t.Fatal(err)
 		}
 		compareGolden(t, name+".golden", gainSeries(res))
+	}
+}
+
+// TestGoldenDQPSKDimension pins the modem axis: the paper scenarios that
+// exercise every decode path — the triggered exchange (alice-bob), the
+// overhearing X with cross traffic (x-cross) and the pipelined chain
+// (chain-5) — rendered under the π/4-DQPSK modem. The series double as
+// the record of the forward-only regime: gains sit at or below 1 because
+// half of each exchange's ANC decodes need backward decoding, which the
+// bit-wise frame mirror reserves to one-bit-per-symbol modems.
+func TestGoldenDQPSKDimension(t *testing.T) {
+	for _, name := range []string{"alice-bob", "x-cross", "chain-5"} {
+		opts := goldenOpts()
+		opts.Sim.Modem = "dqpsk"
+		res, err := ScenarioCampaign(opts, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, name+".dqpsk.golden", gainSeries(res))
 	}
 }

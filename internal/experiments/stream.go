@@ -47,6 +47,7 @@ func (o StreamOptions) outageDB() float64 {
 // campaignHeader is the metadata block opening the JSON document.
 type campaignHeader struct {
 	Scenario          string   `json:"scenario"`
+	Modem             string   `json:"modem"`
 	Schemes           []string `json:"schemes"`
 	Runs              int      `json:"runs"`
 	PacketsPerRun     int      `json:"packets_per_run"`
@@ -83,10 +84,13 @@ type LinkStats struct {
 // CampaignRow is one seed's campaign outcome rendered for machine
 // consumption: the paired-scheme metrics, the throughput gains the
 // pairing exists for, and (under Trace) the per-link channel statistics.
+// The gain fields are omitted when the scheme filter removed the schemes
+// a pairing needs.
 type CampaignRow struct {
 	Run             int            `json:"run"`
 	Seed            int64          `json:"seed"`
-	GainOverRouting float64        `json:"gain_over_routing"`
+	Modem           string         `json:"modem"`
+	GainOverRouting *float64       `json:"gain_over_routing,omitempty"`
 	GainOverCOPE    *float64       `json:"gain_over_cope,omitempty"`
 	Schemes         []SchemeResult `json:"schemes"`
 	Links           []LinkStats    `json:"links,omitempty"`
@@ -110,12 +114,13 @@ func summarize(s *stats.Sample) distSummary {
 }
 
 // campaignSummary closes the JSON document with the campaign-wide
-// distributions (the data behind the Fig. 9/10/12-style CDFs).
+// distributions (the data behind the Fig. 9/10/12-style CDFs). Fields
+// are omitted when the scheme filter removed the schemes they need.
 type campaignSummary struct {
-	GainOverRouting distSummary  `json:"gain_over_routing"`
+	GainOverRouting *distSummary `json:"gain_over_routing,omitempty"`
 	GainOverCOPE    *distSummary `json:"gain_over_cope,omitempty"`
-	BER             distSummary  `json:"ber"`
-	Overlap         distSummary  `json:"overlap"`
+	BER             *distSummary `json:"ber,omitempty"`
+	Overlap         *distSummary `json:"overlap,omitempty"`
 }
 
 // effectiveFadingKind reports the channel model the campaign actually
@@ -163,12 +168,11 @@ func effectiveFadingKind(sc sim.Scenario, cfg sim.Config) string {
 // campaignContext is the resolved machinery one streamed campaign shares
 // between its formats.
 type campaignContext struct {
-	sc      sim.Scenario
-	schemes []sim.Scheme
-	useCope bool
-	seeds   []int64
-	eng     *sim.Engine
-	header  campaignHeader
+	sc     sim.Scenario
+	plan   campaignPlan
+	seeds  []int64
+	eng    *sim.Engine
+	header campaignHeader
 }
 
 func newCampaignContext(opts StreamOptions, name string) (*campaignContext, error) {
@@ -177,17 +181,18 @@ func newCampaignContext(opts StreamOptions, name string) (*campaignContext, erro
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
 	}
-	schemes, useCope, err := campaignSchemes(sc)
+	plan, err := planSchemes(sc, opts.Schemes)
 	if err != nil {
 		return nil, err
 	}
 	simCfg := opts.Sim.WithDefaults()
-	names := make([]string, len(schemes))
-	for i, s := range schemes {
+	names := make([]string, len(plan.schemes))
+	for i, s := range plan.schemes {
 		names[i] = string(s)
 	}
 	hdr := campaignHeader{
 		Scenario:      sc.Name(),
+		Modem:         sim.EffectiveModemName(sc, opts.Sim),
 		Schemes:       names,
 		Runs:          opts.Runs,
 		PacketsPerRun: simCfg.Packets,
@@ -199,31 +204,36 @@ func newCampaignContext(opts StreamOptions, name string) (*campaignContext, erro
 		hdr.OutageThresholdDB = opts.outageDB()
 	}
 	return &campaignContext{
-		sc:      sc,
-		schemes: schemes,
-		useCope: useCope,
-		seeds:   campaignSeeds(opts.Options),
-		eng:     sim.NewEngine(opts.Sim),
-		header:  hdr,
+		sc:     sc,
+		plan:   plan,
+		seeds:  campaignSeeds(opts.Options),
+		eng:    sim.NewEngine(opts.Sim),
+		header: hdr,
 	}, nil
 }
 
 // renderRow converts one streamed sim.Row into its machine-readable form.
 func (c *campaignContext) renderRow(opts StreamOptions, row sim.Row) CampaignRow {
-	a, t := row.Metrics[0], row.Metrics[1]
 	out := CampaignRow{
-		Run:             row.Index,
-		Seed:            row.Seed,
-		GainOverRouting: stats.GainRatio(a.Throughput(), t.Throughput()),
-		Schemes:         make([]SchemeResult, len(row.Metrics)),
+		Run:     row.Index,
+		Seed:    row.Seed,
+		Modem:   c.header.Modem,
+		Schemes: make([]SchemeResult, len(row.Metrics)),
 	}
-	if c.useCope {
-		g := stats.GainRatio(a.Throughput(), row.Metrics[2].Throughput())
-		out.GainOverCOPE = &g
+	if c.plan.anc >= 0 {
+		a := row.Metrics[c.plan.anc]
+		if c.plan.routing >= 0 {
+			g := stats.GainRatio(a.Throughput(), row.Metrics[c.plan.routing].Throughput())
+			out.GainOverRouting = &g
+		}
+		if c.plan.cope >= 0 {
+			g := stats.GainRatio(a.Throughput(), row.Metrics[c.plan.cope].Throughput())
+			out.GainOverCOPE = &g
+		}
 	}
 	for j, m := range row.Metrics {
 		out.Schemes[j] = SchemeResult{
-			Scheme:         string(c.schemes[j]),
+			Scheme:         string(c.plan.schemes[j]),
 			Throughput:     m.Throughput(),
 			DeliveredBits:  m.DeliveredBits,
 			AirTimeSamples: m.TimeSamples,
@@ -292,15 +302,19 @@ func WriteCampaignJSON(w io.Writer, opts StreamOptions, name string) error {
 	first := true
 	sink := sim.SinkFunc(func(row sim.Row) error {
 		r := c.renderRow(opts, row)
-		gainTrad.Add(r.GainOverRouting)
+		if r.GainOverRouting != nil {
+			gainTrad.Add(*r.GainOverRouting)
+		}
 		if r.GainOverCOPE != nil {
 			gainCope.Add(*r.GainOverCOPE)
 		}
-		for _, b := range row.Metrics[0].BERs {
-			berPool.Add(b)
-		}
-		for _, ov := range row.Metrics[0].Overlaps {
-			overlapPool.Add(ov)
+		if c.plan.anc >= 0 {
+			for _, b := range row.Metrics[c.plan.anc].BERs {
+				berPool.Add(b)
+			}
+			for _, ov := range row.Metrics[c.plan.anc].Overlaps {
+				overlapPool.Add(ov)
+			}
 		}
 		b, err := json.Marshal(r)
 		if err != nil {
@@ -318,18 +332,22 @@ func WriteCampaignJSON(w io.Writer, opts StreamOptions, name string) error {
 		_, err = w.Write(b)
 		return err
 	})
-	if err := c.eng.CampaignStream(c.sc, c.schemes, c.seeds, sink, streamOpts(opts.Trace)...); err != nil {
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(opts.Trace)...); err != nil {
 		return err
 	}
 
-	summary := campaignSummary{
-		GainOverRouting: summarize(gainTrad),
-		BER:             summarize(berPool),
-		Overlap:         summarize(overlapPool),
-	}
-	if c.useCope {
-		s := summarize(gainCope)
-		summary.GainOverCOPE = &s
+	var summary campaignSummary
+	if c.plan.anc >= 0 {
+		b, o := summarize(berPool), summarize(overlapPool)
+		summary.BER, summary.Overlap = &b, &o
+		if c.plan.routing >= 0 {
+			s := summarize(gainTrad)
+			summary.GainOverRouting = &s
+		}
+		if c.plan.cope >= 0 {
+			s := summarize(gainCope)
+			summary.GainOverCOPE = &s
+		}
 	}
 	sb, err := json.Marshal(summary)
 	if err != nil {
@@ -354,8 +372,8 @@ func WriteCampaignCSV(w io.Writer, opts StreamOptions, name string) error {
 		return err
 	}
 	cw := csv.NewWriter(w)
-	header := []string{"run", "seed", "gain_over_routing", "gain_over_cope"}
-	for _, s := range c.schemes {
+	header := []string{"run", "seed", "gain_over_routing", "gain_over_cope", "modem"}
+	for _, s := range c.plan.schemes {
 		header = append(header,
 			string(s)+"_throughput", string(s)+"_delivered", string(s)+"_lost")
 	}
@@ -364,25 +382,33 @@ func WriteCampaignCSV(w io.Writer, opts StreamOptions, name string) error {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	optF := func(v *float64) string {
+		if v == nil {
+			return ""
+		}
+		return f(*v)
+	}
 	sink := sim.SinkFunc(func(row sim.Row) error {
 		r := c.renderRow(opts, row)
 		rec := []string{
 			strconv.Itoa(r.Run),
 			strconv.FormatInt(r.Seed, 10),
-			f(r.GainOverRouting),
-		}
-		if r.GainOverCOPE != nil {
-			rec = append(rec, f(*r.GainOverCOPE))
-		} else {
-			rec = append(rec, "")
+			optF(r.GainOverRouting),
+			optF(r.GainOverCOPE),
+			r.Modem,
 		}
 		for _, sr := range r.Schemes {
 			rec = append(rec, f(sr.Throughput), strconv.Itoa(sr.Delivered), strconv.Itoa(sr.Lost))
 		}
-		rec = append(rec, f(row.Metrics[0].MeanBER()), f(row.Metrics[0].MeanOverlap()))
+		if c.plan.anc >= 0 {
+			a := row.Metrics[c.plan.anc]
+			rec = append(rec, f(a.MeanBER()), f(a.MeanOverlap()))
+		} else {
+			rec = append(rec, "", "")
+		}
 		return cw.Write(rec)
 	})
-	if err := c.eng.CampaignStream(c.sc, c.schemes, c.seeds, sink); err != nil {
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink); err != nil {
 		return err
 	}
 	cw.Flush()

@@ -101,9 +101,70 @@ func TestWriteCampaignCSVShape(t *testing.T) {
 	if err != nil {
 		t.Fatalf("invalid CSV: %v\n%s", err, b.String())
 	}
-	// header + 2 runs; alice-bob has 3 schemes → 4 + 3*3 + 2 columns.
-	if len(recs) != 3 || len(recs[0]) != 15 {
-		t.Fatalf("CSV shape %dx%d, want 3x15", len(recs), len(recs[0]))
+	// header + 2 runs; alice-bob has 3 schemes → 5 + 3*3 + 2 columns.
+	if len(recs) != 3 || len(recs[0]) != 16 {
+		t.Fatalf("CSV shape %dx%d, want 3x16", len(recs), len(recs[0]))
+	}
+	if recs[0][4] != "modem" || recs[1][4] != "msk" {
+		t.Errorf("modem column missing or wrong: header %q, row %q", recs[0][4], recs[1][4])
+	}
+}
+
+// TestStreamSchemeFilter pins the -scheme surface: a filtered campaign
+// runs exactly the named schemes, carries the modem per row, and omits
+// the gain pairings (and their summaries) that lost their baseline.
+func TestStreamSchemeFilter(t *testing.T) {
+	opts := streamOptsForTest()
+	opts.Schemes = []sim.Scheme{sim.SchemeANC}
+	opts.Sim.Modem = "dqpsk"
+	var b strings.Builder
+	if err := WriteCampaignJSON(&b, opts, "alice-bob"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Modem   string   `json:"modem"`
+		Schemes []string `json:"schemes"`
+		Rows    []struct {
+			Modem           string                    `json:"modem"`
+			GainOverRouting *float64                  `json:"gain_over_routing"`
+			Schemes         []struct{ Scheme string } `json:"schemes"`
+		} `json:"rows"`
+		Summary map[string]json.RawMessage `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Modem != "dqpsk" {
+		t.Errorf("header modem = %q, want dqpsk", doc.Modem)
+	}
+	if len(doc.Schemes) != 1 || doc.Schemes[0] != "anc" {
+		t.Errorf("filtered schemes = %v, want [anc]", doc.Schemes)
+	}
+	for _, row := range doc.Rows {
+		if row.Modem != "dqpsk" {
+			t.Errorf("row modem = %q, want dqpsk", row.Modem)
+		}
+		if row.GainOverRouting != nil {
+			t.Error("gain_over_routing present without a routing baseline")
+		}
+		if len(row.Schemes) != 1 {
+			t.Errorf("row ran %d schemes, want 1", len(row.Schemes))
+		}
+	}
+	if _, ok := doc.Summary["gain_over_routing"]; ok {
+		t.Error("summary gain_over_routing present without a routing baseline")
+	}
+	if _, ok := doc.Summary["ber"]; !ok {
+		t.Error("summary BER pool missing for an ANC-only campaign")
+	}
+
+	// An unsupported scheme fails with the supported set enumerated.
+	bad := streamOptsForTest()
+	bad.Schemes = []sim.Scheme{sim.SchemeCOPE}
+	if err := WriteCampaignJSON(&b, bad, "chain"); err == nil {
+		t.Error("chain accepted a COPE filter")
+	} else if !strings.Contains(err.Error(), "anc") || !strings.Contains(err.Error(), "routing") {
+		t.Errorf("error does not enumerate supported schemes: %v", err)
 	}
 }
 

@@ -1,0 +1,29 @@
+package phy
+
+import (
+	"repro/internal/dqpsk"
+	"repro/internal/msk"
+)
+
+// The built-in adapters wrap the concrete modems with their registry
+// identity. Each wrapper is a single-pointer struct, so storing one in a
+// Modem (or core.PhyModem) interface value is a direct store — no
+// per-value boxing allocation, and therefore nothing new on the decode
+// hot path, which already calls through the interface.
+
+type mskModem struct{ *msk.Modem }
+
+// Name implements Modem.
+func (mskModem) Name() string { return "msk" }
+
+type dqpskModem struct{ *dqpsk.Modem }
+
+// Name implements Modem.
+func (dqpskModem) Name() string { return "dqpsk" }
+
+func init() {
+	Register("msk", "Minimum Shift Keying (§5, the paper's modem): 1 bit/symbol, forward + backward decoding",
+		func(sps int) Modem { return mskModem{msk.New(msk.WithSamplesPerSymbol(sps))} })
+	Register("dqpsk", "π/4 differential QPSK (§7.2): 2 bits/symbol, forward-only interference decoding",
+		func(sps int) Modem { return dqpskModem{dqpsk.New(dqpsk.WithSamplesPerSymbol(sps))} })
+}

@@ -1,0 +1,139 @@
+// Package phy is the pluggable PHY layer: the modem contract the whole
+// stack (de)modulates through, plus a registry that makes modems
+// selectable by name — the same move the scenario registry made for
+// workloads and channel.Model made for channel dynamics. §4 of the paper
+// argues the interference decoder applies to any phase-shift-keying
+// modulation; the registry is where that claim becomes an experiment
+// axis: every registered scenario runs as a topology × scheme × modem
+// cell (ancsim -modem msk|dqpsk).
+//
+// The package ships two modems:
+//
+//   - "msk" (internal/msk) — the paper's choice, and the default. One
+//     bit per symbol, which is what makes the frame format's bit-wise
+//     tail mirroring work: MSK frames decode both forward and backward
+//     (conjugate time reversal, §7.4).
+//   - "dqpsk" (internal/dqpsk) — the §7.2 generality demonstration:
+//     π/4 differential QPSK, two bits per symbol. Forward interference
+//     decoding only; see SupportsBackward.
+//
+// Register your own with Register; the engine, the CLI and the campaign
+// headers pick it up by name.
+package phy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Default is the registry name of the default modem.
+const Default = "msk"
+
+// Modem is the pluggable PHY contract: everything the interference
+// decoder needs (core.PhyModem — Modulate/Demodulate, the *Into
+// workspace variants, PhaseDiffs/DecideDiffs, StepPrior,
+// SamplesPerSymbol, BitsPerSymbol) plus the registry identity.
+//
+// Implementations must keep the core.PhyModem ownership rules: the
+// *Into variants write into the caller's dst storage (grown when too
+// small) and draw internal working buffers only from the caller's
+// scratch, so a decode pipeline that reuses both performs no
+// steady-state allocation. A Modem must be stateless and safe for
+// concurrent use — one instance serves every node of a run.
+type Modem interface {
+	core.PhyModem
+	// Name is the registry key the modem was built under ("msk",
+	// "dqpsk"); campaign rows and output headers carry it.
+	Name() string
+}
+
+// Factory builds a modem instance at the given oversampling factor.
+type Factory func(samplesPerSymbol int) Modem
+
+// SupportsBackward reports whether frames modulated by m can also be
+// decoded from a conjugate time-reversed stream (the §7.4 trick that
+// lets the second-starting packet's receiver decode). The frame format
+// mirrors its pilot and header bit-wise, so backward decoding works
+// exactly for one-bit-per-symbol modulations; multi-bit PSK frames
+// decode forward only, which halves their ANC decode opportunities in
+// triggered exchanges (see the README support matrix).
+func SupportsBackward(m core.PhyModem) bool { return m.BitsPerSymbol() == 1 }
+
+type entry struct {
+	factory Factory
+	desc    string
+}
+
+var (
+	mu       sync.RWMutex
+	registry = make(map[string]entry)
+)
+
+// Register adds a modem factory under a name. Registering a duplicate
+// name panics: modem names are CLI-facing identifiers (ancsim
+// -modem=<name>) and a silent overwrite would make them ambiguous.
+func Register(name, description string, f Factory) {
+	mu.Lock()
+	defer mu.Unlock()
+	if name == "" {
+		panic("phy: modem with empty name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("phy: modem %q with nil factory", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("phy: duplicate modem %q", name))
+	}
+	registry[name] = entry{factory: f, desc: description}
+}
+
+// Get returns the registered factory for a name.
+func Get(name string) (Factory, bool) {
+	mu.RLock()
+	defer mu.RUnlock()
+	e, ok := registry[name]
+	return e.factory, ok
+}
+
+// New builds a registered modem at the given oversampling factor. An
+// unknown name returns an error that enumerates the registry, so the
+// valid spellings travel with the failure.
+func New(name string, samplesPerSymbol int) (Modem, error) {
+	f, ok := Get(name)
+	if !ok {
+		return nil, fmt.Errorf("phy: unknown modem %q (registered: %s)", name, strings.Join(Names(), ", "))
+	}
+	return f(samplesPerSymbol), nil
+}
+
+// MustNew is New for names known to be registered; it panics otherwise.
+func MustNew(name string, samplesPerSymbol int) Modem {
+	m, err := New(name, samplesPerSymbol)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Names returns every registered modem name, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Description returns the one-line summary a modem was registered with.
+func Description(name string) string {
+	mu.RLock()
+	defer mu.RUnlock()
+	return registry[name].desc
+}

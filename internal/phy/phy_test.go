@@ -1,0 +1,101 @@
+package phy
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"msk", "dqpsk"} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("builtin modem %q not registered", want)
+		}
+		if Description(want) == "" {
+			t.Errorf("modem %q has no description", want)
+		}
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Names() missing %q: %v", want, names)
+		}
+	}
+	if _, ok := Get("no-such"); ok {
+		t.Error("Get of unknown modem succeeded")
+	}
+}
+
+func TestNewBuildsAtRequestedOversampling(t *testing.T) {
+	for _, name := range Names() {
+		for _, sps := range []int{1, 4, 8} {
+			if name == "dqpsk" && sps == 1 {
+				sps = 2 // π/4-DQPSK needs ≥1 too, but keep symbol sums meaningful
+			}
+			m, err := New(name, sps)
+			if err != nil {
+				t.Fatalf("New(%q, %d): %v", name, sps, err)
+			}
+			if m.Name() != name {
+				t.Errorf("New(%q).Name() = %q", name, m.Name())
+			}
+			if m.SamplesPerSymbol() != sps {
+				t.Errorf("%s: SamplesPerSymbol = %d, want %d", name, m.SamplesPerSymbol(), sps)
+			}
+			// The full core contract must be reachable through the adapter.
+			var _ core.PhyModem = m
+		}
+	}
+}
+
+func TestNewUnknownEnumeratesRegistry(t *testing.T) {
+	_, err := New("warp", 4)
+	if err == nil {
+		t.Fatal("New of unknown modem succeeded")
+	}
+	for _, name := range []string{"msk", "dqpsk"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error does not enumerate %q: %v", name, err)
+		}
+	}
+}
+
+func TestSupportsBackward(t *testing.T) {
+	if m := MustNew("msk", 4); !SupportsBackward(m) {
+		t.Error("MSK (1 bit/symbol) must support backward decoding")
+	}
+	if m := MustNew("dqpsk", 4); SupportsBackward(m) {
+		t.Error("π/4-DQPSK (2 bits/symbol) must not claim backward decoding")
+	}
+}
+
+// TestAdapterInterfaceStoreDoesNotAllocate pins the no-boxing property
+// the decode hot path relies on: the adapters are pointer-shaped, so
+// storing one in an interface value is a direct store.
+func TestAdapterInterfaceStoreDoesNotAllocate(t *testing.T) {
+	for _, name := range Names() {
+		m := MustNew(name, 4)
+		var sink core.PhyModem
+		allocs := testing.AllocsPerRun(100, func() {
+			sink = m
+		})
+		if allocs != 0 {
+			t.Errorf("%s: storing the adapter in an interface allocates %.1f objects", name, allocs)
+		}
+		_ = sink
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register("msk", "dup", func(sps int) Modem { return MustNew("dqpsk", sps) })
+}

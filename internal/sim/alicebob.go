@@ -10,13 +10,12 @@ import (
 	"repro/internal/topology"
 )
 
-// aliceBob is the Fig. 1 two-way relay, the paper's headline scenario.
-var aliceBob = &simpleScenario{
-	name:  "alice-bob",
-	desc:  "Fig. 1 two-way relay: Alice and Bob exchange packets through a router",
-	build: topology.AliceBob,
-	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
-	start: map[Scheme]func(*Env) StepFunc{
+// aliceBobSchedules returns the Fig. 1 schedule constructors bound to
+// the endpoints at the canonical alice/router/bob indices — the schedule
+// set the alice-bob, near-far, fading and dqpsk scenarios all drive
+// (they differ only in topology, channel model, or modem).
+func aliceBobSchedules() map[Scheme]func(*Env) StepFunc {
+	return map[Scheme]func(*Env) StepFunc{
 		SchemeANC: func(e *Env) StepFunc {
 			return func(i int, r Recorder) {
 				stepAliceBobANC(e, r, topology.Alice, topology.Router, topology.Bob)
@@ -33,7 +32,16 @@ var aliceBob = &simpleScenario{
 				stepAliceBobCOPE(e, r, pool, topology.Alice, topology.Router, topology.Bob)
 			}
 		},
-	},
+	}
+}
+
+// aliceBob is the Fig. 1 two-way relay, the paper's headline scenario.
+var aliceBob = &simpleScenario{
+	name:  "alice-bob",
+	desc:  "Fig. 1 two-way relay: Alice and Bob exchange packets through a router",
+	build: topology.AliceBob,
+	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
+	start: aliceBobSchedules(),
 }
 
 func init() { Register(aliceBob) }

@@ -1,0 +1,30 @@
+package sim
+
+import "repro/internal/topology"
+
+// dqpskScenario is the Fig. 1 exchange under the π/4-DQPSK modem — the
+// ROADMAP's π/4-DQPSK open item, closed through the modem axis rather
+// than a one-off stepper: the schedules, the topology and the accounting
+// are alice-bob's verbatim; only the PHY differs (ModemChooser).
+//
+// The cell is also the registry's living example of a forward-only
+// modem: DQPSK frames cannot be decoded from a conjugate time-reversed
+// stream (the frame format mirrors its tail bit-wise, which lines up
+// with symbols only at one bit per symbol), so in each triggered
+// exchange only the endpoint whose own packet started first can cancel
+// and decode. Expect roughly half of alice-bob's ANC deliveries and a
+// gain over routing near or below 1 — the measured cost of losing §7.4,
+// pinned by the dqpsk golden.
+var dqpskScenario = &simpleScenario{
+	name:  "dqpsk",
+	desc:  "Fig. 1 exchange under π/4-DQPSK (§7.2): forward-only interference decoding",
+	build: topology.AliceBob,
+	modem: "dqpsk",
+	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
+	start: aliceBobSchedules(),
+}
+
+func init() { Register(dqpskScenario) }
+
+// DQPSK returns the registered π/4-DQPSK Alice–Bob scenario.
+func DQPSK() Scenario { return dqpskScenario }

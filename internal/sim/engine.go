@@ -3,10 +3,12 @@ package sim
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dsp"
+	"repro/internal/phy"
 )
 
 // Scratch is the per-worker reusable storage of a campaign: a free list of
@@ -70,16 +72,59 @@ func (s *Scratch) give(b dsp.Signal) {
 // schedules.
 type Engine struct {
 	cfg Config
+	// orig is the configuration as given, before defaults: a run's
+	// derived parameters (the delay distribution scales with the frame
+	// length, which depends on the modem) are re-derived per scenario
+	// once the effective modem is known, so a scenario-preferred modem
+	// (ModemChooser) and an explicit Config.Modem produce identical runs.
+	orig Config
+	// resolved caches the defaulted run configuration per effective
+	// modem name (at most one entry per distinct scenario preference),
+	// so campaign workers do not re-derive defaults — and construct a
+	// throwaway modem for the delay derivation — on every seed.
+	mu       sync.Mutex
+	resolved map[string]Config
 }
 
 // NewEngine returns an engine running every scenario under the given
 // configuration (zero fields take the repository defaults).
 func NewEngine(cfg Config) *Engine {
-	return &Engine{cfg: cfg.withDefaults()}
+	return &Engine{cfg: cfg.withDefaults(), orig: cfg, resolved: make(map[string]Config)}
 }
 
-// Config returns the engine's configuration with defaults applied.
+// Config returns the engine's configuration with defaults applied,
+// derived scenario-independently: when Config.Modem is empty the
+// modem-dependent fields (the Delay distribution) are derived for the
+// default modem, so runs of a ModemChooser scenario — which re-derive
+// them from the scenario's effective modem (see runConfig) — may use a
+// different Delay than this accessor reports.
 func (eng *Engine) Config() Config { return eng.cfg }
+
+// runConfig resolves the modem a run of sc uses (explicit Config.Modem,
+// else the scenario's preference, else the default) into the raw
+// configuration, validating the name against the phy registry so an
+// unknown modem fails before any run starts — with the valid spellings
+// in the error, matching the unknown-scenario contract.
+func (eng *Engine) runConfig(sc Scenario) (Config, error) {
+	name := EffectiveModemName(sc, eng.orig)
+	eng.mu.Lock()
+	cfg, ok := eng.resolved[name]
+	eng.mu.Unlock()
+	if ok {
+		return cfg, nil
+	}
+	if _, ok := phy.Get(name); !ok {
+		return Config{}, fmt.Errorf("sim: unknown modem %q (registered: %s)",
+			name, strings.Join(phy.Names(), ", "))
+	}
+	cfg = eng.orig
+	cfg.Modem = name
+	cfg = cfg.withDefaults()
+	eng.mu.Lock()
+	eng.resolved[name] = cfg
+	eng.mu.Unlock()
+	return cfg, nil
+}
 
 // Run executes one seeded run of a scenario under one scheme. Runs with
 // the same seed see the identical channel realization regardless of
@@ -106,7 +151,11 @@ func (eng *Engine) RunReusing(sc Scenario, scheme Scheme, seed int64, scratch *S
 // see the same typed events the default Metrics folds into aggregates.
 // A nil scratch uses a private buffer pool.
 func (eng *Engine) RunRecording(sc Scenario, scheme Scheme, seed int64, rec Recorder, scratch *Scratch) error {
-	e := newEnv(eng.cfg, seed, sc.Build, scratch)
+	cfg, err := eng.runConfig(sc)
+	if err != nil {
+		return err
+	}
+	e := newEnv(cfg, seed, sc.Build, scratch)
 	st, err := sc.Start(e, scheme)
 	if err != nil {
 		return err
@@ -195,6 +244,11 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 		if !HasScheme(sc, scheme) {
 			return fmt.Errorf("sim: scenario %q does not support scheme %q", sc.Name(), scheme)
 		}
+	}
+	// Validate the modem before spawning workers: every run would fail
+	// identically, so fail once, up front.
+	if _, err := eng.runConfig(sc); err != nil {
+		return err
 	}
 	if len(seeds) == 0 {
 		return nil

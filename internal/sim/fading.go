@@ -4,7 +4,6 @@ import (
 	"math/rand"
 
 	"repro/internal/channel"
-	"repro/internal/cope"
 	"repro/internal/topology"
 )
 
@@ -38,24 +37,7 @@ var fadingScenario = &simpleScenario{
 	desc:  "Alice–Bob under Rician block fading: links re-realize every two cycles",
 	build: fadingBuild,
 	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
-	start: map[Scheme]func(*Env) StepFunc{
-		SchemeANC: func(e *Env) StepFunc {
-			return func(i int, r Recorder) {
-				stepAliceBobANC(e, r, topology.Alice, topology.Router, topology.Bob)
-			}
-		},
-		SchemeRouting: func(e *Env) StepFunc {
-			return func(i int, r Recorder) {
-				stepAliceBobTraditional(e, r, topology.Alice, topology.Router, topology.Bob)
-			}
-		},
-		SchemeCOPE: func(e *Env) StepFunc {
-			pool := cope.NewPool()
-			return func(i int, r Recorder) {
-				stepAliceBobCOPE(e, r, pool, topology.Alice, topology.Router, topology.Bob)
-			}
-		},
-	},
+	start: aliceBobSchedules(),
 }
 
 func init() { Register(fadingScenario) }

@@ -3,7 +3,6 @@ package sim
 import (
 	"math/rand"
 
-	"repro/internal/cope"
 	"repro/internal/topology"
 )
 
@@ -33,24 +32,7 @@ var nearFar = &simpleScenario{
 	desc:  "Alice–Bob cell with Bob at the cell edge: his links carry 3 dB less power",
 	build: nearFarBuild,
 	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},
-	start: map[Scheme]func(*Env) StepFunc{
-		SchemeANC: func(e *Env) StepFunc {
-			return func(i int, r Recorder) {
-				stepAliceBobANC(e, r, topology.Alice, topology.Router, topology.Bob)
-			}
-		},
-		SchemeRouting: func(e *Env) StepFunc {
-			return func(i int, r Recorder) {
-				stepAliceBobTraditional(e, r, topology.Alice, topology.Router, topology.Bob)
-			}
-		},
-		SchemeCOPE: func(e *Env) StepFunc {
-			pool := cope.NewPool()
-			return func(i int, r Recorder) {
-				stepAliceBobCOPE(e, r, pool, topology.Alice, topology.Router, topology.Bob)
-			}
-		},
-	},
+	start: aliceBobSchedules(),
 }
 
 func init() { Register(nearFar) }

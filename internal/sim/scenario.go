@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/phy"
 	"repro/internal/topology"
 )
 
@@ -43,6 +44,33 @@ type Scenario interface {
 	Start(e *Env, scheme Scheme) (Stepper, error)
 }
 
+// ModemChooser is optionally implemented by scenarios that prefer a
+// non-default PHY modem — scenarios whose point is the modem itself,
+// like the registered "dqpsk" scenario. DefaultModem returns a
+// registered modem name, or "" for no preference. An explicit
+// Config.Modem always wins over the preference, so every scenario still
+// runs as a full topology × scheme × modem cell.
+type ModemChooser interface {
+	DefaultModem() string
+}
+
+// EffectiveModemName resolves the modem a run of sc under cfg uses: an
+// explicit Config.Modem wins, else the scenario's preference
+// (ModemChooser), else phy.Default. The name is resolved the same way
+// everywhere — engine runs, campaign output headers, the CLI — so what
+// a header reports is what the run modulated with.
+func EffectiveModemName(sc Scenario, cfg Config) string {
+	if cfg.Modem != "" {
+		return cfg.Modem
+	}
+	if mc, ok := sc.(ModemChooser); ok {
+		if name := mc.DefaultModem(); name != "" {
+			return name
+		}
+	}
+	return phy.Default
+}
+
 // Stepper advances one run by one schedule cycle (one exchange, one
 // delivered packet, one round over the parallel pairs — whatever the
 // scenario's unit of progress is), emitting its observations into the
@@ -58,17 +86,21 @@ type StepFunc func(i int, r Recorder)
 func (f StepFunc) Step(i int, r Recorder) { f(i, r) }
 
 // simpleScenario implements Scenario from a builder plus one schedule
-// constructor per scheme. All scenarios in this package are built from it.
+// constructor per scheme. All scenarios in this package are built from
+// it. A non-empty modem field makes it a ModemChooser preferring that
+// registered PHY.
 type simpleScenario struct {
 	name  string
 	desc  string
 	build func(topology.Config, *rand.Rand) *topology.Graph
+	modem string
 	order []Scheme
 	start map[Scheme]func(*Env) StepFunc
 }
 
-func (s *simpleScenario) Name() string        { return s.name }
-func (s *simpleScenario) Description() string { return s.desc }
+func (s *simpleScenario) Name() string         { return s.name }
+func (s *simpleScenario) Description() string  { return s.desc }
+func (s *simpleScenario) DefaultModem() string { return s.modem }
 
 func (s *simpleScenario) Schemes() []Scheme {
 	out := make([]Scheme, len(s.order))
@@ -86,6 +118,15 @@ func (s *simpleScenario) Start(e *Env, scheme Scheme) (Stepper, error) {
 		return nil, fmt.Errorf("sim: scenario %q does not support scheme %q", s.name, scheme)
 	}
 	return mk(e), nil
+}
+
+// ParseScheme parses a Scheme from its flag spelling (anc|routing|cope).
+func ParseScheme(s string) (Scheme, error) {
+	switch Scheme(s) {
+	case SchemeANC, SchemeRouting, SchemeCOPE:
+		return Scheme(s), nil
+	}
+	return "", fmt.Errorf("sim: unknown scheme %q (anc|routing|cope)", s)
 }
 
 // HasScheme reports whether a scenario supports a scheme.

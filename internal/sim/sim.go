@@ -43,7 +43,7 @@ import (
 	"repro/internal/fec"
 	"repro/internal/frame"
 	"repro/internal/mac"
-	"repro/internal/msk"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/topology"
 )
@@ -56,6 +56,13 @@ const cleanLead = 100
 type Config struct {
 	// SamplesPerSymbol for the modem (default 4).
 	SamplesPerSymbol int
+	// Modem names the registered PHY layer every node of the run
+	// modulates with (see internal/phy): "msk", "dqpsk", or any name
+	// added via phy.Register. Empty means "the scenario's preferred
+	// modem, else MSK" — scenarios that exist to demonstrate a modem
+	// (the dqpsk scenario) implement ModemChooser, and an explicit name
+	// here always wins over their preference.
+	Modem string
 	// PayloadBytes per packet (default 128).
 	PayloadBytes int
 	// SNRdB is the nominal per-link SNR at the mean channel gain. nil
@@ -123,12 +130,15 @@ func (c Config) withDefaults() Config {
 		c.Redundancy = fec.DefaultRedundancy()
 	}
 	if c.Delay == (mac.DelayConfig{}) {
-		m := msk.New(msk.WithSamplesPerSymbol(c.SamplesPerSymbol))
+		m := c.delayModem()
 		L := m.NumSamples(frame.FrameBits(c.PayloadBytes))
 		// Minimum separation: pilot+header must clear interference even
 		// after detector jitter (about one detection window each way).
+		// NumSamples-1 is the pilot+header span in samples for any
+		// bits-per-symbol (for MSK it is exactly bits·S, the pre-registry
+		// derivation).
 		window := 4 * c.SamplesPerSymbol * 8
-		minSep := (bits.PilotLength+frame.HeaderBits)*c.SamplesPerSymbol + 3*window
+		minSep := m.NumSamples(bits.PilotLength+frame.HeaderBits) - 1 + 3*window
 		slot := L / 640
 		if slot < 2 {
 			slot = 2
@@ -136,6 +146,33 @@ func (c Config) withDefaults() Config {
 		c.Delay = mac.DelayConfig{MinSeparation: minSep, Slots: 32, SlotSamples: slot}
 	}
 	return c
+}
+
+// modem resolves the configured modem name ("" = phy.Default) to an
+// instance. Unregistered names panic with the registry enumerated: the
+// Engine and the CLI validate up front and turn this into a proper
+// error, and the direct construction surfaces (RunSIRPoint,
+// FrameSamples, newEnv) must fail loudly rather than silently run the
+// default PHY under a typo'd name.
+func (c Config) modem() phy.Modem {
+	name := c.Modem
+	if name == "" {
+		name = phy.Default
+	}
+	return phy.MustNew(name, c.SamplesPerSymbol)
+}
+
+// delayModem is modem() falling back to the default PHY on an
+// unregistered name: withDefaults must stay total (NewEngine cannot
+// return an error), and the bad name is rejected with a proper error
+// before any run starts (Engine.runConfig).
+func (c Config) delayModem() phy.Modem {
+	if name := c.Modem; name != "" {
+		if m, err := phy.New(name, c.SamplesPerSymbol); err == nil {
+			return m
+		}
+	}
+	return phy.MustNew(phy.Default, c.SamplesPerSymbol)
 }
 
 // Metrics aggregates one run's outcome. It is the default Recorder: the
@@ -198,7 +235,7 @@ type Env struct {
 	cfg        Config
 	seed       int64
 	rng        *rand.Rand
-	modem      *msk.Modem
+	modem      phy.Modem
 	graph      *topology.Graph
 	nodes      []*radio.Node
 	noiseFloor float64
@@ -218,7 +255,7 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 	}
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(seed))
-	modem := msk.New(msk.WithSamplesPerSymbol(cfg.SamplesPerSymbol))
+	modem := cfg.modem()
 	g := build(cfg.Topology, rng)
 	floor := cfg.Topology.MeanPowerGain / dsp.FromDB(*cfg.SNRdB)
 	fixedFrame := frame.FrameBits(cfg.PayloadBytes)
@@ -296,6 +333,10 @@ func (e *Env) Seed() int64 { return e.seed }
 // makes must come from it (or from streams seeded by it) to keep runs
 // reproducible and channel realizations identical across compared schemes.
 func (e *Env) RNG() *rand.Rand { return e.rng }
+
+// Modem returns the run's PHY modem — the instance every node of the
+// run modulates and decodes with (shared; modems are stateless).
+func (e *Env) Modem() phy.Modem { return e.modem }
 
 // Graph returns the run's channel realization.
 func (e *Env) Graph() *topology.Graph { return e.graph }
@@ -403,9 +444,9 @@ func (e *Env) cleanHop(rec frame.SentRecord, from, to int) (ok bool, payload []b
 func (c Config) WithDefaults() Config { return c.withDefaults() }
 
 // FrameSamples returns the on-air sample count of one frame under the
-// configuration.
+// configuration (the configured modem's, so a dqpsk frame is about half
+// an MSK frame at equal payload).
 func (c Config) FrameSamples() int {
 	c = c.withDefaults()
-	m := msk.New(msk.WithSamplesPerSymbol(c.SamplesPerSymbol))
-	return m.NumSamples(frame.FrameBits(c.PayloadBytes))
+	return c.modem().NumSamples(frame.FrameBits(c.PayloadBytes))
 }
