@@ -80,14 +80,6 @@ func NewModemByName(name string, samplesPerSymbol int) (Modem, error) {
 	return phy.New(name, samplesPerSymbol)
 }
 
-// ModemSupportsBackward reports whether the modem's frames can also be
-// decoded from a conjugate time-reversed stream (§7.4) — true exactly
-// for one-bit-per-symbol modulations, because the frame format mirrors
-// its tail bit-wise. Forward-only modems lose the ANC decode at the
-// endpoint whose own packet started second (see the README support
-// matrix).
-func ModemSupportsBackward(m PhyModem) bool { return phy.SupportsBackward(m) }
-
 // MSKModem is the concrete MSK modulator/demodulator (§5).
 type MSKModem = msk.Modem
 
@@ -99,8 +91,9 @@ func NewModem(opts ...ModemOption) *MSKModem { return msk.New(opts...) }
 type ModemOption = msk.Option
 
 // DQPSKModem is the π/4 differential QPSK modem — two bits per symbol,
-// constant envelope, forward interference decoding (see internal/dqpsk
-// for the mirroring caveat that reserves backward decoding to MSK).
+// constant envelope, full forward and backward (§7.4) interference
+// decoding: frames for multi-bit modems are mirrored in symbol units
+// ([MarshalFor]).
 type DQPSKModem = dqpsk.Modem
 
 // NewDQPSKModem returns a π/4-DQPSK modem (defaults: 4 samples/symbol,
@@ -124,9 +117,17 @@ func NewPacket(src, dst uint16, seq uint32, payload []byte) Packet {
 	return frame.NewPacket(src, dst, seq, payload)
 }
 
-// Marshal produces a packet's on-air bit stream: pilot, header, whitened
-// payload with CRC, then the mirrored header and pilot (Fig. 6).
+// Marshal produces a packet's on-air bit stream for a one-bit-per-symbol
+// modem: pilot, header, whitened payload with CRC, then the mirrored
+// header and pilot (Fig. 6).
 func Marshal(p Packet) []byte { return frame.Marshal(p) }
+
+// MarshalFor is Marshal with the mirrored tail laid out in units of
+// bitsPerSymbol, which is what lets a multi-bit modem decode the frame
+// off a conjugate time-reversed stream (§7.4). Marshal is
+// MarshalFor(p, 1). Nodes marshal through their modem's width
+// automatically; use this only when framing by hand.
+func MarshalFor(p Packet, bitsPerSymbol int) []byte { return frame.MarshalFor(p, bitsPerSymbol) }
 
 // Unmarshal parses an on-air bit stream back into a packet, verifying
 // both CRCs.

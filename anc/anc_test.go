@@ -169,8 +169,8 @@ func TestPublicChannelModels(t *testing.T) {
 }
 
 // TestPublicModemRegistry covers the PHY axis through the facade: the
-// built-in modems resolve by name, capabilities report per §7.4, and
-// SimConfig.Modem drives a whole campaign under the second modem.
+// built-in modems resolve by name and SimConfig.Modem drives a whole
+// campaign under the second modem.
 func TestPublicModemRegistry(t *testing.T) {
 	names := anc.Modems()
 	have := map[string]bool{}
@@ -187,12 +187,6 @@ func TestPublicModemRegistry(t *testing.T) {
 	}
 	if m.Name() != "dqpsk" || m.BitsPerSymbol() != 2 {
 		t.Errorf("dqpsk modem wrong: name %q, %d bits/symbol", m.Name(), m.BitsPerSymbol())
-	}
-	if anc.ModemSupportsBackward(m) {
-		t.Error("dqpsk claims backward decoding")
-	}
-	if !anc.ModemSupportsBackward(anc.NewModem()) {
-		t.Error("MSK lost backward decoding")
 	}
 	if _, err := anc.NewModemByName("warp", 4); err == nil {
 		t.Error("unknown modem name resolved")

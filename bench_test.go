@@ -401,11 +401,12 @@ func applyCFO(s dsp.Signal, cfo float64) dsp.Signal {
 	return channel.Link{Gain: 1, Phase: 0.9, FreqOffset: cfo}.Apply(s)
 }
 
-// dqpskInterferenceFixture builds one forward-decodable π/4-DQPSK
-// collision (the known packet starts first — the only interference
-// direction the bit-wise frame mirror grants multi-bit modems) for the
-// decode benchmarks below.
-func dqpskInterferenceFixture() (core.Config, dsp.Signal, *frame.SentBuffer) {
+// dqpskInterferenceFixture builds one π/4-DQPSK collision with
+// symbol-wise mirrored frames (frame.MarshalFor). With backward=false
+// the sent buffer holds the first-starting packet, so the decode runs
+// forward; with backward=true it holds the second-starting one, so the
+// decode runs off the conjugate time-reversed stream (§7.4).
+func dqpskInterferenceFixture(backward bool) (core.Config, dsp.Signal, *frame.SentBuffer) {
 	rng := rand.New(rand.NewSource(5))
 	m := dqpsk.New()
 	payloadA := make([]byte, 128)
@@ -414,15 +415,20 @@ func dqpskInterferenceFixture() (core.Config, dsp.Signal, *frame.SentBuffer) {
 	rng.Read(payloadB)
 	pktA := frame.NewPacket(1, 2, 1, payloadA)
 	pktB := frame.NewPacket(2, 1, 1, payloadB)
-	bitsA := frame.Marshal(pktA)
+	bitsA := frame.MarshalFor(pktA, m.BitsPerSymbol())
+	bitsB := frame.MarshalFor(pktB, m.BitsPerSymbol())
 	sigA := m.Modulate(bitsA)
-	sigB := m.Modulate(frame.Marshal(pktB))
+	sigB := m.Modulate(bitsB)
 
 	mix := sigA.Scale(complex(0.8, 0)).Add(applyCFO(sigB, 0.01).Delay(1200))
 	rx := dsp.NewNoiseSource(1e-3, 6).AddTo(mix.PadTo(len(mix) + 500))
 
 	buf := frame.NewSentBuffer(0)
-	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	if backward {
+		buf.Put(frame.SentRecord{Packet: pktB, Bits: bitsB, Samples: sigB})
+	} else {
+		buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	}
 	return core.DefaultConfig(m, 1e-3), rx, buf
 }
 
@@ -432,7 +438,7 @@ func dqpskInterferenceFixture() (core.Config, dsp.Signal, *frame.SentBuffer) {
 // dqpsk pipeline to the same zero-steady-state-allocation contract the
 // core alloc-regression tests pin for MSK.
 func BenchmarkInterferenceDecodeDQPSK(b *testing.B) {
-	cfg, rx, buf := dqpskInterferenceFixture()
+	cfg, rx, buf := dqpskInterferenceFixture(false)
 	dec := core.NewDecoder(cfg)
 	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
 	b.ResetTimer()
@@ -443,10 +449,33 @@ func BenchmarkInterferenceDecodeDQPSK(b *testing.B) {
 	}
 }
 
+// BenchmarkInterferenceDecodeDQPSKBackward is the steady state of the
+// path this repo's symbol-wise frame mirror enables: the known packet
+// starts second, so the unknown one is recovered off the conjugate
+// time-reversed stream. Its allocs/op column is what the benchdiff gate
+// holds to the MSK budget — the backward pipeline's extra work (reversal
+// into workspace scratch, symbol-group un-mirroring) must stay inside
+// reused buffers.
+func BenchmarkInterferenceDecodeDQPSKBackward(b *testing.B) {
+	cfg, rx, buf := dqpskInterferenceFixture(true)
+	dec := core.NewDecoder(cfg)
+	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dec.Decode(rx, buf.Get)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Backward {
+			b.Fatal("decode did not take the backward path")
+		}
+	}
+}
+
 // BenchmarkInterferenceDecodeDQPSKFresh is the cold-workspace contrast
 // case, mirroring BenchmarkInterferenceDecodeFresh.
 func BenchmarkInterferenceDecodeDQPSKFresh(b *testing.B) {
-	cfg, rx, buf := dqpskInterferenceFixture()
+	cfg, rx, buf := dqpskInterferenceFixture(false)
 	b.SetBytes(int64(len(rx) * 16)) // complex128 samples
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -469,8 +498,8 @@ func BenchmarkModulationGenerality(b *testing.B) {
 	rng.Read(payloadB)
 	pktA := frame.NewPacket(1, 2, 1, payloadA)
 	pktB := frame.NewPacket(2, 1, 1, payloadB)
-	bitsA := frame.Marshal(pktA)
-	bitsB := frame.Marshal(pktB)
+	bitsA := frame.MarshalFor(pktA, m.BitsPerSymbol())
+	bitsB := frame.MarshalFor(pktB, m.BitsPerSymbol())
 	sigA := m.Modulate(bitsA)
 	sigB := m.Modulate(bitsB)
 	mix := sigA.Scale(complex(0.8, 0)).Add(applyCFO(sigB, 0.012).Scale(complex(0.75, 0)).Delay(1100))

@@ -136,6 +136,30 @@ func ReverseInPlace(bs []byte) []byte {
 	return bs
 }
 
+// ReverseGroupsInPlace reverses bs in units of group consecutive elements,
+// preserving the order within each group, and returns bs. With group = 1
+// it is ReverseInPlace. This is the bit-domain image of reading a frame
+// off a time-reversed signal with a multi-bit-per-symbol modem: symbols
+// come back in reverse order, but each symbol still decodes to its bits
+// in transmit order (§7.4 generalized beyond 1 bit/symbol).
+//
+// The length must be a multiple of group; a remainder is a framing bug
+// and panics rather than silently mis-splitting symbols.
+func ReverseGroupsInPlace(bs []byte, group int) []byte {
+	if group <= 1 {
+		return ReverseInPlace(bs)
+	}
+	if len(bs)%group != 0 {
+		panic(fmt.Sprintf("bits: length %d is not a multiple of group %d", len(bs), group))
+	}
+	for i, j := 0, len(bs)-group; i < j; i, j = i+group, j-group {
+		for k := 0; k < group; k++ {
+			bs[i+k], bs[j+k] = bs[j+k], bs[i+k]
+		}
+	}
+	return bs
+}
+
 // Equal reports whether two bit slices are identical in length and content.
 func Equal(a, b []byte) bool {
 	if len(a) != len(b) {

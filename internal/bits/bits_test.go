@@ -105,6 +105,39 @@ func TestReverse(t *testing.T) {
 	}
 }
 
+func TestReverseGroupsInPlace(t *testing.T) {
+	// Pairs swap as units, order inside each pair preserved.
+	in := []byte{1, 1, 0, 1, 0, 0}
+	want := []byte{0, 0, 0, 1, 1, 1}
+	if got := ReverseGroupsInPlace(append([]byte(nil), in...), 2); !Equal(got, want) {
+		t.Errorf("ReverseGroupsInPlace(%v, 2) = %v, want %v", in, got, want)
+	}
+	// Group 1 is plain reversal.
+	if got := ReverseGroupsInPlace(append([]byte(nil), in...), 1); !Equal(got, Reverse(in)) {
+		t.Errorf("group 1 = %v, want %v", got, Reverse(in))
+	}
+	// Involution at any group size.
+	for _, g := range []int{1, 2, 3, 6} {
+		twice := ReverseGroupsInPlace(ReverseGroupsInPlace(append([]byte(nil), in...), g), g)
+		if !Equal(twice, in) {
+			t.Errorf("group %d: double reverse = %v, want %v", g, twice, in)
+		}
+	}
+	// A single whole group is a no-op.
+	if got := ReverseGroupsInPlace(append([]byte(nil), in...), 6); !Equal(got, in) {
+		t.Errorf("whole-slice group changed order: %v", got)
+	}
+}
+
+func TestReverseGroupsInPlacePanicsOnRemainder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length 5 with group 2 did not panic")
+		}
+	}()
+	ReverseGroupsInPlace(make([]byte, 5), 2)
+}
+
 func TestHammingDistance(t *testing.T) {
 	a := []byte{1, 0, 1, 0}
 	b := []byte{1, 1, 1, 1}

@@ -1,10 +1,8 @@
 package core
 
 import (
-	"math/rand"
 	"testing"
 
-	"repro/internal/channel"
 	"repro/internal/dqpsk"
 	"repro/internal/dsp"
 	"repro/internal/frame"
@@ -110,49 +108,28 @@ func TestTryCleanSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// dqpskABExchange synthesizes the forward-decodable half of an
-// Alice–Bob exchange under π/4-DQPSK: Alice's (known) packet starts
-// first, so her decode of Bob's packet runs the forward pipeline —
-// the only interference-decode direction the bit-wise frame mirror
-// grants multi-bit modems.
-func dqpskABExchange(t *testing.T, seed int64, bobDelay int) (*Decoder, dsp.Signal, KnownLookup) {
-	t.Helper()
-	rng := rand.New(rand.NewSource(seed))
-	m := dqpsk.New()
-
-	payloadA := make([]byte, 64)
-	payloadB := make([]byte, 64)
-	rng.Read(payloadA)
-	rng.Read(payloadB)
-	pktA := frame.NewPacket(1, 2, 100, payloadA)
-	pktB := frame.NewPacket(2, 1, 200, payloadB)
-	bitsA := frame.Marshal(pktA)
-	sigA := m.Modulate(bitsA)
-	sigB := dqpsk.New(dqpsk.WithAmplitude(0.9)).Modulate(frame.Marshal(pktB))
-
-	routerRx := channel.Receive(dsp.NewNoiseSource(1e-3, seed+1), 200,
-		channel.Transmission{Signal: sigA, Link: channel.Link{Gain: 0.8, Phase: 0.7, FreqOffset: 0.006}},
-		channel.Transmission{Signal: sigB, Link: channel.Link{Gain: 0.75, Phase: -1.1, FreqOffset: -0.008}, Delay: bobDelay},
-	)
-	relayed := channel.AmplifyTo(routerRx, 1)
-	rxA := channel.Receive(dsp.NewNoiseSource(1e-3, seed+2), 300,
-		channel.Transmission{Signal: relayed, Link: channel.Link{Gain: 0.7, Phase: 2.2}, Delay: 50})
-
-	buf := frame.NewSentBuffer(0)
-	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
-	dec := NewDecoder(abConfig(m, 2e-3))
-	dec.SetWorkspace(NewWorkspace())
-	return dec, rxA, buf.Get
-}
-
 // TestDQPSKDecodeInterferedSteadyStateAllocs holds the second modem to
 // the same zero-steady-state-allocation contract as MSK: once the
 // shared workspace has grown, a forward interference decode allocates
 // only what the caller keeps.
 func TestDQPSKDecodeInterferedSteadyStateAllocs(t *testing.T) {
-	dec, rx, lookup := dqpskABExchange(t, 21, 700)
-	if allocs := decodeAllocs(t, dec, rx, lookup); allocs > maxInterferedDecodeAllocs {
+	ex := makeDQPSKExchange(t, 21, 700)
+	dec := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	dec.SetWorkspace(NewWorkspace())
+	if allocs := decodeAllocs(t, dec, ex.rxA, ex.bufA.Get); allocs > maxInterferedDecodeAllocs {
 		t.Errorf("dqpsk interfered Decode allocates %.1f objects/op in steady state, budget %d", allocs, maxInterferedDecodeAllocs)
+	}
+}
+
+// TestDQPSKDecodeBackwardSteadyStateAllocs pins the symbol-wise-mirror
+// backward path to the same budget as MSK's: the group reverse and the
+// reference-offset shift add no allocations.
+func TestDQPSKDecodeBackwardSteadyStateAllocs(t *testing.T) {
+	ex := makeDQPSKExchange(t, 21, 900)
+	dec := NewDecoder(abConfig(ex.modem, ex.floorB*2))
+	dec.SetWorkspace(NewWorkspace())
+	if allocs := decodeAllocs(t, dec, ex.rxB, ex.bufB.Get); allocs > maxBackwardDecodeAllocs {
+		t.Errorf("dqpsk backward Decode allocates %.1f objects/op in steady state, budget %d", allocs, maxBackwardDecodeAllocs)
 	}
 }
 

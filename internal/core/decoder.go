@@ -117,6 +117,11 @@ func NewDecoder(cfg Config) *Decoder {
 	if cfg.PilotMaxErrors <= 0 {
 		cfg.PilotMaxErrors = DefaultPilotMaxErrors
 	}
+	if bps := cfg.Modem.BitsPerSymbol(); cfg.FallbackFrameBits > 0 && cfg.FallbackFrameBits%bps != 0 {
+		// A backward fallback trim reverses the stream in symbol groups;
+		// a frame size that splits a symbol is a configuration bug.
+		panic(fmt.Sprintf("core: FallbackFrameBits %d is not a multiple of %d bits per symbol", cfg.FallbackFrameBits, bps))
+	}
 	pilot := bits.Pilot(bits.PilotLength)
 	return &Decoder{
 		cfg:        cfg,
@@ -337,10 +342,9 @@ func (d *Decoder) refineRef(rx dsp.Signal, ref, limit int) int {
 //
 // The search pattern is the forward pilot in either orientation: what
 // leads a backward stream is the frame's mirrored tail read in reverse,
-// which for one-bit-per-symbol modulations decodes to the forward pilot
-// directly. (Multi-bit PSK backward decoding, where the two would differ,
-// is unsupported by the frame format — the pilot search simply fails
-// there.)
+// and the mirror is laid out in symbol units (frame.MarshalFor) precisely
+// so that under reversal it decodes to the forward pilot for every
+// registered modem, not just one-bit-per-symbol ones.
 func (d *Decoder) alignWanted(ws *Workspace, diffs []float64, lo, hi int) (int, int) {
 	m := d.cfg.Modem
 	pilot := d.pilot
@@ -408,7 +412,7 @@ func (d *Decoder) decodeClean(ws *Workspace, rx dsp.Signal, det Detection, backw
 	if err != nil {
 		return nil, err
 	}
-	exact := ownedFrame(frameBits, frame.FrameBits(int(h.Len)), backward)
+	exact := ownedFrame(frameBits, frame.FrameBits(int(h.Len)), d.cfg.Modem.BitsPerSymbol(), backward)
 	res := &Result{Detection: det, Clean: true, Backward: backward, HeaderOK: true, WantedBits: exact}
 	res.Packet.Header = h
 	payload, err := frame.UnmarshalBody(h, exact)
@@ -443,6 +447,14 @@ func (d *Decoder) decodeInterfered(ws *Workspace, rx dsp.Signal, det Detection, 
 		// Conjugate time reversal reverses the per-sample difference
 		// sequence without negating it (see ConjReverse).
 		reverseFloats(knownDiffs)
+		// findHead locked where the reversed stream demodulates — for a
+		// constant-phase-per-symbol modem that is BackwardRefOffset
+		// samples past the origin of the reversed difference sequence.
+		// The known diffs anchor at the origin, so shift back.
+		frameRef -= m.BackwardRefOffset()
+		if frameRef < 0 {
+			frameRef = 0
+		}
 	}
 	knownEnd := frameRef + 1 + len(knownDiffs) // one past the known signal
 
@@ -534,7 +546,7 @@ func (d *Decoder) decodeInterfered(ws *Workspace, rx dsp.Signal, det Detection, 
 		// Header unusable; with a configured fixed frame size the bit
 		// stream is still normalized for downstream error correction.
 		if d.cfg.FallbackFrameBits > 0 {
-			res.WantedBits = ownedFrame(wanted, d.cfg.FallbackFrameBits, backward)
+			res.WantedBits = ownedFrame(wanted, d.cfg.FallbackFrameBits, m.BitsPerSymbol(), backward)
 		} else {
 			res.WantedBits = append([]byte(nil), wanted...)
 		}
@@ -542,7 +554,7 @@ func (d *Decoder) decodeInterfered(ws *Workspace, rx dsp.Signal, det Detection, 
 	}
 	res.HeaderOK = true
 	res.Packet.Header = wh
-	exact := ownedFrame(wanted, frame.FrameBits(int(wh.Len)), backward)
+	exact := ownedFrame(wanted, frame.FrameBits(int(wh.Len)), m.BitsPerSymbol(), backward)
 	res.WantedBits = exact
 	if payload, err := frame.UnmarshalBody(wh, exact); err == nil {
 		res.BodyOK = true
@@ -561,13 +573,16 @@ func reverseFloats(xs []float64) {
 // ownedFrame copies a recovered bit stream into a fresh slice trimmed or
 // zero-padded to the frame length, flipping backward-oriented streams to
 // forward order. Trimming happens before the flip because the garbage is
-// at the decode-order tail. The copy is what lets Result.WantedBits
-// outlive the decoder's reused scratch buffers.
-func ownedFrame(stream []byte, frameBits int, backward bool) []byte {
+// at the decode-order tail. The flip reverses in symbol units: a
+// time-reversed signal hands a multi-bit modem its symbols in reverse
+// order, but each symbol still decodes to its bits in transmit order.
+// The copy is what lets Result.WantedBits outlive the decoder's reused
+// scratch buffers.
+func ownedFrame(stream []byte, frameBits, bitsPerSymbol int, backward bool) []byte {
 	exact := make([]byte, frameBits)
 	copy(exact, stream) // shorter streams leave zero padding in place
 	if backward {
-		bits.ReverseInPlace(exact)
+		bits.ReverseGroupsInPlace(exact, bitsPerSymbol)
 	}
 	return exact
 }

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/dqpsk"
+	"repro/internal/dsp"
+	"repro/internal/frame"
+)
+
+// dqpskExchange synthesizes one full Alice–Bob ANC exchange under
+// π/4-DQPSK — the same relay topology as makeABExchange, with frames
+// marshalled in symbol units (frame.MarshalFor) so both decode
+// directions work for the two-bit modem.
+type dqpskExchange struct {
+	modem          *dqpsk.Modem
+	pktA, pktB     frame.Packet
+	bitsA, bitsB   []byte
+	rxA, rxB       dsp.Signal
+	floorA, floorB float64
+	bufA, bufB     *frame.SentBuffer
+}
+
+func makeDQPSKExchange(t *testing.T, seed int64, bobDelay int) *dqpskExchange {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := dqpsk.New()
+
+	payloadA := make([]byte, 64)
+	payloadB := make([]byte, 64)
+	rng.Read(payloadA)
+	rng.Read(payloadB)
+	pktA := frame.NewPacket(1, 2, 100, payloadA) // Alice → Bob
+	pktB := frame.NewPacket(2, 1, 200, payloadB) // Bob → Alice
+	bitsA := frame.MarshalFor(pktA, m.BitsPerSymbol())
+	bitsB := frame.MarshalFor(pktB, m.BitsPerSymbol())
+	sigA := m.Modulate(bitsA)
+	sigB := dqpsk.New(dqpsk.WithAmplitude(0.9)).Modulate(bitsB)
+
+	routerRx := channel.Receive(dsp.NewNoiseSource(1e-3, seed+1), 200,
+		channel.Transmission{Signal: sigA, Link: channel.Link{Gain: 0.8, Phase: 0.7, FreqOffset: 0.006}},
+		channel.Transmission{Signal: sigB, Link: channel.Link{Gain: 0.75, Phase: -1.1, FreqOffset: -0.008}, Delay: bobDelay},
+	)
+	relayed := channel.AmplifyTo(routerRx, 1)
+
+	floorA, floorB := 1e-3, 1e-3
+	rxA := channel.Receive(dsp.NewNoiseSource(floorA, seed+2), 300,
+		channel.Transmission{Signal: relayed, Link: channel.Link{Gain: 0.7, Phase: 2.2}, Delay: 50})
+	rxB := channel.Receive(dsp.NewNoiseSource(floorB, seed+3), 300,
+		channel.Transmission{Signal: relayed, Link: channel.Link{Gain: 0.72, Phase: 0.4}, Delay: 80})
+
+	bufA := frame.NewSentBuffer(0)
+	bufA.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+	bufB := frame.NewSentBuffer(0)
+	bufB.Put(frame.SentRecord{Packet: pktB, Bits: bitsB, Samples: sigB})
+
+	return &dqpskExchange{
+		modem: m, pktA: pktA, pktB: pktB, bitsA: bitsA, bitsB: bitsB,
+		rxA: rxA, rxB: rxB, floorA: floorA, floorB: floorB,
+		bufA: bufA, bufB: bufB,
+	}
+}
+
+func TestDQPSKDecodeAliceRecoversBob(t *testing.T) {
+	ex := makeDQPSKExchange(t, 1, 900)
+	d := NewDecoder(abConfig(ex.modem, ex.floorA*2))
+	res, err := d.Decode(ex.rxA, ex.bufA.Get)
+	if err != nil {
+		t.Fatalf("Alice decode: %v", err)
+	}
+	if res.Backward {
+		t.Error("Alice (first transmitter) should decode forward")
+	}
+	if ber := bits.BER(ex.bitsB, res.WantedBits); ber > 0.02 {
+		t.Errorf("frame BER = %.4f, want ≤ 0.02", ber)
+	}
+}
+
+// TestDQPSKDecodeBobRecoversAliceBackward is the tentpole regression:
+// with the symbol-wise mirror, the second-starting endpoint decodes the
+// conjugate time-reversed stream for a two-bit modem exactly as for MSK
+// (§7.4 generalized).
+func TestDQPSKDecodeBobRecoversAliceBackward(t *testing.T) {
+	ex := makeDQPSKExchange(t, 2, 900)
+	d := NewDecoder(abConfig(ex.modem, ex.floorB*2))
+	res, err := d.Decode(ex.rxB, ex.bufB.Get)
+	if err != nil {
+		t.Fatalf("Bob decode: %v", err)
+	}
+	if !res.Backward {
+		t.Error("Bob (second transmitter) should decode backward")
+	}
+	if res.KnownHeader != ex.pktB.Header {
+		t.Errorf("known header = %v, want Bob's", res.KnownHeader)
+	}
+	if res.HeaderOK && res.Packet.Header != ex.pktA.Header {
+		t.Fatalf("recovered header = %v, want Alice's", res.Packet.Header)
+	}
+	if ber := bits.BER(ex.bitsA, res.WantedBits); ber > 0.02 {
+		t.Errorf("frame BER = %.4f, want ≤ 0.02", ber)
+	}
+}
+
+// TestDQPSKBackwardVariedDelays sweeps Bob's offset, including values
+// that are not multiples of the symbol length, so the backward reference
+// convention (BackwardRefOffset) is exercised at every sub-symbol
+// alignment.
+func TestDQPSKBackwardVariedDelays(t *testing.T) {
+	for _, delay := range []int{800, 901, 1002, 1203, 1500} {
+		ex := makeDQPSKExchange(t, int64(40+delay), delay)
+		d := NewDecoder(abConfig(ex.modem, ex.floorB*2))
+		res, err := d.Decode(ex.rxB, ex.bufB.Get)
+		if err != nil {
+			t.Fatalf("delay %d: %v", delay, err)
+		}
+		if !res.Backward {
+			t.Errorf("delay %d: expected a backward decode", delay)
+		}
+		if ber := bits.BER(ex.bitsA, res.WantedBits); ber > 0.05 {
+			t.Errorf("delay %d: BER %.3f", delay, ber)
+		}
+	}
+}

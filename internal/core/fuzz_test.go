@@ -5,24 +5,41 @@ import (
 	"testing"
 
 	"repro/internal/channel"
+	"repro/internal/dqpsk"
 	"repro/internal/dsp"
 	"repro/internal/frame"
 	"repro/internal/msk"
 )
 
-// fuzzEnv is the deterministic two-signal reception the fuzzer mutates:
-// a genuine Alice–Bob relay collision (so mild corruption exercises the
+// fuzzEnv holds the deterministic two-signal receptions the fuzzer
+// mutates: genuine relay collisions (so mild corruption exercises the
 // deep decode paths, not just early detector bail-outs) plus the sent
-// buffer that cancels Alice's packet.
+// buffers that cancel the known packet. The MSK environment knows the
+// first-starting packet (a forward interference decode); the dqpsk
+// environment knows the second-starting one, so an uncorrupted decode
+// runs the backward pipeline of the symbol-wise frame mirror.
 var fuzzEnv struct {
 	once sync.Once
 	base dsp.Signal
 	buf  *frame.SentBuffer
 	cfg  Config
+
+	dqBase dsp.Signal
+	dqBuf  *frame.SentBuffer
+	dqCfg  Config
+}
+
+func fuzzCollision(m PhyModem, bitsA, bitsB []byte) (sigA, sigB, rx dsp.Signal) {
+	sigA = m.Modulate(bitsA)
+	sigB = m.Modulate(bitsB)
+	rx = channel.Receive(dsp.NewNoiseSource(1e-3, 17), 400,
+		channel.Transmission{Signal: sigA, Link: channel.Link{Gain: 0.8, Phase: 0.6, FreqOffset: 0.005}},
+		channel.Transmission{Signal: sigB, Link: channel.Link{Gain: 0.7, Phase: -0.9, FreqOffset: -0.007}, Delay: 1100},
+	)
+	return sigA, sigB, rx
 }
 
 func fuzzSetup() {
-	m := msk.New()
 	payloadA := make([]byte, 96)
 	payloadB := make([]byte, 96)
 	for i := range payloadA {
@@ -31,18 +48,25 @@ func fuzzSetup() {
 	}
 	pktA := frame.NewPacket(1, 2, 7, payloadA)
 	pktB := frame.NewPacket(2, 1, 9, payloadB)
+
+	m := msk.New()
 	bitsA := frame.Marshal(pktA)
-	sigA := m.Modulate(bitsA)
-	sigB := m.Modulate(frame.Marshal(pktB))
-	rx := channel.Receive(dsp.NewNoiseSource(1e-3, 17), 400,
-		channel.Transmission{Signal: sigA, Link: channel.Link{Gain: 0.8, Phase: 0.6, FreqOffset: 0.005}},
-		channel.Transmission{Signal: sigB, Link: channel.Link{Gain: 0.7, Phase: -0.9, FreqOffset: -0.007}, Delay: 1100},
-	)
+	sigA, _, rx := fuzzCollision(m, bitsA, frame.Marshal(pktB))
 	buf := frame.NewSentBuffer(0)
 	buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
 	cfg := DefaultConfig(m, 1e-3)
 	cfg.FallbackFrameBits = frame.FrameBits(96)
 	fuzzEnv.base, fuzzEnv.buf, fuzzEnv.cfg = rx, buf, cfg
+
+	dm := dqpsk.New()
+	dqBitsA := frame.MarshalFor(pktA, dm.BitsPerSymbol())
+	dqBitsB := frame.MarshalFor(pktB, dm.BitsPerSymbol())
+	_, dqSigB, dqRx := fuzzCollision(dm, dqBitsA, dqBitsB)
+	dqBuf := frame.NewSentBuffer(0)
+	dqBuf.Put(frame.SentRecord{Packet: pktB, Bits: dqBitsB, Samples: dqSigB})
+	dqCfg := DefaultConfig(dm, 1e-3)
+	dqCfg.FallbackFrameBits = frame.FrameBits(96)
+	fuzzEnv.dqBase, fuzzEnv.dqBuf, fuzzEnv.dqCfg = dqRx, dqBuf, dqCfg
 }
 
 // checkResult asserts the structural invariants every non-error decode
@@ -86,11 +110,24 @@ func FuzzDecoderNoPanic(f *testing.F) {
 	f.Add(uint16(0), uint8(2), []byte{0x10, 0x20})     // zero-power reception
 	f.Add(uint16(0), uint8(3), []byte{9, 9, 9, 9, 9})  // near-noise-floor power
 	f.Add(uint16(40), uint8(4), []byte("raw samples")) // raw bytes as samples
+	// The 0x80 bit selects the dqpsk backward environment: the same
+	// corruption repertoire against a multi-bit modem whose uncorrupted
+	// decode runs the conjugate time-reversed pipeline.
+	f.Add(uint16(0), uint8(0x80), []byte{})
+	f.Add(uint16(0), uint8(0x80), []byte("flip some samples around"))
+	f.Add(uint16(5000), uint8(0x80|1), []byte{0xaa, 0x55})
+	f.Add(uint16(0), uint8(0x80|3), []byte{9, 9, 9})
 
 	dec := NewDecoder(fuzzEnv.cfg)
 	dec.SetWorkspace(NewWorkspace())
+	dqDec := NewDecoder(fuzzEnv.dqCfg)
+	dqDec.SetWorkspace(NewWorkspace())
 	f.Fuzz(func(t *testing.T, cut uint16, mode uint8, raw []byte) {
-		rx := append(dsp.Signal(nil), fuzzEnv.base...)
+		dec, base, lookup := dec, fuzzEnv.base, fuzzEnv.buf.Get
+		if mode&0x80 != 0 {
+			dec, base, lookup = dqDec, fuzzEnv.dqBase, fuzzEnv.dqBuf.Get
+		}
+		rx := append(dsp.Signal(nil), base...)
 		if int(cut) >= len(rx) {
 			rx = rx[:0]
 		} else {
@@ -126,7 +163,7 @@ func FuzzDecoderNoPanic(f *testing.F) {
 			}
 		}
 
-		res, err := dec.Decode(rx, fuzzEnv.buf.Get)
+		res, err := dec.Decode(rx, lookup)
 		checkResult(t, rx, res, err)
 		res, err = dec.TryClean(rx)
 		checkResult(t, rx, res, err)

@@ -58,4 +58,14 @@ type PhyModem interface {
 	// artifacts; it must be symmetric under sign change of the
 	// underlying data so it cannot bias decisions.
 	StepPrior(dphi float64) float64
+	// BackwardRefOffset is where the demodulator locks onto a conjugate
+	// time-reversed stream, in samples past the origin of the reversed
+	// per-sample difference sequence (§7.4). A continuous-phase modem
+	// (MSK) locks exactly on the origin: 0. A constant-phase-per-symbol
+	// modem (π/4-DQPSK) sees the reversed stream's symbol runs shifted
+	// one sample early, so its demod-aligned reference sits
+	// SamplesPerSymbol−1 samples late. The interference decoder
+	// subtracts this when anchoring the known signal's reversed
+	// difference sequence at the backward frame reference.
+	BackwardRefOffset() int
 }

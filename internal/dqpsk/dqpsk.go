@@ -15,11 +15,11 @@
 // a recovered phase-difference stream (a plain DQPSK alphabet, with its 0
 // jump, would make some pilot symbols invisible to the correlator).
 //
-// Limitation: the frame format mirrors its pilot and header *bit-wise*
-// (one bit per symbol), which makes conjugate time-reversed decoding work
-// out of the box for MSK only. DQPSK frames therefore support forward
-// interference decoding — the node whose packet starts first — and clean
-// decoding; symbol-wise frame mirroring for multi-bit PSK is future work.
+// Backward decoding (§7.4) works exactly as for MSK: frames for a
+// multi-bit modem are mirrored in *symbol* units (frame.MarshalFor), so a
+// conjugate time-reversed stream presents a valid pilot+header at its
+// head. The only DQPSK-specific convention is where the demodulator locks
+// on the reversed stream — see BackwardRefOffset.
 package dqpsk
 
 import (
@@ -215,6 +215,18 @@ func (m *Modem) DecideDiffsInto(dst []byte, diffs, weights []float64) []byte {
 	}
 	return out
 }
+
+// BackwardRefOffset returns S−1, the π/4-DQPSK reverse-stream decision
+// convention. A forward symbol is one jump followed by S−1 flat
+// transitions; conjugate time reversal turns that into S−1 flat
+// transitions followed by the jump, so the constant-phase runs of the
+// reversed stream start one sample after each reversed-sequence symbol
+// boundary. The demodulator therefore locks S−1 samples past the origin
+// of the reversed difference sequence — and, conveniently, at that lock
+// position every observed jump lands on the *first* transition of its
+// symbol group, the forward convention DecideDiffs and the pilot
+// difference profile already assume.
+func (m *Modem) BackwardRefOffset() int { return m.sps - 1 }
 
 // StepPrior returns the wrapped distance from dphi to the nearest legal
 // per-sample difference: 0 (within a symbol) or one of the four jumps.

@@ -142,10 +142,11 @@ func TestGoldenNewScenarios(t *testing.T) {
 // TestGoldenDQPSKDimension pins the modem axis: the paper scenarios that
 // exercise every decode path — the triggered exchange (alice-bob), the
 // overhearing X with cross traffic (x-cross) and the pipelined chain
-// (chain-5) — rendered under the π/4-DQPSK modem. The series double as
-// the record of the forward-only regime: gains sit at or below 1 because
-// half of each exchange's ANC decodes need backward decoding, which the
-// bit-wise frame mirror reserves to one-bit-per-symbol modems.
+// (chain-5) — rendered under the π/4-DQPSK modem. With the symbol-wise
+// frame mirror both endpoints of every exchange decode (one forward,
+// one off the conjugate time-reversed stream), so the gains sit in the
+// same ≈1.5–1.8× band as the MSK series; any slip back toward the old
+// one-sided ≈0.75 regime means the multi-bit backward path regressed.
 func TestGoldenDQPSKDimension(t *testing.T) {
 	for _, name := range []string{"alice-bob", "x-cross", "chain-5"} {
 		opts := goldenOpts()

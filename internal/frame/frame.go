@@ -7,7 +7,10 @@
 // pilot in the interference-free head of the signal; a receiver whose
 // packet starts second (Bob) time-reverses the received samples and finds
 // the same pilot at the head of the reversed stream, because the mirrored
-// tail reads forward under reversal. The header {Src, Dst, Seq, Len, Flags}
+// tail reads forward under reversal. The mirror is laid out in units of
+// the modem's symbol width (MarshalFor), since time reversal hands a
+// multi-bit modem its symbols in reverse order but never reverses the
+// bits inside one symbol. The header {Src, Dst, Seq, Len, Flags}
 // likewise appears after the pilot at both ends so either decoding
 // direction learns which sent packet cancels the interference (§7.3).
 //
@@ -160,36 +163,65 @@ func FrameBits(n int) int {
 	return 2*bits.PilotLength + 2*HeaderBits + PayloadSectionBits(n)
 }
 
-// Marshal encodes the packet into its on-air bit representation.
-func Marshal(p Packet) []byte {
+// MirrorBits is the size of the mirrored region: the pilot plus the
+// header, which the frame carries once at its head and once, reversed, at
+// its tail.
+const MirrorBits = bits.PilotLength + HeaderBits
+
+// Marshal encodes the packet into its on-air bit representation for a
+// one-bit-per-symbol modem (MSK, the paper's). Multi-bit modems must use
+// MarshalFor so the mirrored tail reverses in symbol units.
+func Marshal(p Packet) []byte { return MarshalFor(p, 1) }
+
+// MarshalFor encodes the packet into its on-air bit representation for a
+// modem carrying bitsPerSymbol bits per symbol.
+//
+// The mirrored tail is the head's pilot+header region laid out in reverse
+// *symbol* order with the bit order inside each symbol preserved. Under
+// conjugate time reversal a multi-bit modem recovers symbols (not bits)
+// in reverse order, each symbol still decoding to its bits in transmit
+// order — so only a symbol-wise mirror presents a valid pilot+header at
+// the head of the reversed stream (§7.4 generalized beyond MSK). At one
+// bit per symbol the layout degenerates to the classic bit-wise mirror:
+// MarshalFor(p, 1) is byte-identical to the historical Marshal.
+//
+// Registration invariant: bitsPerSymbol must divide MirrorBits (the
+// pilot+header region must be a whole number of symbols, or the mirror
+// would split symbols across the fold). Both shipped modems (1 and
+// 2 bits/symbol) and any power-of-two width up to 8 satisfy it.
+func MarshalFor(p Packet, bitsPerSymbol int) []byte {
 	if int(p.Header.Len) != len(p.Payload) {
 		// Length disagreement is a construction bug, not a runtime
 		// condition; fail loudly.
 		panic(fmt.Sprintf("frame: header len %d != payload %d", p.Header.Len, len(p.Payload)))
 	}
+	if bitsPerSymbol < 1 || MirrorBits%bitsPerSymbol != 0 {
+		panic(fmt.Sprintf("frame: bits per symbol %d does not divide the %d-bit mirror region", bitsPerSymbol, MirrorBits))
+	}
 	n := len(p.Payload)
 	out := make([]byte, FrameBits(n))
 	copy(out, pilotForward)
-	hdr := out[bits.PilotLength : bits.PilotLength+HeaderBits]
+	hdr := out[bits.PilotLength:MirrorBits]
 	encodeHeaderInto(hdr, p.Header)
-	body := out[bits.PilotLength+HeaderBits : bits.PilotLength+HeaderBits+PayloadSectionBits(n)]
+	body := out[MirrorBits : MirrorBits+PayloadSectionBits(n)]
 	bits.PutBytes(body, p.Payload)
 	bits.PutUint16(body[n*8:], bits.CRC16(body[:n*8]))
 	bits.WhitenTo(body, body, bits.WhitenSeed)
-	tail := out[bits.PilotLength+HeaderBits+PayloadSectionBits(n):]
-	for i, b := range hdr {
-		tail[HeaderBits-1-i] = b
+	// Mirror: tail symbol s is head symbol nsym−1−s of the pilot+header
+	// region, bits within the symbol untouched.
+	head := out[:MirrorBits]
+	tail := out[MirrorBits+PayloadSectionBits(n):]
+	nsym := MirrorBits / bitsPerSymbol
+	for s := 0; s < nsym; s++ {
+		copy(tail[s*bitsPerSymbol:(s+1)*bitsPerSymbol],
+			head[(nsym-1-s)*bitsPerSymbol:(nsym-s)*bitsPerSymbol])
 	}
-	copy(tail[HeaderBits:], pilotReversed)
 	return out
 }
 
-// pilotForward and pilotReversed cache the fixed network pilot in both
-// frame orientations so Marshal builds a frame with a single allocation.
-var (
-	pilotForward  = bits.Pilot(bits.PilotLength)
-	pilotReversed = bits.Reverse(bits.Pilot(bits.PilotLength))
-)
+// pilotForward caches the fixed network pilot so Marshal builds a frame
+// with a single allocation.
+var pilotForward = bits.Pilot(bits.PilotLength)
 
 // Errors returned by Unmarshal.
 var (

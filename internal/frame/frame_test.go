@@ -101,6 +101,70 @@ func TestFrameStructure(t *testing.T) {
 	}
 }
 
+// TestMarshalForOneBitMatchesMarshal pins the degenerate case: at one
+// bit per symbol the symbol-wise mirror IS the historical bit-wise
+// mirror, so every MSK frame ever transmitted stays byte-identical.
+func TestMarshalForOneBitMatchesMarshal(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 96} {
+		p := NewPacket(3, 4, uint32(n), make([]byte, n))
+		for i := range p.Payload {
+			p.Payload[i] = byte(i*41 + 7)
+		}
+		if !bits.Equal(MarshalFor(p, 1), Marshal(p)) {
+			t.Errorf("payload %d: MarshalFor(p, 1) differs from Marshal(p)", n)
+		}
+	}
+}
+
+// TestMarshalForSymbolMirror checks the multi-bit layout: the tail is
+// the pilot+header region in reverse symbol order with bit order inside
+// each symbol preserved, so a symbol-group reversal of the whole frame —
+// the bit-domain image of conjugate time reversal through a 2-bit modem —
+// re-exposes the forward pilot and a decodable header at its head.
+func TestMarshalForSymbolMirror(t *testing.T) {
+	p := NewPacket(10, 20, 30, []byte("hello"))
+	bs := MarshalFor(p, 2)
+	if len(bs) != FrameBits(len(p.Payload)) {
+		t.Fatalf("frame is %d bits, want %d", len(bs), FrameBits(len(p.Payload)))
+	}
+	head := bs[:MirrorBits]
+	tail := bs[len(bs)-MirrorBits:]
+	nsym := MirrorBits / 2
+	for s := 0; s < nsym; s++ {
+		got := tail[s*2 : s*2+2]
+		want := head[(nsym-1-s)*2 : (nsym-s)*2]
+		if !bits.Equal(got, want) {
+			t.Fatalf("tail symbol %d = %v, want head symbol %d = %v", s, got, nsym-1-s, want)
+		}
+	}
+	// The decode-side identity: group-reversing the frame puts the
+	// forward pilot+header first, exactly what the backward pipeline
+	// demodulates off the time-reversed reception (§7.4).
+	rev := bits.ReverseGroupsInPlace(append([]byte(nil), bs...), 2)
+	if !bits.Equal(rev[:bits.PilotLength], bits.Pilot(bits.PilotLength)) {
+		t.Error("group-reversed frame does not start with forward pilot")
+	}
+	h, err := DecodeHeader(rev[bits.PilotLength:])
+	if err != nil {
+		t.Fatalf("group-reversed header: %v", err)
+	}
+	if h != p.Header {
+		t.Errorf("group-reversed header = %v, want %v", h, p.Header)
+	}
+}
+
+// TestMarshalForPanicsOnNonDivisor pins the registration invariant: a
+// symbol width that splits the pilot+header region mid-symbol is a
+// construction bug and must fail loudly.
+func TestMarshalForPanicsOnNonDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("MarshalFor with 5 bits/symbol did not panic (MirrorBits=%d)", MirrorBits)
+		}
+	}()
+	MarshalFor(NewPacket(1, 2, 3, []byte("x")), 5)
+}
+
 func TestUnmarshalDetectsPayloadCorruption(t *testing.T) {
 	p := NewPacket(1, 2, 3, []byte{0xDE, 0xAD, 0xBE, 0xEF})
 	bs := Marshal(p)

@@ -24,7 +24,7 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/frame"
 	"repro/internal/mac"
-	"repro/internal/msk"
+	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -32,6 +32,11 @@ import (
 
 // Config parameterizes a closed-loop session.
 type Config struct {
+	// Modem names the registered PHY the session runs under (phy.Names;
+	// empty means the registry default, MSK). An unknown name panics in
+	// NewSession — a typo'd session must fail loudly, never silently run
+	// the default PHY.
+	Modem string
 	// SamplesPerSymbol for the modem (default 4).
 	SamplesPerSymbol int
 	// PayloadBytes per packet (default 96).
@@ -50,6 +55,9 @@ type Config struct {
 func Ptr(v float64) *float64 { return &v }
 
 func (c Config) withDefaults() Config {
+	if c.Modem == "" {
+		c.Modem = phy.Default
+	}
 	if c.SamplesPerSymbol == 0 {
 		c.SamplesPerSymbol = 4
 	}
@@ -155,7 +163,7 @@ func (t teeRecorder) RecordLinkState(slot, from, to int, powerGain float64) {
 type Session struct {
 	cfg    Config
 	rng    *rand.Rand
-	modem  *msk.Modem
+	modem  phy.Modem
 	graph  *topology.Graph
 	alice  *radio.Node
 	bob    *radio.Node
@@ -174,7 +182,7 @@ type Session struct {
 func NewSession(cfg Config) *Session {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	modem := msk.New(msk.WithSamplesPerSymbol(cfg.SamplesPerSymbol))
+	modem := phy.MustNew(cfg.Modem, cfg.SamplesPerSymbol)
 	tc := topology.DefaultConfig()
 	g := topology.AliceBob(tc, rng)
 	floor := tc.MeanPowerGain / dsp.FromDB(*cfg.SNRdB)
@@ -185,7 +193,10 @@ func NewSession(cfg Config) *Session {
 	}
 	L := modem.NumSamples(frame.FrameBits(cfg.PayloadBytes))
 	window := 4 * cfg.SamplesPerSymbol * 8
-	minSep := (bits.PilotLength+frame.HeaderBits)*cfg.SamplesPerSymbol + 3*window
+	// The two endpoints' frames must start far enough apart that each
+	// frame's pilot+header clears the other's onset: the on-air span of
+	// the mirror region in the session's modem, plus detector slack.
+	minSep := modem.NumSamples(frame.MirrorBits) - 1 + 3*window
 	slot := L / 640
 	if slot < 2 {
 		slot = 2

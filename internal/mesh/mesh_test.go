@@ -118,6 +118,44 @@ func TestRunWithStreamsRecorder(t *testing.T) {
 	}
 }
 
+// TestClosedLoopUnderDQPSK runs the whole trigger protocol — router
+// decisions, amplify-and-forward, two-sided interference decoding —
+// under the second registered modem. Both directions must deliver:
+// each triggered round decodes one packet forward and one backward, so
+// any asymmetry here would mean the multi-bit backward path regressed.
+func TestClosedLoopUnderDQPSK(t *testing.T) {
+	s := NewSession(Config{Modem: "dqpsk", Cycles: 6, Seed: 1})
+	if got := s.modem.Name(); got != "dqpsk" {
+		t.Fatalf("session modem = %q, want dqpsk", got)
+	}
+	rng := rand.New(rand.NewSource(2))
+	s.Enqueue(payloads(rng, 6, 96), payloads(rng, 6, 96))
+	st := s.Run()
+	if st.Triggered != 6 {
+		t.Errorf("triggered rounds = %d, want 6 (both queues full)", st.Triggered)
+	}
+	if st.RouterForwards < 5 {
+		t.Errorf("router forwarded %d of 6 rounds", st.RouterForwards)
+	}
+	if st.Delivered < 10 {
+		t.Errorf("delivered = %d of 12", st.Delivered)
+	}
+	if st.MeanBER() > 0.04 {
+		t.Errorf("mean BER = %.4f", st.MeanBER())
+	}
+}
+
+// TestUnknownModemPanics pins the Config.Modem failure mode: a typo'd
+// name must fail loudly at session construction.
+func TestUnknownModemPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSession with unknown modem did not panic")
+		}
+	}()
+	NewSession(Config{Modem: "warp", Seed: 1})
+}
+
 func TestStatsString(t *testing.T) {
 	st := Stats{Cycles: 3, Delivered: 5, TotalBER: 0.01}
 	out := st.String()
@@ -132,6 +170,12 @@ func TestDefaults(t *testing.T) {
 	s := NewSession(Config{Seed: 9})
 	if s.cfg.PayloadBytes != 96 || s.cfg.Cycles != 10 || *s.cfg.SNRdB != 25 {
 		t.Errorf("defaults: %+v", s.cfg)
+	}
+	if s.cfg.Modem != "msk" || s.modem.Name() != "msk" {
+		t.Errorf("default modem = %q (session %q), want msk", s.cfg.Modem, s.modem.Name())
+	}
+	if s.cfg.SamplesPerSymbol != 4 {
+		t.Errorf("default samples/symbol = %d, want 4", s.cfg.SamplesPerSymbol)
 	}
 }
 

@@ -321,6 +321,11 @@ func (m *Modem) DecideDiffsInto(dst []byte, diffs, weights []float64) []byte {
 	return out
 }
 
+// BackwardRefOffset returns 0: MSK phase is continuous, so the reference
+// the demodulator locks onto in a conjugate time-reversed stream
+// coincides with the origin of the reversed difference sequence (§7.4).
+func (m *Modem) BackwardRefOffset() int { return 0 }
+
 // StepPrior returns the wrapped distance from dphi to the nearest legal
 // MSK per-sample step (±π/(2S)).
 func (m *Modem) StepPrior(dphi float64) float64 {

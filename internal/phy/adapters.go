@@ -22,8 +22,8 @@ type dqpskModem struct{ *dqpsk.Modem }
 func (dqpskModem) Name() string { return "dqpsk" }
 
 func init() {
-	Register("msk", "Minimum Shift Keying (§5, the paper's modem): 1 bit/symbol, forward + backward decoding",
+	Register("msk", "Minimum Shift Keying (§5, the paper's modem): 1 bit/symbol",
 		func(sps int) Modem { return mskModem{msk.New(msk.WithSamplesPerSymbol(sps))} })
-	Register("dqpsk", "π/4 differential QPSK (§7.2): 2 bits/symbol, forward-only interference decoding",
+	Register("dqpsk", "π/4 differential QPSK (§7.2): 2 bits/symbol",
 		func(sps int) Modem { return dqpskModem{dqpsk.New(dqpsk.WithSamplesPerSymbol(sps))} })
 }

@@ -10,12 +10,15 @@
 // The package ships two modems:
 //
 //   - "msk" (internal/msk) — the paper's choice, and the default. One
-//     bit per symbol, which is what makes the frame format's bit-wise
-//     tail mirroring work: MSK frames decode both forward and backward
-//     (conjugate time reversal, §7.4).
+//     bit per symbol.
 //   - "dqpsk" (internal/dqpsk) — the §7.2 generality demonstration:
-//     π/4 differential QPSK, two bits per symbol. Forward interference
-//     decoding only; see SupportsBackward.
+//     π/4 differential QPSK, two bits per symbol.
+//
+// Every registered modem decodes both forward and backward (conjugate
+// time reversal, §7.4): frames are mirrored in symbol units
+// (frame.MarshalFor), so the reversed stream presents a valid
+// pilot+header for any bits-per-symbol width that divides the mirror
+// region — an invariant Register enforces.
 //
 // Register your own with Register; the engine, the CLI and the campaign
 // headers pick it up by name.
@@ -28,6 +31,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/frame"
 )
 
 // Default is the registry name of the default modem.
@@ -54,15 +58,6 @@ type Modem interface {
 // Factory builds a modem instance at the given oversampling factor.
 type Factory func(samplesPerSymbol int) Modem
 
-// SupportsBackward reports whether frames modulated by m can also be
-// decoded from a conjugate time-reversed stream (the §7.4 trick that
-// lets the second-starting packet's receiver decode). The frame format
-// mirrors its pilot and header bit-wise, so backward decoding works
-// exactly for one-bit-per-symbol modulations; multi-bit PSK frames
-// decode forward only, which halves their ANC decode opportunities in
-// triggered exchanges (see the README support matrix).
-func SupportsBackward(m core.PhyModem) bool { return m.BitsPerSymbol() == 1 }
-
 type entry struct {
 	factory Factory
 	desc    string
@@ -76,6 +71,10 @@ var (
 // Register adds a modem factory under a name. Registering a duplicate
 // name panics: modem names are CLI-facing identifiers (ancsim
 // -modem=<name>) and a silent overwrite would make them ambiguous.
+// Registration also enforces the frame-mirror invariant: the modem's
+// bits-per-symbol width must divide frame.MirrorBits, or the symbol-wise
+// tail mirror would split a symbol across the fold and backward decoding
+// (§7.4) could never lock.
 func Register(name, description string, f Factory) {
 	mu.Lock()
 	defer mu.Unlock()
@@ -87,6 +86,9 @@ func Register(name, description string, f Factory) {
 	}
 	if _, dup := registry[name]; dup {
 		panic(fmt.Sprintf("phy: duplicate modem %q", name))
+	}
+	if bps := f(1).BitsPerSymbol(); bps < 1 || frame.MirrorBits%bps != 0 {
+		panic(fmt.Sprintf("phy: modem %q carries %d bits/symbol, which does not divide the %d-bit frame mirror region", name, bps, frame.MirrorBits))
 	}
 	registry[name] = entry{factory: f, desc: description}
 }

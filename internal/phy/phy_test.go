@@ -4,7 +4,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/bits"
+	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/frame"
 )
 
 func TestBuiltinsRegistered(t *testing.T) {
@@ -65,12 +69,42 @@ func TestNewUnknownEnumeratesRegistry(t *testing.T) {
 	}
 }
 
-func TestSupportsBackward(t *testing.T) {
-	if m := MustNew("msk", 4); !SupportsBackward(m) {
-		t.Error("MSK (1 bit/symbol) must support backward decoding")
-	}
-	if m := MustNew("dqpsk", 4); SupportsBackward(m) {
-		t.Error("π/4-DQPSK (2 bits/symbol) must not claim backward decoding")
+// TestBackwardDecodeEveryModem is the §7.4 mirror invariant as a
+// registry-wide property: for every registered modem, a frame marshalled
+// at the modem's symbol width decodes off the conjugate time-reversed
+// stream, recovering the same bits the forward path does. This replaces
+// the retired SupportsBackward capability gate — symbol-wise mirroring
+// (frame.MarshalFor) makes backward decoding universal.
+func TestBackwardDecodeEveryModem(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			m := MustNew(name, 4)
+			payload := []byte("backward mirror round-trip payload for " + name)
+			pkt := frame.NewPacket(1, 2, 7, payload)
+			sig := m.Modulate(frame.MarshalFor(pkt, m.BitsPerSymbol()))
+			floor := 1e-4
+			rx := channel.Receive(dsp.NewNoiseSource(floor, 11), 200,
+				channel.Transmission{Signal: sig, Link: channel.Link{Gain: 0.8, Phase: 1.1}, Delay: 150})
+			dec := core.NewDecoder(core.DefaultConfig(m, floor))
+			fwd, err := dec.TryClean(rx)
+			if err != nil || !fwd.BodyOK {
+				t.Fatalf("forward clean decode: err=%v", err)
+			}
+			bwd, err := dec.TryCleanBackward(rx)
+			if err != nil {
+				t.Fatalf("backward clean decode: %v", err)
+			}
+			if !bwd.Backward || !bwd.BodyOK {
+				t.Fatalf("backward=%v bodyOK=%v", bwd.Backward, bwd.BodyOK)
+			}
+			if string(bwd.Packet.Payload) != string(payload) {
+				t.Error("backward payload mismatch")
+			}
+			if !bits.Equal(fwd.WantedBits, bwd.WantedBits) {
+				t.Error("forward and backward decodes disagree on the frame bits")
+			}
+		})
 	}
 }
 

@@ -52,7 +52,7 @@ func (n *Node) NextSeq() uint32 {
 // BuildFrame marshals and modulates a packet and stores the sent record
 // in the node's Sent Packet Buffer (§7.3).
 func (n *Node) BuildFrame(pkt frame.Packet) frame.SentRecord {
-	bs := frame.Marshal(pkt)
+	bs := frame.MarshalFor(pkt, n.Modem.BitsPerSymbol())
 	rec := frame.SentRecord{Packet: pkt, Bits: bs, Samples: n.Modem.Modulate(bs)}
 	n.buffer.Put(rec)
 	return rec

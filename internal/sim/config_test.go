@@ -82,3 +82,36 @@ func TestFadingOnlyTopologyKeepsChannelDefaults(t *testing.T) {
 		t.Errorf("explicit topology overwritten: %+v", custom.Topology)
 	}
 }
+
+// TestZeroScalarConfigsMeanDefault closes the zero-value audit for the
+// remaining scalar fields. Unlike SNRdB and GuardFrac — where zero is a
+// legitimate run and the field is a *float64 with Ptr — a zero
+// SamplesPerSymbol, PayloadBytes or Packets is degenerate (no signal, no
+// runs), so for these the zero value unambiguously means "default" and
+// must keep meaning that. mesh.Config mirrors the same contract
+// (TestDefaults there); channel.FadingSpec.BlockSlots documents 0 → 1
+// and is pinned by the channel package's TestRealizeDefaults.
+func TestZeroScalarConfigsMeanDefault(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.SamplesPerSymbol != 4 {
+		t.Errorf("SamplesPerSymbol default = %d, want 4", cfg.SamplesPerSymbol)
+	}
+	if cfg.PayloadBytes != 128 {
+		t.Errorf("PayloadBytes default = %d, want 128", cfg.PayloadBytes)
+	}
+	if cfg.Packets != 25 {
+		t.Errorf("Packets default = %d, want 25", cfg.Packets)
+	}
+	// Explicit non-zero values always win.
+	cfg = Config{SamplesPerSymbol: 2, PayloadBytes: 32, Packets: 3}.withDefaults()
+	if cfg.SamplesPerSymbol != 2 || cfg.PayloadBytes != 32 || cfg.Packets != 3 {
+		t.Errorf("explicit scalars rewritten: %+v", cfg)
+	}
+	// The derived delay distribution follows the effective (defaulted)
+	// modem and oversampling, so a zero-value config still yields a
+	// usable MAC: a positive minimum separation and slot size.
+	d := Config{}.withDefaults().Delay
+	if d.MinSeparation <= 0 || d.SlotSamples <= 0 || d.Slots <= 0 {
+		t.Errorf("derived delay config degenerate: %+v", d)
+	}
+}

@@ -12,12 +12,9 @@ import (
 // scenario × scheme × modem cell. Every cell must be deterministic
 // (same seed ⇒ identical Metrics), must agree between the campaign
 // worker pool and sequential runs, and must account air time and
-// packets. The paper's ANC ≥ routing ordering is asserted where the
-// modem supports the full decode set (backward decoding, §7.4);
-// forward-only modems lose half of each exchange's decode opportunities
-// by design, so their ANC cells are instead required to keep decoding
-// (a non-empty BER pool) — the degraded regime the README support
-// matrix documents and the dqpsk goldens pin.
+// packets. The paper's ANC ≥ routing ordering is asserted for every
+// modem unconditionally: symbol-wise frame mirroring gives each of them
+// the full §7.4 decode set.
 func TestCrossModemMatrix(t *testing.T) {
 	// One seed keeps the sweep affordable under -race; the multi-seed
 	// reorder path of the campaign surface has its own dedicated tests
@@ -25,7 +22,6 @@ func TestCrossModemMatrix(t *testing.T) {
 	seeds := []int64{7}
 	for _, modemName := range phy.Names() {
 		modemName := modemName
-		backward := phy.SupportsBackward(phy.MustNew(modemName, 4))
 		t.Run(modemName, func(t *testing.T) {
 			for _, sc := range Scenarios() {
 				sc := sc
@@ -61,7 +57,7 @@ func TestCrossModemMatrix(t *testing.T) {
 					if !HasScheme(sc, SchemeANC) || !HasScheme(sc, SchemeRouting) {
 						return
 					}
-					if backward && modemName == EffectiveModemName(sc, Config{}) {
+					if modemName == EffectiveModemName(sc, Config{}) {
 						// This is the scenario's default cell;
 						// TestScenariosANCBeatsRouting already asserts the
 						// ordering there — no need to run it twice.
@@ -75,13 +71,9 @@ func TestCrossModemMatrix(t *testing.T) {
 					if err != nil {
 						t.Fatal(err)
 					}
-					if backward {
-						if anc.Throughput() <= routing.Throughput() {
-							t.Errorf("ANC throughput %v not above routing %v",
-								anc.Throughput(), routing.Throughput())
-						}
-					} else if len(anc.BERs) == 0 {
-						t.Errorf("forward-only ANC produced no interference decodes: %+v", anc)
+					if anc.Throughput() <= routing.Throughput() {
+						t.Errorf("ANC throughput %v not above routing %v",
+							anc.Throughput(), routing.Throughput())
 					}
 				})
 			}

@@ -7,17 +7,14 @@ import "repro/internal/topology"
 // than a one-off stepper: the schedules, the topology and the accounting
 // are alice-bob's verbatim; only the PHY differs (ModemChooser).
 //
-// The cell is also the registry's living example of a forward-only
-// modem: DQPSK frames cannot be decoded from a conjugate time-reversed
-// stream (the frame format mirrors its tail bit-wise, which lines up
-// with symbols only at one bit per symbol), so in each triggered
-// exchange only the endpoint whose own packet started first can cancel
-// and decode. Expect roughly half of alice-bob's ANC deliveries and a
-// gain over routing near or below 1 — the measured cost of losing §7.4,
-// pinned by the dqpsk golden.
+// Frames are mirrored in symbol units (frame.MarshalFor), so the modem
+// gets the full §7.4 decode set: both endpoints of each triggered
+// exchange cancel and decode, one forward and one off the conjugate
+// time-reversed stream, exactly as under MSK. Expect alice-bob's ≈2×
+// gain over routing, pinned by the dqpsk golden.
 var dqpskScenario = &simpleScenario{
 	name:  "dqpsk",
-	desc:  "Fig. 1 exchange under π/4-DQPSK (§7.2): forward-only interference decoding",
+	desc:  "Fig. 1 exchange under π/4-DQPSK (§7.2): two-sided interference decoding at 2 bits/symbol",
 	build: topology.AliceBob,
 	modem: "dqpsk",
 	order: []Scheme{SchemeANC, SchemeRouting, SchemeCOPE},

@@ -2,8 +2,6 @@ package sim
 
 import (
 	"testing"
-
-	"repro/internal/phy"
 )
 
 // engineCfg keeps engine tests quick: a tiny packet budget per run.
@@ -88,20 +86,16 @@ func TestScenariosTable(t *testing.T) {
 }
 
 // TestScenariosANCBeatsRouting asserts the paper's headline ordering on
-// the paper topologies — and that the new scenarios preserve it. The
-// ordering requires the full §7.4 decode set: under a forward-only
-// modem (the dqpsk scenario) half of each exchange's ANC decodes are
-// unreachable by design, so those cells are asserted by the cross-modem
-// sweep (deliveries, determinism) and pinned by their goldens instead.
+// the paper topologies — and that the new scenarios preserve it. Every
+// registered modem supports the full §7.4 decode set (symbol-wise frame
+// mirroring), so the ordering holds unconditionally, dqpsk cells
+// included.
 func TestScenariosANCBeatsRouting(t *testing.T) {
 	for _, sc := range Scenarios() {
 		sc := sc
 		t.Run(sc.Name(), func(t *testing.T) {
 			t.Parallel()
 			eng := NewEngine(Config{Packets: 4})
-			if !phy.SupportsBackward(phy.MustNew(EffectiveModemName(sc, eng.Config()), 4)) {
-				t.Skipf("modem %q is forward-only; ANC ≥ routing does not apply", EffectiveModemName(sc, eng.Config()))
-			}
 			anc, err := eng.Run(sc, SchemeANC, 9)
 			if err != nil {
 				t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Sample is a collection of scalar observations (e.g. per-run throughput
@@ -16,10 +17,14 @@ import (
 // campaign feeding a Sample pays O(n log n) total instead of the O(n²)
 // an insertion-sorted Add would cost.
 //
-// A Sample is not safe for concurrent use: the lazy sort makes every
+// All methods are safe for concurrent use. The lazy sort makes every
 // order-dependent reader (Min, Max, Quantile, CDF, CDFAt, OutageBelow)
-// a potential mutator.
+// a mutator under the hood, so reads take the same lock writes do —
+// without it, two concurrent readers would race on the deferred sort.
+// Each method is individually consistent; a multi-call aggregate
+// (FormatCDF) interleaved with concurrent Adds may span several states.
 type Sample struct {
+	mu       sync.Mutex
 	xs       []float64
 	unsorted bool
 }
@@ -34,12 +39,15 @@ func NewSample(xs []float64) *Sample {
 // Add appends an observation. The cost is amortized O(1); ordering is
 // deferred to the next order-dependent read (Min, Max, Quantile, CDF).
 func (s *Sample) Add(x float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.xs = append(s.xs, x)
 	s.unsorted = true
 }
 
 // ensureSorted establishes the sorted order every order-dependent
 // accessor reads. Cheap when nothing was added since the last read.
+// Callers must hold s.mu.
 func (s *Sample) ensureSorted() {
 	if s.unsorted {
 		sort.Float64s(s.xs)
@@ -48,10 +56,16 @@ func (s *Sample) ensureSorted() {
 }
 
 // Len returns the number of observations.
-func (s *Sample) Len() int { return len(s.xs) }
+func (s *Sample) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.xs)
+}
 
 // Mean returns the arithmetic mean (0 for an empty sample).
 func (s *Sample) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -64,6 +78,8 @@ func (s *Sample) Mean() float64 {
 
 // Min returns the smallest observation (0 for empty).
 func (s *Sample) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -73,6 +89,8 @@ func (s *Sample) Min() float64 {
 
 // Max returns the largest observation (0 for empty).
 func (s *Sample) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -82,6 +100,8 @@ func (s *Sample) Max() float64 {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation.
 func (s *Sample) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := len(s.xs)
 	if n == 0 {
 		return 0
@@ -113,6 +133,8 @@ type CDFPoint struct {
 
 // CDF returns the full empirical CDF, one point per observation.
 func (s *Sample) CDF() []CDFPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.ensureSorted()
 	out := make([]CDFPoint, len(s.xs))
 	for i, x := range s.xs {
@@ -124,6 +146,8 @@ func (s *Sample) CDF() []CDFPoint {
 // CDFAt returns the empirical CDF evaluated at x: the fraction of
 // observations ≤ x.
 func (s *Sample) CDFAt(x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -136,6 +160,8 @@ func (s *Sample) CDFAt(x float64) float64 {
 // the empirical outage probability of a power-gain (or SNR) trace
 // against a threshold: P[g < x].
 func (s *Sample) OutageBelow(x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.xs) == 0 {
 		return 0
 	}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -250,5 +251,49 @@ func TestGainRatio(t *testing.T) {
 	}
 	if got := GainRatio(3, 0); got != 0 {
 		t.Errorf("GainRatio/0 = %v, want 0", got)
+	}
+}
+
+// TestConcurrentReadersAndWriters pins the Sample locking contract under
+// the race detector: order-dependent reads trigger the deferred sort, so
+// before the mutex two concurrent *readers* already raced. Every method
+// runs from several goroutines against one Sample; the assertions only
+// need the values to be sane (each method is individually consistent,
+// not a snapshot across calls).
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	s := NewSample([]float64{5, 1, 3})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch g {
+				case 0:
+					s.Add(float64(i))
+				case 1:
+					if min, max := s.Min(), s.Max(); min > max {
+						t.Errorf("min %v > max %v", min, max)
+					}
+				case 2:
+					if q := s.Quantile(0.5); math.IsNaN(q) {
+						t.Error("NaN median")
+					}
+					s.CDFAt(2.5)
+					s.OutageBelow(2.5)
+				default:
+					if got := s.CDF(); len(got) < 3 {
+						t.Errorf("CDF shrank to %d points", len(got))
+					}
+					s.Mean()
+					s.Len()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 3+200 {
+		t.Errorf("Len = %d after 200 concurrent Adds to 3 seeds", s.Len())
 	}
 }
