@@ -44,6 +44,7 @@ import (
 	"repro/internal/phy"
 	"repro/internal/radio"
 	"repro/internal/sim"
+	"repro/internal/stats/sketch"
 	"repro/internal/topology"
 )
 
@@ -363,6 +364,53 @@ type TraceRecorder = sim.TraceRecorder
 // NewTraceRecorder returns an empty trace recorder.
 func NewTraceRecorder() *TraceRecorder { return sim.NewTraceRecorder() }
 
+// QuantileSketch is a mergeable quantile sketch: campaign-scale
+// distribution pools in O(sketch) memory with the stats.Sample read API
+// (Mean, Quantile, CDFAt, OutageBelow, FadeMarginDB) and an *exact*
+// merge — two shards' sketches combine into byte-for-byte the state the
+// unsharded campaign would have built, whatever the shard count or merge
+// order. Serialize with Encode; DecodeSketch reverses it.
+type QuantileSketch = sketch.Sketch
+
+// DefaultSketchAlpha is the relative accuracy campaign summaries use.
+const DefaultSketchAlpha = sketch.DefaultAlpha
+
+// NewQuantileSketch returns an empty sketch with relative accuracy
+// alpha; NewDefaultQuantileSketch uses DefaultSketchAlpha. Sketches only
+// merge when their accuracies match exactly.
+var (
+	NewQuantileSketch        = sketch.New
+	NewDefaultQuantileSketch = sketch.NewDefault
+	// DecodeSketch parses a sketch from its canonical Encode form,
+	// rejecting anything malformed.
+	DecodeSketch = sketch.Decode
+)
+
+// SketchRecorder is a Recorder whose distribution pools are
+// QuantileSketches instead of observation buffers: one recorder
+// accumulates a whole campaign (or one shard of it) in O(sketch) memory,
+// and shard recorders Merge into bit-identical campaign statistics.
+type SketchRecorder = sim.SketchRecorder
+
+// LinkSketch is one directed edge's pooled gain sketch.
+type LinkSketch = sim.LinkSketch
+
+// NewSketchRecorder returns an empty sketch recorder at
+// DefaultSketchAlpha; NewSketchRecorderAlpha picks the accuracy.
+var (
+	NewSketchRecorder      = sim.NewSketchRecorder
+	NewSketchRecorderAlpha = sim.NewSketchRecorderAlpha
+)
+
+// SeedRange is one shard's half-open share [Lo, Hi) of a campaign's
+// seed slice.
+type SeedRange = sim.SeedRange
+
+// SplitSeeds partitions n campaign seeds into contiguous, balanced
+// shard ranges — a pure function of (n, shards), so every coordinator
+// and worker computes the identical partition.
+var SplitSeeds = sim.SplitSeeds
+
 // LinkTrace is one directed edge's per-slot power-gain trace.
 type LinkTrace = sim.LinkTrace
 
@@ -410,6 +458,24 @@ var (
 	// ScenarioCampaign runs ANC versus baselines for any registered
 	// scenario by name.
 	ScenarioCampaign = experiments.ScenarioCampaign
+)
+
+// StreamOptions configures a machine-readable campaign (JSON, CSV or
+// sharded NDJSON).
+type StreamOptions = experiments.StreamOptions
+
+// The machine-readable campaign writers. WriteCampaignJSON streams one
+// document (header, per-seed rows, sketch-pooled summary);
+// WriteCampaignCSV is the flat table. WriteCampaignNDJSON runs one
+// worker's shard (1-based shard of shards) as row-per-line NDJSON plus a
+// trailing summary record, and MergeSummaries folds worker outputs back
+// into the exact unsharded document, byte for byte (README "Sharded
+// campaigns").
+var (
+	WriteCampaignJSON   = experiments.WriteCampaignJSON
+	WriteCampaignCSV    = experiments.WriteCampaignCSV
+	WriteCampaignNDJSON = experiments.WriteCampaignNDJSON
+	MergeSummaries      = experiments.MergeSummaries
 )
 
 // TopologyConfig controls channel realizations for the canonical

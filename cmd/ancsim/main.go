@@ -24,9 +24,15 @@
 //	ancsim -scenario fading -format json -trace    # + per-slot outage stats
 //	ancsim -scenario pairs -format csv > rows.csv  # flat per-run table
 //
+//	ancsim -scenario pairs -format ndjson -shard 1/4 > s1.ndjson   # worker 1 of 4
+//	ancsim -scenario pairs -format ndjson -shard 2/4 > s2.ndjson   # ... and so on
+//	ancsim -merge s1.ndjson,s2.ndjson,s3.ndjson,s4.ndjson          # == unsharded -format json
+//
 // Every campaign is deterministic in -seed, including the fading and
-// mobility channel evolutions. The JSON schema is documented in the
-// README ("Results & output formats").
+// mobility channel evolutions. Sharded workers merge back into the exact
+// unsharded document, byte for byte (see README "Sharded campaigns").
+// The JSON schema is documented in the README ("Results & output
+// formats").
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/channel"
@@ -64,8 +71,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		modem    = fs.String("modem", "", "PHY modem: msk|dqpsk ('list' prints the registry; default: the scenario's preference, else msk)")
 		scheme   = fs.String("scheme", "", "comma-separated scheme subset for -scenario campaigns: anc,routing,cope (default: all the scenario supports)")
 		maxRows  = fs.Int("rows", 25, "max CDF rows to print")
-		format   = fs.String("format", "text", "scenario campaign output: text|json|csv")
-		trace    = fs.Bool("trace", false, "retain per-slot link gains and report outage statistics (-format json)")
+		format   = fs.String("format", "text", "scenario campaign output: text|json|csv|ndjson")
+		trace    = fs.Bool("trace", false, "retain per-slot link gains and report outage statistics (-format json|ndjson)")
+		shard    = fs.String("shard", "", "run one worker's slice of the campaign, as i/k (1-based; requires -scenario and -format ndjson)")
+		merge    = fs.String("merge", "", "comma-separated worker NDJSON files to merge into the unsharded JSON document (excludes -scenario and -shard)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -93,16 +102,44 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	switch *format {
-	case "text", "json", "csv":
+	case "text", "json", "csv", "ndjson":
 	default:
-		fmt.Fprintf(stderr, "ancsim: unknown -format %q (text|json|csv)\n", *format)
+		fmt.Fprintf(stderr, "ancsim: unknown -format %q (text|json|csv|ndjson)\n", *format)
 		fs.Usage()
 		return 2
 	}
-	if *trace && *format != "json" {
-		fmt.Fprintf(stderr, "ancsim: -trace requires -format json (per-slot outage statistics do not fit %s output)\n", *format)
+	if *trace && *format != "json" && *format != "ndjson" {
+		fmt.Fprintf(stderr, "ancsim: -trace requires -format json or ndjson (per-slot outage statistics do not fit %s output)\n", *format)
 		fs.Usage()
 		return 2
+	}
+
+	// Coordinator mode: merge worker outputs and exit. The merge reads
+	// finished shard files, so the campaign flags do not apply.
+	if *merge != "" {
+		if *scenario != "" || *shard != "" {
+			fmt.Fprintf(stderr, "ancsim: -merge excludes -scenario and -shard (it reads finished worker files)\n")
+			return 2
+		}
+		return runMerge(stdout, stderr, *merge)
+	}
+
+	// Worker mode: -shard i/k picks this worker's slice. The NDJSON
+	// format is required — only its trailing summary record carries the
+	// mergeable sketches a coordinator needs.
+	shardIdx, shardCnt := 1, 1
+	if *shard != "" {
+		var err error
+		if shardIdx, shardCnt, err = parseShard(*shard); err != nil {
+			fmt.Fprintf(stderr, "ancsim: %v\n", err)
+			fs.Usage()
+			return 2
+		}
+		if *scenario == "" || *format != "ndjson" {
+			fmt.Fprintf(stderr, "ancsim: -shard requires -scenario and -format ndjson (worker mode)\n")
+			fs.Usage()
+			return 2
+		}
 	}
 
 	kind, err := channel.ParseFadingKind(*fading)
@@ -159,7 +196,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed, Schemes: schemes}
 
 	if *scenario != "" {
-		return runScenario(stdout, stderr, *scenario, opts, *maxRows, *format, *trace)
+		return runScenario(stdout, stderr, *scenario, opts, *maxRows, *format, *trace, shardIdx, shardCnt)
 	}
 	if *format != "text" {
 		fmt.Fprintf(stderr, "ancsim: -format %s applies to -scenario campaigns; the -exp figures are text series\n", *format)
@@ -208,13 +245,59 @@ func registeredNames() []string {
 	return names
 }
 
+// parseShard parses the -shard flag's i/k form: 1-based worker index i
+// of k total shards.
+func parseShard(s string) (int, int, error) {
+	is, ks, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard must be i/k (e.g. 2/4), got %q", s)
+	}
+	i, err := strconv.Atoi(is)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard index %q is not an integer", is)
+	}
+	k, err := strconv.Atoi(ks)
+	if err != nil {
+		return 0, 0, fmt.Errorf("-shard count %q is not an integer", ks)
+	}
+	if k < 1 || i < 1 || i > k {
+		return 0, 0, fmt.Errorf("-shard %d/%d out of range (want 1 ≤ i ≤ k)", i, k)
+	}
+	return i, k, nil
+}
+
+// runMerge is coordinator mode: fold finished worker NDJSON files back
+// into the single campaign document an unsharded run would have written.
+func runMerge(stdout, stderr io.Writer, files string) int {
+	var readers []io.Reader
+	for _, name := range strings.Split(files, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		f, err := os.Open(name)
+		if err != nil {
+			fmt.Fprintf(stderr, "ancsim: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		readers = append(readers, f)
+	}
+	if err := experiments.MergeSummaries(stdout, readers...); err != nil {
+		fmt.Fprintf(stderr, "ancsim: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
 // runScenario executes the ANC-versus-baselines campaign for one
 // registered scenario, or lists the registry. An unknown name fails
 // with the registry enumerated, so the fix is in the error message.
-// format selects the output: the classic text CDF series, or the
-// streamed machine-readable forms (json carries per-run pools and, with
-// trace, per-link outage statistics; csv is a flat per-run table).
-func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options, maxRows int, format string, trace bool) int {
+// format selects the output: the classic text CDF series, the streamed
+// machine-readable forms (json carries per-run pools and, with trace,
+// per-link outage statistics; csv is a flat per-run table), or the
+// sharded-worker NDJSON stream (shardIdx/shardCnt select the slice).
+func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options, maxRows int, format string, trace bool, shardIdx, shardCnt int) int {
 	if name == "list" {
 		fmt.Fprintf(stdout, "%-10s %-22s %-7s %s\n", "name", "schemes", "modem", "description")
 		for _, sc := range sim.Scenarios() {
@@ -243,6 +326,12 @@ func runScenario(stdout, stderr io.Writer, name string, opts experiments.Options
 		return 0
 	case "csv":
 		if err := experiments.WriteCampaignCSV(stdout, experiments.StreamOptions{Options: opts, Trace: trace}, name); err != nil {
+			fmt.Fprintf(stderr, "ancsim: %v\n", err)
+			return 2
+		}
+		return 0
+	case "ndjson":
+		if err := experiments.WriteCampaignNDJSON(stdout, experiments.StreamOptions{Options: opts, Trace: trace}, name, shardIdx, shardCnt); err != nil {
 			fmt.Fprintf(stderr, "ancsim: %v\n", err)
 			return 2
 		}

@@ -421,3 +421,79 @@ func TestScenarioCampaignRunsWithFading(t *testing.T) {
 		t.Errorf("campaign output missing gain CDF: %s", stdout.String())
 	}
 }
+
+// TestShardWorkerMergeCLI is the end-to-end CLI pass over the sharded
+// campaign surface: two -shard workers stream NDJSON, -merge folds the
+// files back together, and the merged document is byte-identical to the
+// unsharded -format json run.
+func TestShardWorkerMergeCLI(t *testing.T) {
+	campaign := []string{"-scenario", "x-cross", "-runs", "5", "-packets", "2", "-seed", "3"}
+	var unsharded, stderr strings.Builder
+	if code := run(append(campaign, "-format", "json"), &unsharded, &stderr); code != 0 {
+		t.Fatalf("unsharded run exited %d: %s", code, stderr.String())
+	}
+
+	dir := t.TempDir()
+	files := make([]string, 2)
+	for i := 1; i <= 2; i++ {
+		var out strings.Builder
+		stderr.Reset()
+		args := append(campaign, "-format", "ndjson", "-shard", fmt.Sprintf("%d/2", i))
+		if code := run(args, &out, &stderr); code != 0 {
+			t.Fatalf("worker %d exited %d: %s", i, code, stderr.String())
+		}
+		lines := strings.Split(strings.TrimSuffix(out.String(), "\n"), "\n")
+		for j, line := range lines {
+			var obj map[string]any
+			if err := json.Unmarshal([]byte(line), &obj); err != nil {
+				t.Fatalf("worker %d line %d is not JSON: %v", i, j, err)
+			}
+			if last := j == len(lines)-1; last != (obj["record"] == "summary") {
+				t.Fatalf("worker %d: summary record must be exactly the last line (line %d: %v)", i, j, obj["record"])
+			}
+		}
+		files[i-1] = filepath.Join(dir, fmt.Sprintf("s%d.ndjson", i))
+		if err := os.WriteFile(files[i-1], []byte(out.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var merged strings.Builder
+	stderr.Reset()
+	if code := run([]string{"-merge", strings.Join(files, ",")}, &merged, &stderr); code != 0 {
+		t.Fatalf("-merge exited %d: %s", code, stderr.String())
+	}
+	if merged.String() != unsharded.String() {
+		t.Errorf("merged document differs from unsharded run:\n--- merged ---\n%s\n--- unsharded ---\n%s",
+			merged.String(), unsharded.String())
+	}
+}
+
+// TestShardFlagValidation pins the worker-mode flag contract: malformed
+// or out-of-range -shard values, and -shard without its required
+// companions, exit 2 before any simulation work.
+func TestShardFlagValidation(t *testing.T) {
+	base := []string{"-scenario", "alice-bob", "-format", "ndjson"}
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"zero index", append(base, "-shard", "0/2")},
+		{"index beyond count", append(base, "-shard", "3/2")},
+		{"non-numeric", append(base, "-shard", "a/b")},
+		{"zero count", append(base, "-shard", "1/0")},
+		{"missing slash", append(base, "-shard", "12")},
+		{"shard without ndjson", []string{"-scenario", "alice-bob", "-format", "json", "-shard", "1/2"}},
+		{"shard without scenario", []string{"-format", "ndjson", "-shard", "1/2"}},
+		{"merge with scenario", []string{"-scenario", "alice-bob", "-merge", "x.ndjson"}},
+		{"merge with shard", []string{"-shard", "1/2", "-merge", "x.ndjson"}},
+		{"merge missing file", []string{"-merge", "does-not-exist.ndjson"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != 2 {
+				t.Errorf("exit code %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+		})
+	}
+}

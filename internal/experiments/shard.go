@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/stats/sketch"
+)
+
+// This file is the sharded-campaign surface: a campaign's seed range is
+// partitioned across workers (sim.SplitSeeds), each worker streams its
+// rows as NDJSON plus a trailing summary record carrying its distribution
+// pools as serialized sketches, and MergeSummaries folds the worker
+// outputs back into the one JSON document WriteCampaignJSON would have
+// produced unsharded — byte for byte, whatever the shard count or merge
+// order. The equivalence is proven end to end by TestShardMergeEquivalence.
+
+// sketchSet carries a worker's distribution pools on the wire: each
+// field is the base64 (standard) encoding of the pool sketch's canonical
+// binary form, omitted when the scheme filter removed the pool.
+type sketchSet struct {
+	GainOverRouting string `json:"gain_over_routing,omitempty"`
+	GainOverCOPE    string `json:"gain_over_cope,omitempty"`
+	BER             string `json:"ber,omitempty"`
+	Overlap         string `json:"overlap,omitempty"`
+}
+
+func encodeSketchSet(p *campaignPools) sketchSet {
+	enc := func(s *sketch.Sketch) string {
+		if s == nil {
+			return ""
+		}
+		return base64.StdEncoding.EncodeToString(s.Encode())
+	}
+	return sketchSet{
+		GainOverRouting: enc(p.gainRouting),
+		GainOverCOPE:    enc(p.gainCOPE),
+		BER:             enc(p.ber),
+		Overlap:         enc(p.overlap),
+	}
+}
+
+func decodeSketchSet(ss sketchSet) (*campaignPools, error) {
+	dec := func(field, s string) (*sketch.Sketch, error) {
+		if s == "" {
+			return nil, nil
+		}
+		raw, err := base64.StdEncoding.DecodeString(s)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sketch %q: %v", field, err)
+		}
+		sk, err := sketch.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sketch %q: %v", field, err)
+		}
+		return sk, nil
+	}
+	p := &campaignPools{}
+	var err error
+	if p.gainRouting, err = dec("gain_over_routing", ss.GainOverRouting); err != nil {
+		return nil, err
+	}
+	if p.gainCOPE, err = dec("gain_over_cope", ss.GainOverCOPE); err != nil {
+		return nil, err
+	}
+	if p.ber, err = dec("ber", ss.BER); err != nil {
+		return nil, err
+	}
+	if p.overlap, err = dec("overlap", ss.Overlap); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// merge folds another worker's pools into p. The pools must agree on
+// which distributions exist: a presence mismatch means the shards ran
+// different scheme filters, which can never merge into one campaign.
+func (p *campaignPools) merge(o *campaignPools) error {
+	one := func(name string, dst, src *sketch.Sketch) error {
+		if (dst == nil) != (src == nil) {
+			return fmt.Errorf("experiments: shards disagree on %s pool presence", name)
+		}
+		if dst == nil {
+			return nil
+		}
+		if err := dst.Merge(src); err != nil {
+			return fmt.Errorf("experiments: merging %s pool: %v", name, err)
+		}
+		return nil
+	}
+	if err := one("gain_over_routing", p.gainRouting, o.gainRouting); err != nil {
+		return err
+	}
+	if err := one("gain_over_cope", p.gainCOPE, o.gainCOPE); err != nil {
+		return err
+	}
+	if err := one("ber", p.ber, o.ber); err != nil {
+		return err
+	}
+	return one("overlap", p.overlap, o.overlap)
+}
+
+// shardInfo identifies one worker's slice of the campaign.
+type shardInfo struct {
+	// Index is the 1-based shard number; Shards is the total count.
+	Index  int `json:"index"`
+	Shards int `json:"shards"`
+	// RowLo and RowHi delimit the half-open global run-index range
+	// [RowLo, RowHi) this worker produced — sim.SplitSeeds(runs, Shards)
+	// evaluated at Index-1.
+	RowLo int `json:"row_lo"`
+	RowHi int `json:"row_hi"`
+}
+
+// shardSummary is the trailing NDJSON record of a worker stream: the
+// campaign header (identical across workers — it describes the whole
+// campaign, not the slice), the worker's shard coordinates, and its
+// distribution pools as serialized sketches.
+type shardSummary struct {
+	Record   string         `json:"record"` // always "summary"
+	Header   campaignHeader `json:"header"`
+	Shard    shardInfo      `json:"shard"`
+	Sketches sketchSet      `json:"sketches"`
+}
+
+// WriteCampaignNDJSON runs shard `shard` of `shards` (1-based) of a
+// registered scenario's campaign and streams it as NDJSON: one
+// CampaignRow object per line — with the global run index, so rows from
+// different workers never collide — then one trailing summary record
+// (shardSummary) carrying the worker's pools as mergeable sketches.
+// Feed the worker outputs to MergeSummaries to reassemble the exact
+// document WriteCampaignJSON would have produced unsharded.
+func WriteCampaignNDJSON(w io.Writer, opts StreamOptions, name string, shard, shards int) error {
+	if shards < 1 {
+		return fmt.Errorf("experiments: shard count %d < 1", shards)
+	}
+	if shard < 1 || shard > shards {
+		return fmt.Errorf("experiments: shard %d outside 1..%d", shard, shards)
+	}
+	c, err := newCampaignContext(opts, name)
+	if err != nil {
+		return err
+	}
+	r := sim.SplitSeeds(len(c.seeds), shards)[shard-1]
+	pools := newCampaignPools(c.plan)
+	bw := bufio.NewWriter(w)
+	sink := sim.SinkFunc(func(row sim.Row) error {
+		out := c.renderRow(opts, row)
+		// renderRow numbers from the slice start; lift to the global index.
+		out.Run = r.Lo + row.Index
+		pools.observe(c.plan, row, out)
+		b, err := json.Marshal(out)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+		return bw.WriteByte('\n')
+	})
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds[r.Lo:r.Hi], sink, streamOpts(opts.Trace)...); err != nil {
+		return err
+	}
+	rec := shardSummary{
+		Record:   "summary",
+		Header:   c.header,
+		Shard:    shardInfo{Index: shard, Shards: shards, RowLo: r.Lo, RowHi: r.Hi},
+		Sketches: encodeSketchSet(pools),
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := bw.Write(b); err != nil {
+		return err
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// shardStream is one parsed worker output.
+type shardStream struct {
+	rows    [][]byte // marshaled CampaignRow lines, in stream order
+	summary shardSummary
+}
+
+// parseShardStream reads one worker's NDJSON output: zero or more row
+// lines followed by exactly one summary record as the final line.
+func parseShardStream(r io.Reader) (*shardStream, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<26)
+	out := &shardStream{}
+	sawSummary := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if sawSummary {
+			return nil, fmt.Errorf("experiments: shard stream continues after its summary record")
+		}
+		var probe struct {
+			Record string `json:"record"`
+			Run    *int   `json:"run"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("experiments: shard stream line %d: %v", len(out.rows)+1, err)
+		}
+		if probe.Record == "summary" {
+			if err := json.Unmarshal(line, &out.summary); err != nil {
+				return nil, fmt.Errorf("experiments: shard summary record: %v", err)
+			}
+			sawSummary = true
+			continue
+		}
+		if probe.Run == nil {
+			return nil, fmt.Errorf("experiments: shard stream line %d is neither a row nor a summary record", len(out.rows)+1)
+		}
+		out.rows = append(out.rows, append([]byte(nil), line...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawSummary {
+		return nil, fmt.Errorf("experiments: shard stream has no summary record")
+	}
+	return out, nil
+}
+
+// MergeSummaries reassembles a sharded campaign: given every worker's
+// NDJSON output (in any order), it validates that the shards form a
+// complete, consistent partition of one campaign and writes the single
+// JSON document an unsharded WriteCampaignJSON run would have produced —
+// byte for byte. Rows pass through untouched in global run order; the
+// summary is recomputed from the merged sketches, whose merge is exact,
+// so the summary bits do not depend on how the campaign was sharded.
+func MergeSummaries(w io.Writer, shards ...io.Reader) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("experiments: no shard streams to merge")
+	}
+	parsed := make([]*shardStream, len(shards))
+	for i, r := range shards {
+		s, err := parseShardStream(r)
+		if err != nil {
+			return fmt.Errorf("experiments: shard input %d: %v", i+1, err)
+		}
+		parsed[i] = s
+	}
+	sort.Slice(parsed, func(i, j int) bool {
+		return parsed[i].summary.Shard.Index < parsed[j].summary.Shard.Index
+	})
+
+	k := len(parsed)
+	header := parsed[0].summary.Header
+	wantHdr, err := json.Marshal(header)
+	if err != nil {
+		return err
+	}
+	next := 0
+	for i, s := range parsed {
+		sh := s.summary.Shard
+		if sh.Shards != k {
+			return fmt.Errorf("experiments: shard %d declares %d shards, %d streams given", sh.Index, sh.Shards, k)
+		}
+		if sh.Index != i+1 {
+			return fmt.Errorf("experiments: shard indices are not exactly 1..%d (missing or duplicate shard %d)", k, i+1)
+		}
+		hdr, err := json.Marshal(s.summary.Header)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(hdr, wantHdr) {
+			return fmt.Errorf("experiments: shard %d ran a different campaign (header mismatch)", sh.Index)
+		}
+		if sh.RowLo != next || sh.RowHi < sh.RowLo {
+			return fmt.Errorf("experiments: shard %d covers rows [%d,%d), want to continue at %d", sh.Index, sh.RowLo, sh.RowHi, next)
+		}
+		next = sh.RowHi
+		if got := len(s.rows); got != sh.RowHi-sh.RowLo {
+			return fmt.Errorf("experiments: shard %d has %d rows for range [%d,%d)", sh.Index, got, sh.RowLo, sh.RowHi)
+		}
+		for j, row := range s.rows {
+			var probe struct {
+				Run int `json:"run"`
+			}
+			if err := json.Unmarshal(row, &probe); err != nil {
+				return err
+			}
+			if probe.Run != sh.RowLo+j {
+				return fmt.Errorf("experiments: shard %d row %d has run index %d, want %d", sh.Index, j, probe.Run, sh.RowLo+j)
+			}
+		}
+	}
+	if next != header.Runs {
+		return fmt.Errorf("experiments: shards cover %d rows, campaign has %d runs", next, header.Runs)
+	}
+
+	pools, err := decodeSketchSet(parsed[0].summary.Sketches)
+	if err != nil {
+		return fmt.Errorf("experiments: shard 1: %v", err)
+	}
+	for _, s := range parsed[1:] {
+		p, err := decodeSketchSet(s.summary.Sketches)
+		if err != nil {
+			return fmt.Errorf("experiments: shard %d: %v", s.summary.Shard.Index, err)
+		}
+		if err := pools.merge(p); err != nil {
+			return err
+		}
+	}
+
+	doc := &docWriter{w: w}
+	if err := doc.open(header); err != nil {
+		return err
+	}
+	for _, s := range parsed {
+		for _, row := range s.rows {
+			if err := doc.row(row); err != nil {
+				return err
+			}
+		}
+	}
+	return doc.close(pools.summary())
+}

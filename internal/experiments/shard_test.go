@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// runShards runs the campaign as k NDJSON workers and returns each
+// worker's output stream.
+func runShards(t *testing.T, opts StreamOptions, name string, k int) [][]byte {
+	t.Helper()
+	outs := make([][]byte, k)
+	for i := 1; i <= k; i++ {
+		var b bytes.Buffer
+		if err := WriteCampaignNDJSON(&b, opts, name, i, k); err != nil {
+			t.Fatalf("shard %d/%d: %v", i, k, err)
+		}
+		outs[i-1] = b.Bytes()
+	}
+	return outs
+}
+
+func mergeShards(t *testing.T, outs [][]byte, reverse bool) []byte {
+	t.Helper()
+	readers := make([]io.Reader, len(outs))
+	for i, b := range outs {
+		if reverse {
+			readers[len(outs)-1-i] = bytes.NewReader(b)
+		} else {
+			readers[i] = bytes.NewReader(b)
+		}
+	}
+	var got bytes.Buffer
+	if err := MergeSummaries(&got, readers...); err != nil {
+		t.Fatalf("merge (reverse=%v): %v", reverse, err)
+	}
+	return got.Bytes()
+}
+
+// TestShardMergeEquivalence is the headline guarantee of the sharded
+// campaign surface, proven over the full scenario × scheme × modem
+// matrix: splitting any campaign across 1, 2 or 7 workers and merging
+// their NDJSON outputs — in either order — reproduces the unsharded
+// WriteCampaignJSON document byte for byte. Each cell runs the
+// scenario's complete scheme set, so the scheme axis rides inside every
+// campaign.
+func TestShardMergeEquivalence(t *testing.T) {
+	for _, modem := range phy.Names() {
+		for _, sc := range sim.Scenarios() {
+			modem, sc := modem, sc
+			t.Run(modem+"/"+sc.Name(), func(t *testing.T) {
+				t.Parallel()
+				opts := StreamOptions{Options: Options{
+					Runs:    7,
+					Sim:     sim.Config{Packets: 2, Modem: modem},
+					Seed:    3,
+					Schemes: sc.Schemes(),
+				}}
+				var want bytes.Buffer
+				if err := WriteCampaignJSON(&want, opts, sc.Name()); err != nil {
+					t.Fatalf("unsharded: %v", err)
+				}
+				for _, k := range []int{1, 2, 7} {
+					k := k
+					t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+						outs := runShards(t, opts, sc.Name(), k)
+						if got := mergeShards(t, outs, false); !bytes.Equal(got, want.Bytes()) {
+							t.Errorf("merged %d-shard document differs from unsharded:\n--- merged ---\n%s\n--- unsharded ---\n%s", k, got, want.Bytes())
+						}
+						if got := mergeShards(t, outs, true); !bytes.Equal(got, want.Bytes()) {
+							t.Errorf("reverse-order merge of %d shards differs from unsharded", k)
+						}
+					})
+				}
+			})
+		}
+	}
+}
+
+// TestShardMergeEquivalenceTraced covers the heavyweight row shape: a
+// traced campaign's per-link statistics ride in the rows, and the
+// sharded document must still reassemble byte-identically.
+func TestShardMergeEquivalenceTraced(t *testing.T) {
+	opts := StreamOptions{Options: Options{Runs: 5, Sim: sim.Config{Packets: 2}, Seed: 3}, Trace: true}
+	var want bytes.Buffer
+	if err := WriteCampaignJSON(&want, opts, "alice-bob"); err != nil {
+		t.Fatal(err)
+	}
+	outs := runShards(t, opts, "alice-bob", 2)
+	if got := mergeShards(t, outs, false); !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("traced 2-shard merge differs from unsharded:\n%s\nvs\n%s", got, want.Bytes())
+	}
+}
+
+// TestWriteCampaignNDJSONShape pins the worker wire format: one
+// CampaignRow object per line with the global run index, then exactly
+// one trailing summary record carrying the shard coordinates and
+// serialized sketches.
+func TestWriteCampaignNDJSONShape(t *testing.T) {
+	opts := StreamOptions{Options: Options{Runs: 5, Sim: sim.Config{Packets: 2}, Seed: 3}}
+	var b bytes.Buffer
+	if err := WriteCampaignNDJSON(&b, opts, "alice-bob", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	// SplitSeeds(5, 2) gives shard 2 the range [2, 5): 3 rows + summary.
+	if len(lines) != 4 {
+		t.Fatalf("worker stream has %d lines, want 4:\n%s", len(lines), b.String())
+	}
+	for i, line := range lines[:3] {
+		var row CampaignRow
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row line %d: %v", i, err)
+		}
+		if row.Run != 2+i {
+			t.Errorf("row line %d has run %d, want global index %d", i, row.Run, 2+i)
+		}
+		if len(row.Schemes) == 0 {
+			t.Errorf("row line %d has no scheme results", i)
+		}
+	}
+	var rec shardSummary
+	if err := json.Unmarshal([]byte(lines[3]), &rec); err != nil {
+		t.Fatalf("summary record: %v", err)
+	}
+	if rec.Record != "summary" {
+		t.Errorf("trailing record type %q, want summary", rec.Record)
+	}
+	if rec.Shard != (shardInfo{Index: 2, Shards: 2, RowLo: 2, RowHi: 5}) {
+		t.Errorf("shard coordinates %+v", rec.Shard)
+	}
+	if rec.Header.Runs != 5 || rec.Header.Scenario != "alice-bob" {
+		t.Errorf("summary header %+v describes the wrong campaign", rec.Header)
+	}
+	if rec.Sketches.BER == "" || rec.Sketches.GainOverRouting == "" {
+		t.Error("summary record is missing pool sketches")
+	}
+	if _, err := decodeSketchSet(rec.Sketches); err != nil {
+		t.Errorf("pool sketches do not round-trip: %v", err)
+	}
+}
+
+func TestWriteCampaignNDJSONValidation(t *testing.T) {
+	opts := StreamOptions{Options: Options{Runs: 3, Sim: sim.Config{Packets: 1}, Seed: 3}}
+	var b bytes.Buffer
+	for _, tc := range []struct {
+		name          string
+		shard, shards int
+	}{
+		{"zero shard", 0, 2}, {"shard beyond count", 3, 2}, {"zero shards", 1, 0}, {"negative", -1, -1},
+	} {
+		if err := WriteCampaignNDJSON(&b, opts, "alice-bob", tc.shard, tc.shards); err == nil {
+			t.Errorf("%s (%d/%d) accepted", tc.name, tc.shard, tc.shards)
+		}
+	}
+	if err := WriteCampaignNDJSON(&b, opts, "no-such", 1, 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestMergeSummariesRejectsBadInputs drives every validation path of the
+// merge: the coordinator must refuse anything that is not a complete,
+// consistent partition of one campaign rather than emit a wrong document.
+func TestMergeSummariesRejectsBadInputs(t *testing.T) {
+	opts := StreamOptions{Options: Options{Runs: 4, Sim: sim.Config{Packets: 1}, Seed: 3}}
+	outs := runShards(t, opts, "alice-bob", 2)
+	var w bytes.Buffer
+	expectErr := func(name, wantSub string, readers ...io.Reader) {
+		t.Helper()
+		w.Reset()
+		err := MergeSummaries(&w, readers...)
+		if err == nil {
+			t.Errorf("%s: merge succeeded", name)
+		} else if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	expectErr("no inputs", "no shard streams")
+	expectErr("missing shard", "declares 2 shards", bytes.NewReader(outs[0]))
+	expectErr("duplicate shard", "missing or duplicate",
+		bytes.NewReader(outs[0]), bytes.NewReader(outs[0]))
+
+	other := StreamOptions{Options: Options{Runs: 4, Sim: sim.Config{Packets: 1}, Seed: 4}}
+	foreign := runShards(t, other, "alice-bob", 2)
+	expectErr("header mismatch", "different campaign",
+		bytes.NewReader(outs[0]), bytes.NewReader(foreign[1]))
+
+	trimmed := bytes.TrimSuffix(outs[1], []byte("\n"))
+	noSummary := trimmed[:bytes.LastIndexByte(trimmed, '\n')+1]
+	expectErr("stream without summary", "no summary record",
+		bytes.NewReader(outs[0]), bytes.NewReader(noSummary))
+
+	withTrailer := append(append([]byte(nil), outs[1]...), outs[1][:bytes.IndexByte(outs[1], '\n')+1]...)
+	expectErr("rows after summary", "continues after",
+		bytes.NewReader(outs[0]), bytes.NewReader(withTrailer))
+
+	expectErr("garbage line", "", bytes.NewReader(outs[0]),
+		io.MultiReader(strings.NewReader("not json\n"), bytes.NewReader(outs[1])))
+
+	// A lone single-shard stream of the same campaign still merges fine —
+	// the validations above must not reject the trivial partition.
+	w.Reset()
+	solo := runShards(t, opts, "alice-bob", 1)
+	if err := MergeSummaries(&w, bytes.NewReader(solo[0])); err != nil {
+		t.Errorf("single-shard merge failed: %v", err)
+	}
+}

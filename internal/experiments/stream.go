@@ -12,6 +12,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/stats/sketch"
 )
 
 // This file is the machine-readable campaign surface: any registered
@@ -106,7 +107,7 @@ type distSummary struct {
 	Max    float64 `json:"max"`
 }
 
-func summarize(s *stats.Sample) distSummary {
+func summarize(s *sketch.Sketch) distSummary {
 	return distSummary{
 		N: s.Len(), Mean: s.Mean(), Median: s.Median(),
 		P90: s.Quantile(0.9), Min: s.Min(), Max: s.Max(),
@@ -121,6 +122,70 @@ type campaignSummary struct {
 	GainOverCOPE    *distSummary `json:"gain_over_cope,omitempty"`
 	BER             *distSummary `json:"ber,omitempty"`
 	Overlap         *distSummary `json:"overlap,omitempty"`
+}
+
+// campaignPools holds the campaign-wide distribution pools behind the
+// summary block. They are mergeable quantile sketches, not observation
+// buffers, for two reasons: the pools stay O(sketch) however many runs
+// the campaign spans, and sketch merges are bit-exact — a sharded
+// campaign's merged pools are byte-identical to the unsharded pools
+// (see internal/stats/sketch and MergeSummaries). A pool is nil when
+// the scheme filter removed the schemes it needs, mirroring the
+// summary's omitted fields.
+type campaignPools struct {
+	gainRouting *sketch.Sketch
+	gainCOPE    *sketch.Sketch
+	ber         *sketch.Sketch
+	overlap     *sketch.Sketch
+}
+
+func newCampaignPools(plan campaignPlan) *campaignPools {
+	p := &campaignPools{}
+	if plan.anc >= 0 {
+		p.ber = sketch.NewDefault()
+		p.overlap = sketch.NewDefault()
+		if plan.routing >= 0 {
+			p.gainRouting = sketch.NewDefault()
+		}
+		if plan.cope >= 0 {
+			p.gainCOPE = sketch.NewDefault()
+		}
+	}
+	return p
+}
+
+// observe feeds one rendered row into the pools.
+func (p *campaignPools) observe(plan campaignPlan, row sim.Row, r CampaignRow) {
+	if p.gainRouting != nil && r.GainOverRouting != nil {
+		p.gainRouting.Add(*r.GainOverRouting)
+	}
+	if p.gainCOPE != nil && r.GainOverCOPE != nil {
+		p.gainCOPE.Add(*r.GainOverCOPE)
+	}
+	if plan.anc >= 0 {
+		for _, b := range row.Metrics[plan.anc].BERs {
+			p.ber.Add(b)
+		}
+		for _, ov := range row.Metrics[plan.anc].Overlaps {
+			p.overlap.Add(ov)
+		}
+	}
+}
+
+// summary renders the pools as the document's closing summary block.
+func (p *campaignPools) summary() campaignSummary {
+	var out campaignSummary
+	set := func(dst **distSummary, s *sketch.Sketch) {
+		if s != nil {
+			d := summarize(s)
+			*dst = &d
+		}
+	}
+	set(&out.GainOverRouting, p.gainRouting)
+	set(&out.GainOverCOPE, p.gainCOPE)
+	set(&out.BER, p.ber)
+	set(&out.Overlap, p.overlap)
+	return out
 }
 
 // effectiveFadingKind reports the channel model the campaign actually
@@ -272,95 +337,93 @@ func streamOpts(trace bool) []sim.StreamOption {
 	return nil
 }
 
-// WriteCampaignJSON streams a registered scenario's campaign as one JSON
-// document: a metadata header, a "rows" array with one entry per seed
-// (written as rows arrive — the campaign is never materialized), and a
-// closing "summary" with the campaign-wide distributions.
-func WriteCampaignJSON(w io.Writer, opts StreamOptions, name string) error {
-	c, err := newCampaignContext(opts, name)
-	if err != nil {
-		return err
-	}
-	hdr, err := json.Marshal(c.header)
+// docWriter emits the campaign JSON document layout. It is the single
+// source of the document's byte layout: WriteCampaignJSON streams rows
+// into it directly, and MergeSummaries replays shard rows through the
+// identical writer — which is what makes a merged sharded campaign
+// byte-for-byte equal to the unsharded document.
+type docWriter struct {
+	w     io.Writer
+	first bool
+}
+
+// open writes the metadata header and opens the rows array.
+func (d *docWriter) open(hdr campaignHeader) error {
+	b, err := json.Marshal(hdr)
 	if err != nil {
 		return err
 	}
 	// Reopen the marshaled header object so the rows stream into the
 	// same document. The header is a struct, so the trailing byte is
 	// always the closing brace.
-	if _, err := w.Write(hdr[:len(hdr)-1]); err != nil {
+	if _, err := d.w.Write(b[:len(b)-1]); err != nil {
 		return err
 	}
-	if _, err := io.WriteString(w, `,"rows":[`); err != nil {
-		return err
-	}
+	_, err = io.WriteString(d.w, `,"rows":[`)
+	d.first = true
+	return err
+}
 
-	gainTrad := stats.NewSample(nil)
-	gainCope := stats.NewSample(nil)
-	berPool := stats.NewSample(nil)
-	overlapPool := stats.NewSample(nil)
-	first := true
-	sink := sim.SinkFunc(func(row sim.Row) error {
-		r := c.renderRow(opts, row)
-		if r.GainOverRouting != nil {
-			gainTrad.Add(*r.GainOverRouting)
-		}
-		if r.GainOverCOPE != nil {
-			gainCope.Add(*r.GainOverCOPE)
-		}
-		if c.plan.anc >= 0 {
-			for _, b := range row.Metrics[c.plan.anc].BERs {
-				berPool.Add(b)
-			}
-			for _, ov := range row.Metrics[c.plan.anc].Overlaps {
-				overlapPool.Add(ov)
-			}
-		}
-		b, err := json.Marshal(r)
-		if err != nil {
+// row appends one already-marshaled row object.
+func (d *docWriter) row(rowJSON []byte) error {
+	if !d.first {
+		if _, err := io.WriteString(d.w, ","); err != nil {
 			return err
 		}
-		if !first {
-			if _, err := io.WriteString(w, ","); err != nil {
-				return err
-			}
-		}
-		first = false
-		if _, err := io.WriteString(w, "\n"); err != nil {
-			return err
-		}
-		_, err = w.Write(b)
-		return err
-	})
-	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(opts.Trace)...); err != nil {
+	}
+	d.first = false
+	if _, err := io.WriteString(d.w, "\n"); err != nil {
 		return err
 	}
+	_, err := d.w.Write(rowJSON)
+	return err
+}
 
-	var summary campaignSummary
-	if c.plan.anc >= 0 {
-		b, o := summarize(berPool), summarize(overlapPool)
-		summary.BER, summary.Overlap = &b, &o
-		if c.plan.routing >= 0 {
-			s := summarize(gainTrad)
-			summary.GainOverRouting = &s
-		}
-		if c.plan.cope >= 0 {
-			s := summarize(gainCope)
-			summary.GainOverCOPE = &s
-		}
-	}
+// close ends the rows array and writes the summary block.
+func (d *docWriter) close(summary campaignSummary) error {
 	sb, err := json.Marshal(summary)
 	if err != nil {
 		return err
 	}
-	if _, err := io.WriteString(w, "\n],\"summary\":"); err != nil {
+	if _, err := io.WriteString(d.w, "\n],\"summary\":"); err != nil {
 		return err
 	}
-	if _, err := w.Write(sb); err != nil {
+	if _, err := d.w.Write(sb); err != nil {
 		return err
 	}
-	_, err = io.WriteString(w, "}\n")
+	_, err = io.WriteString(d.w, "}\n")
 	return err
+}
+
+// WriteCampaignJSON streams a registered scenario's campaign as one JSON
+// document: a metadata header, a "rows" array with one entry per seed
+// (written as rows arrive — the campaign is never materialized), and a
+// closing "summary" with the campaign-wide distributions, pooled in
+// mergeable sketches (summary statistics carry the sketch's α = 0.5%
+// relative accuracy; counts and extremes are exact).
+func WriteCampaignJSON(w io.Writer, opts StreamOptions, name string) error {
+	c, err := newCampaignContext(opts, name)
+	if err != nil {
+		return err
+	}
+	doc := &docWriter{w: w}
+	if err := doc.open(c.header); err != nil {
+		return err
+	}
+	pools := newCampaignPools(c.plan)
+	sink := sim.SinkFunc(func(row sim.Row) error {
+		r := c.renderRow(opts, row)
+		pools.observe(c.plan, row, r)
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		return doc.row(b)
+	})
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(opts.Trace)...); err != nil {
+		return err
+	}
+	return doc.close(pools.summary())
 }
 
 // WriteCampaignCSV streams a registered scenario's campaign as a CSV

@@ -1,0 +1,37 @@
+package sim
+
+import "fmt"
+
+// SeedRange is a half-open index range [Lo, Hi) into a campaign's seed
+// slice — one shard's share of the runs.
+type SeedRange struct {
+	Lo, Hi int
+}
+
+// Len returns the number of seeds in the range.
+func (r SeedRange) Len() int { return r.Hi - r.Lo }
+
+// SplitSeeds partitions a campaign of n seeds into the given number of
+// contiguous shards: shard i covers [i·n/k, (i+1)·n/k), so the ranges
+// are disjoint, cover [0, n) exactly, and differ in size by at most one.
+// The split is a pure function of (n, shards) — every coordinator and
+// worker computes the identical partition, which is what lets shard
+// outputs merge back into the unsharded campaign document byte for byte
+// (experiments.MergeSummaries). Shards beyond n are empty ranges, not an
+// error: a fixed worker fleet may outnumber a small campaign.
+//
+// Panics when shards < 1 or n < 0 — a programming error, not a runtime
+// condition (CLI surfaces validate their -shard flag before calling).
+func SplitSeeds(n, shards int) []SeedRange {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: SplitSeeds with %d shards", shards))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("sim: SplitSeeds with negative n %d", n))
+	}
+	out := make([]SeedRange, shards)
+	for i := range out {
+		out[i] = SeedRange{Lo: i * n / shards, Hi: (i + 1) * n / shards}
+	}
+	return out
+}

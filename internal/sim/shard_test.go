@@ -1,0 +1,51 @@
+package sim
+
+import "testing"
+
+// TestSplitSeedsPartition pins the coordinator/worker contract: the
+// shard ranges are a disjoint, contiguous, balanced cover of [0, n),
+// identical for every caller.
+func TestSplitSeedsPartition(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{0, 1}, {1, 1}, {7, 1}, {7, 2}, {7, 7}, {3, 7}, {100, 3}, {100000, 17},
+	} {
+		ranges := SplitSeeds(tc.n, tc.shards)
+		if len(ranges) != tc.shards {
+			t.Fatalf("SplitSeeds(%d,%d): %d ranges", tc.n, tc.shards, len(ranges))
+		}
+		next := 0
+		minLen, maxLen := tc.n, 0
+		for i, r := range ranges {
+			if r.Lo != next || r.Hi < r.Lo {
+				t.Errorf("SplitSeeds(%d,%d): shard %d = %+v not contiguous from %d", tc.n, tc.shards, i, r, next)
+			}
+			next = r.Hi
+			if r.Len() < minLen {
+				minLen = r.Len()
+			}
+			if r.Len() > maxLen {
+				maxLen = r.Len()
+			}
+		}
+		if next != tc.n {
+			t.Errorf("SplitSeeds(%d,%d): covers [0,%d)", tc.n, tc.shards, next)
+		}
+		if maxLen-minLen > 1 {
+			t.Errorf("SplitSeeds(%d,%d): unbalanced (sizes %d..%d)", tc.n, tc.shards, minLen, maxLen)
+		}
+	}
+}
+
+func TestSplitSeedsPanicsOnBadArgs(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero shards", func() { SplitSeeds(10, 0) })
+	mustPanic("negative shards", func() { SplitSeeds(10, -1) })
+	mustPanic("negative n", func() { SplitSeeds(-1, 2) })
+}

@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/stats/sketch"
+)
+
+// SketchRecorder is a Recorder whose distribution pools are mergeable
+// quantile sketches instead of observation buffers: the per-decode BER
+// pool, the per-collision overlap pool, and one per-edge link-gain
+// sketch (the O(sketch) alternative to TraceRecorder's full per-slot
+// traces). Unlike Metrics — one per run — a single SketchRecorder is
+// meant to accumulate a whole campaign's observations: feed it many
+// sequential runs, or give each shard its own and Merge them. Sketch
+// merges are exact (bit-for-bit order independent, see
+// internal/stats/sketch), so campaign-level statistics come out
+// identical however the seed range was partitioned.
+//
+// The integer tallies (Delivered, Lost) merge exactly too. The float
+// accumulators (DeliveredBits, TimeSamples) are left folds in call
+// order, so across shard merges they are subject to floating-point
+// reassociation — they are throughput bookkeeping, not part of the
+// bit-identical summary guarantee the sketches carry.
+//
+// A SketchRecorder is owned by one goroutine while recording, like
+// every Recorder; the sketches themselves are individually
+// concurrency safe.
+type SketchRecorder struct {
+	Delivered     int64
+	Lost          int64
+	DeliveredBits float64
+	TimeSamples   float64
+
+	ber     *sketch.Sketch
+	overlap *sketch.Sketch
+	links   map[[2]int]*sketch.Sketch
+	alpha   float64
+}
+
+// NewSketchRecorder returns an empty recorder with sketch accuracy
+// sketch.DefaultAlpha.
+func NewSketchRecorder() *SketchRecorder { return NewSketchRecorderAlpha(sketch.DefaultAlpha) }
+
+// NewSketchRecorderAlpha returns an empty recorder with the given
+// sketch accuracy (recorders only merge when their alphas match).
+func NewSketchRecorderAlpha(alpha float64) *SketchRecorder {
+	return &SketchRecorder{
+		ber:     sketch.New(alpha),
+		overlap: sketch.New(alpha),
+		links:   make(map[[2]int]*sketch.Sketch),
+		alpha:   alpha,
+	}
+}
+
+// RecordDelivered implements Recorder.
+func (r *SketchRecorder) RecordDelivered(bits float64) {
+	r.Delivered++
+	r.DeliveredBits += bits
+}
+
+// RecordLost implements Recorder.
+func (r *SketchRecorder) RecordLost(n int) { r.Lost += int64(n) }
+
+// RecordANCDecode implements Recorder: the BER joins the pool sketch.
+func (r *SketchRecorder) RecordANCDecode(ber float64) { r.ber.Add(ber) }
+
+// RecordCollision implements Recorder: the overlap joins the pool sketch.
+func (r *SketchRecorder) RecordCollision(overlap float64) { r.overlap.Add(overlap) }
+
+// RecordAirTime implements Recorder.
+func (r *SketchRecorder) RecordAirTime(samples float64) { r.TimeSamples += samples }
+
+// RecordLinkState implements Recorder: the gain joins the edge's sketch.
+func (r *SketchRecorder) RecordLinkState(slot, from, to int, powerGain float64) {
+	key := [2]int{from, to}
+	s := r.links[key]
+	if s == nil {
+		s = sketch.New(r.alpha)
+		r.links[key] = s
+	}
+	s.Add(powerGain)
+}
+
+// BER returns the pooled per-decode bit-error-rate sketch.
+func (r *SketchRecorder) BER() *sketch.Sketch { return r.ber }
+
+// Overlap returns the pooled per-collision overlap-fraction sketch.
+func (r *SketchRecorder) Overlap() *sketch.Sketch { return r.overlap }
+
+// Link returns the gain sketch of one directed edge, or nil when the
+// edge was never observed.
+func (r *SketchRecorder) Link(from, to int) *sketch.Sketch {
+	return r.links[[2]int{from, to}]
+}
+
+// LinkSketch is one directed edge's pooled gain sketch.
+type LinkSketch struct {
+	From, To int
+	Gains    *sketch.Sketch
+}
+
+// Links returns every observed edge's gain sketch sorted by (From, To),
+// mirroring TraceRecorder.Traces.
+func (r *SketchRecorder) Links() []LinkSketch {
+	out := make([]LinkSketch, 0, len(r.links))
+	for key, s := range r.links {
+		out = append(out, LinkSketch{From: key[0], To: key[1], Gains: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Merge folds another recorder's state into r: tallies add, sketches
+// merge exactly. The other recorder is unchanged. Fails when the sketch
+// accuracies differ.
+func (r *SketchRecorder) Merge(o *SketchRecorder) error {
+	if err := r.ber.Merge(o.ber); err != nil {
+		return err
+	}
+	if err := r.overlap.Merge(o.overlap); err != nil {
+		return err
+	}
+	for key, s := range o.links {
+		dst := r.links[key]
+		if dst == nil {
+			dst = sketch.New(r.alpha)
+			r.links[key] = dst
+		}
+		if err := dst.Merge(s); err != nil {
+			return err
+		}
+	}
+	r.Delivered += o.Delivered
+	r.Lost += o.Lost
+	r.DeliveredBits += o.DeliveredBits
+	r.TimeSamples += o.TimeSamples
+	return nil
+}

@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// TestSketchRecorderMatchesMetrics runs the same seeds under the default
+// Metrics recorder and under one campaign-wide SketchRecorder: the
+// integer tallies must agree exactly, the pooled sketches must hold
+// every observation with exact extremes, and the pooled means must sit
+// within the sketch accuracy of the exact pools.
+func TestSketchRecorderMatchesMetrics(t *testing.T) {
+	eng := NewEngine(Config{Packets: 3})
+	sc := MustScenario("alice-bob")
+	seeds := []int64{1, 2, 3, 4, 5}
+
+	rec := NewSketchRecorder()
+	var ms []Metrics
+	scratch := NewScratch()
+	for _, seed := range seeds {
+		var m Metrics
+		if err := eng.RunRecording(sc, SchemeANC, seed, &m, scratch); err != nil {
+			t.Fatal(err)
+		}
+		ms = append(ms, m)
+		if err := eng.RunRecording(sc, SchemeANC, seed, rec, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var delivered, lost int64
+	var bers []float64
+	for _, m := range ms {
+		delivered += int64(m.Delivered)
+		lost += int64(m.Lost)
+		bers = append(bers, m.BERs...)
+	}
+	if rec.Delivered != delivered || rec.Lost != lost {
+		t.Errorf("tallies: got %d/%d, want %d/%d", rec.Delivered, rec.Lost, delivered, lost)
+	}
+	if rec.BER().Len() != len(bers) {
+		t.Fatalf("BER pool holds %d observations, want %d", rec.BER().Len(), len(bers))
+	}
+	min, max, sum := math.Inf(1), math.Inf(-1), 0.0
+	for _, b := range bers {
+		min, max, sum = math.Min(min, b), math.Max(max, b), sum+b
+	}
+	if rec.BER().Min() != min || rec.BER().Max() != max {
+		t.Errorf("BER extremes [%v,%v], want exact [%v,%v]", rec.BER().Min(), rec.BER().Max(), min, max)
+	}
+	exactMean := sum / float64(len(bers))
+	if diff := math.Abs(rec.BER().Mean() - exactMean); diff > rec.BER().Alpha()*exactMean+1e-12 {
+		t.Errorf("BER mean %v vs exact %v", rec.BER().Mean(), exactMean)
+	}
+
+	// Per-edge gain sketches: every topology edge observed every slot.
+	links := rec.Links()
+	if len(links) == 0 {
+		t.Fatal("no link sketches recorded")
+	}
+	wantSlots := int64(len(seeds) * 3) // Packets=3 slots per run
+	for _, l := range links {
+		if l.Gains.Count() != wantSlots {
+			t.Errorf("link %d->%d pooled %d slots, want %d", l.From, l.To, l.Gains.Count(), wantSlots)
+		}
+		if rec.Link(l.From, l.To) != l.Gains {
+			t.Errorf("Link(%d,%d) does not return the pooled sketch", l.From, l.To)
+		}
+	}
+}
+
+// TestSketchRecorderMergeEqualsSequential is the sharding property one
+// level below the campaign document: recording seeds 1..6 into one
+// recorder builds bit-identical sketches to recording 1..3 and 4..6
+// into two recorders and merging — in either order.
+func TestSketchRecorderMergeEqualsSequential(t *testing.T) {
+	sc := MustScenario("x-cross")
+	run := func(rec *SketchRecorder, seeds []int64) {
+		eng := NewEngine(Config{Packets: 2})
+		scratch := NewScratch()
+		for _, seed := range seeds {
+			for _, scheme := range sc.Schemes() {
+				if err := eng.RunRecording(sc, scheme, seed, rec, scratch); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	whole := NewSketchRecorder()
+	run(whole, []int64{1, 2, 3, 4, 5, 6})
+	a, b := NewSketchRecorder(), NewSketchRecorder()
+	run(a, []int64{1, 2, 3})
+	run(b, []int64{4, 5, 6})
+
+	for _, order := range []struct {
+		name   string
+		lo, hi *SketchRecorder
+	}{{"a+b", a, b}, {"b+a", b, a}} {
+		merged := NewSketchRecorder()
+		if err := merged.Merge(order.lo); err != nil {
+			t.Fatal(err)
+		}
+		if err := merged.Merge(order.hi); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(merged.BER().Encode(), whole.BER().Encode()) {
+			t.Errorf("%s: merged BER sketch != sequential", order.name)
+		}
+		if !bytes.Equal(merged.Overlap().Encode(), whole.Overlap().Encode()) {
+			t.Errorf("%s: merged overlap sketch != sequential", order.name)
+		}
+		wantLinks, gotLinks := whole.Links(), merged.Links()
+		if len(wantLinks) != len(gotLinks) {
+			t.Fatalf("%s: %d merged link sketches, want %d", order.name, len(gotLinks), len(wantLinks))
+		}
+		for i := range wantLinks {
+			if !bytes.Equal(gotLinks[i].Gains.Encode(), wantLinks[i].Gains.Encode()) {
+				t.Errorf("%s: link %d->%d sketch differs", order.name, wantLinks[i].From, wantLinks[i].To)
+			}
+		}
+		if merged.Delivered != whole.Delivered || merged.Lost != whole.Lost {
+			t.Errorf("%s: tallies differ", order.name)
+		}
+	}
+
+	if err := NewSketchRecorder().Merge(NewSketchRecorderAlpha(0.01)); err == nil {
+		t.Error("cross-alpha recorder merge did not fail")
+	}
+}
+
+// TestSketchRecorderFootprintFlat is the campaign-scale memory pin the
+// acceptance criteria name: a 100×-longer campaign's recorder encodes to
+// essentially the same footprint — the pools are O(sketch), never
+// O(observations).
+func TestSketchRecorderFootprintFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("footprint pin feeds 100k synthetic runs")
+	}
+	footprint := func(runs int) int {
+		rec := NewSketchRecorder()
+		// Synthesized observation stream shaped like a campaign: one
+		// decode BER, one collision overlap and three link states per
+		// run, values drawn from a deterministic spread.
+		for i := 0; i < runs; i++ {
+			f := float64(i%997) / 997
+			rec.RecordANCDecode(0.04 * f)
+			rec.RecordCollision(0.6 + 0.4*f)
+			rec.RecordDelivered(1024)
+			rec.RecordAirTime(4096)
+			for e := 0; e < 3; e++ {
+				rec.RecordLinkState(i, e, e+1, 0.5+f)
+			}
+		}
+		total := len(rec.BER().Encode()) + len(rec.Overlap().Encode())
+		for _, l := range rec.Links() {
+			total += len(l.Gains.Encode())
+		}
+		return total
+	}
+	small, large := footprint(1_000), footprint(100_000)
+	if large > small+small/5 {
+		t.Errorf("recorder footprint grew with campaign length: %dB at 1k runs vs %dB at 100k", small, large)
+	}
+}

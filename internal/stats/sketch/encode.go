@@ -1,0 +1,154 @@
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The wire format is the canonical serialization of a sketch — the
+// shard-summary payload of the distributed-campaign pipeline. It is
+// strictly canonical: every accepted byte string is the encoding of
+// exactly one sketch state, and Encode(Decode(b)) == b for every b that
+// Decode accepts. That is what lets the shard-merge equivalence harness
+// compare summaries byte for byte, and what FuzzSketchMerge pins.
+//
+// Layout (all integers little endian, floats as IEEE-754 bits):
+//
+//	magic   "qsk1"                        4 bytes
+//	alpha   float64                       8
+//	count   int64                         8
+//	zero    int64                         8
+//	min     float64                       8   (+Inf when empty)
+//	max     float64                       8   (-Inf when empty)
+//	nneg    uint32                        4
+//	npos    uint32                        4
+//	neg     nneg × (key int32, n int64)  12 each, keys strictly ascending
+//	pos     npos × (key int32, n int64)  12 each, keys strictly ascending
+
+var magic = [4]byte{'q', 's', 'k', '1'}
+
+const headerSize = 4 + 8 + 8 + 8 + 8 + 8 + 4 + 4
+
+var (
+	errAlphaMismatch = errors.New("sketch: cannot merge sketches with different alpha")
+	errCorrupt       = errors.New("sketch: corrupt encoding")
+)
+
+// Encode serializes the sketch to its canonical byte form.
+func (s *Sketch) Encode() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]byte, headerSize, headerSize+12*(len(s.neg)+len(s.pos)))
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint64(out[4:], math.Float64bits(s.alpha))
+	binary.LittleEndian.PutUint64(out[12:], uint64(s.count))
+	binary.LittleEndian.PutUint64(out[20:], uint64(s.zero))
+	binary.LittleEndian.PutUint64(out[28:], math.Float64bits(s.min))
+	binary.LittleEndian.PutUint64(out[36:], math.Float64bits(s.max))
+	binary.LittleEndian.PutUint32(out[44:], uint32(len(s.neg)))
+	binary.LittleEndian.PutUint32(out[48:], uint32(len(s.pos)))
+	var cell [12]byte
+	emit := func(m map[int32]int64) {
+		keys := make([]int32, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, k := range keys {
+			binary.LittleEndian.PutUint32(cell[0:], uint32(k))
+			binary.LittleEndian.PutUint64(cell[4:], uint64(m[k]))
+			out = append(out, cell[:]...)
+		}
+	}
+	emit(s.neg)
+	emit(s.pos)
+	return out
+}
+
+// Decode parses a canonical sketch encoding. Every structural invariant
+// is validated — magic, alpha range, strictly ascending keys, positive
+// bucket counts, count totals, extreme sentinels — so corrupt or
+// adversarial bytes fail with an error, never a panic, and anything
+// accepted re-encodes to the identical bytes.
+func Decode(data []byte) (*Sketch, error) {
+	if len(data) < headerSize || [4]byte(data[:4]) != magic {
+		return nil, errCorrupt
+	}
+	alpha := math.Float64frombits(binary.LittleEndian.Uint64(data[4:]))
+	if !(alpha >= MinAlpha && alpha <= MaxAlpha) {
+		return nil, fmt.Errorf("%w: alpha out of range", errCorrupt)
+	}
+	count := int64(binary.LittleEndian.Uint64(data[12:]))
+	zero := int64(binary.LittleEndian.Uint64(data[20:]))
+	min := math.Float64frombits(binary.LittleEndian.Uint64(data[28:]))
+	max := math.Float64frombits(binary.LittleEndian.Uint64(data[36:]))
+	nneg := int(binary.LittleEndian.Uint32(data[44:]))
+	npos := int(binary.LittleEndian.Uint32(data[48:]))
+	if count < 0 || zero < 0 {
+		return nil, fmt.Errorf("%w: negative count", errCorrupt)
+	}
+	if len(data) != headerSize+12*(nneg+npos) {
+		return nil, fmt.Errorf("%w: truncated or oversized", errCorrupt)
+	}
+	s := New(alpha)
+	s.count = count
+	s.zero = zero
+	s.min = min
+	s.max = max
+	total := zero
+	off := headerSize
+	read := func(m map[int32]int64, cells int) error {
+		lastKey := int64(math.MinInt64)
+		for i := 0; i < cells; i++ {
+			k := int32(binary.LittleEndian.Uint32(data[off:]))
+			n := int64(binary.LittleEndian.Uint64(data[off+4:]))
+			off += 12
+			if int64(k) <= lastKey {
+				return fmt.Errorf("%w: bucket keys not strictly ascending", errCorrupt)
+			}
+			lastKey = int64(k)
+			if n <= 0 {
+				return fmt.Errorf("%w: non-positive bucket count", errCorrupt)
+			}
+			total += n
+			if total < 0 {
+				return fmt.Errorf("%w: count overflow", errCorrupt)
+			}
+			m[k] = n
+		}
+		return nil
+	}
+	if err := read(s.neg, nneg); err != nil {
+		return nil, err
+	}
+	if err := read(s.pos, npos); err != nil {
+		return nil, err
+	}
+	if total != count {
+		return nil, fmt.Errorf("%w: bucket counts do not sum to count", errCorrupt)
+	}
+	if count == 0 {
+		if zero != 0 || !math.IsInf(min, 1) || !math.IsInf(max, -1) {
+			return nil, fmt.Errorf("%w: empty sketch with non-sentinel extremes", errCorrupt)
+		}
+		return s, nil
+	}
+	if math.IsNaN(min) || math.IsNaN(max) || math.IsInf(min, 0) || math.IsInf(max, 0) || min > max {
+		return nil, fmt.Errorf("%w: invalid extremes", errCorrupt)
+	}
+	// Sign consistency: bucket mass on a side requires the matching
+	// extreme's sign, so a decoded sketch's clamped reads stay sane.
+	if len(s.neg) > 0 && min >= 0 {
+		return nil, fmt.Errorf("%w: negative mass with non-negative min", errCorrupt)
+	}
+	if len(s.pos) > 0 && max <= 0 {
+		return nil, fmt.Errorf("%w: positive mass with non-positive max", errCorrupt)
+	}
+	if len(s.neg) == 0 && len(s.pos) == 0 && (min != 0 || max != 0) {
+		return nil, fmt.Errorf("%w: zero-only sketch with nonzero extremes", errCorrupt)
+	}
+	return s, nil
+}

@@ -1,0 +1,85 @@
+package sketch
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzSketchMerge drives arbitrary bytes through Decode → Merge →
+// Encode: no input may panic, anything Decode accepts must re-encode to
+// the identical bytes (the encoding is canonical), and merges of decoded
+// sketches must stay bit-for-bit commutative. The CI fuzz smoke step
+// runs this alongside FuzzDecoderNoPanic.
+func FuzzSketchMerge(f *testing.F) {
+	seed := func(build func(*Sketch)) []byte {
+		s := NewDefault()
+		build(s)
+		return s.Encode()
+	}
+	f.Add([]byte{}, []byte{})
+	f.Add(seed(func(*Sketch) {}), seed(func(s *Sketch) { s.Add(1) }))
+	a := seed(func(s *Sketch) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 200; i++ {
+			s.Add(rng.NormFloat64())
+		}
+	})
+	b := seed(func(s *Sketch) {
+		s.Add(0)
+		s.Add(-3.5)
+		s.Add(1e-9)
+		s.Add(4e17)
+	})
+	f.Add(a, b)
+	f.Add(a[:len(a)-3], append([]byte{}, append(b, 0xfe)...))
+	f.Add([]byte("qsk1garbage-after-the-magic-number......"), a)
+
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		sa, errA := Decode(da)
+		sb, errB := Decode(db)
+		// Round-trip stability: accepted bytes are canonical.
+		if errA == nil && !bytes.Equal(sa.Encode(), da) {
+			t.Fatalf("Encode(Decode(a)) != a")
+		}
+		if errB == nil && !bytes.Equal(sb.Encode(), db) {
+			t.Fatalf("Encode(Decode(b)) != b")
+		}
+		// Reads never panic on anything Decode accepted.
+		for _, s := range []*Sketch{sa, sb} {
+			if s == nil {
+				continue
+			}
+			_ = s.Mean()
+			_ = s.Quantile(0.5)
+			_ = s.CDFAt(1)
+			_ = s.OutageBelow(0.5)
+			_ = s.FadeMarginDB(0.05)
+		}
+		if errA != nil || errB != nil {
+			return
+		}
+		ab := sa.Clone()
+		errAB := ab.Merge(sb)
+		ba := sb.Clone()
+		errBA := ba.Merge(sa)
+		if (errAB == nil) != (errBA == nil) {
+			t.Fatal("merge error asymmetric")
+		}
+		if errAB != nil {
+			// Only a mismatched alpha may refuse a merge of two valid
+			// sketches.
+			if sa.Alpha() == sb.Alpha() {
+				t.Fatalf("same-alpha merge failed: %v", errAB)
+			}
+			return
+		}
+		if !bytes.Equal(ab.Encode(), ba.Encode()) {
+			t.Fatal("merge(a,b) != merge(b,a)")
+		}
+		// A merged sketch stays canonical.
+		if _, err := Decode(ab.Encode()); err != nil {
+			t.Fatalf("merged sketch does not re-decode: %v", err)
+		}
+	})
+}

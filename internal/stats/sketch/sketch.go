@@ -1,0 +1,387 @@
+// Package sketch provides a mergeable quantile sketch for campaign-scale
+// distributions: the Fig. 9/10/12-style gain, BER and overlap pools held
+// in O(sketch) memory instead of one float per observation, with a merge
+// that is *exact* — two shards' sketches combine into byte-for-byte the
+// same state the unsharded campaign would have built.
+//
+// # Determinism contract
+//
+// A t-digest keeps data-adaptive centroids, so its merged state depends
+// on arrival and merge order — "approximately equal" summaries are the
+// best it can promise across shards. This sketch instead pins its
+// centroids to a deterministic γ-indexed grid (a DDSketch-style layout):
+// bucket k covers the value interval (γ^(k-1), γ^k] with γ = (1+α)/(1-α),
+// and the bucket's centroid is the interval's midpoint estimate
+// 2γ^k/(γ+1), a function of k alone. The sketch state is therefore a
+// pure function of the observation *multiset*:
+//
+//   - Add increments an integer bucket count (integer addition is exact,
+//     commutative and associative);
+//   - Merge adds per-bucket counts and takes elementwise min/max of the
+//     exact extremes;
+//   - every order-dependent read iterates buckets in one canonical value
+//     order, so even the floating-point folds (Mean, Quantile) are
+//     deterministic functions of the state.
+//
+// Consequently Merge(A, B) == Merge(B, A) and Merge(Merge(A, B), C) ==
+// Merge(A, Merge(B, C)) bit for bit, however the observations were
+// partitioned — the property the sharded-campaign equivalence harness
+// (internal/experiments) proves end to end.
+//
+// # Accuracy contract
+//
+// Count, Min and Max are exact. Quantile returns a value within relative
+// error α of the exact order statistic at the queried rank (clamped to
+// [Min, Max], so single-element and constant sketches are exact). Mean
+// folds bucket centroids, so it is within relative α of the exact mean
+// of |observations|. CDFAt and OutageBelow attribute each bucket's mass
+// to its centroid, so thresholds are resolved to bucket (α) resolution.
+package sketch
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// DefaultAlpha is the relative-accuracy parameter campaign summaries
+// use: quantile estimates within 0.5% of the exact order statistic.
+const DefaultAlpha = 0.005
+
+// Alpha bounds accepted by New and Decode. The lower bound keeps bucket
+// keys comfortably inside int32 for the full float64 range; the upper
+// bound keeps γ meaningful (α → 0.5 makes γ → 3, one bucket per ~half
+// decade — coarser than any caller should want).
+const (
+	MinAlpha = 1e-4
+	MaxAlpha = 0.25
+)
+
+// Sketch is a mergeable quantile sketch over float64 observations. The
+// zero value is not usable; construct with New or NewDefault, or Decode.
+//
+// All methods are safe for concurrent use (one mutex, like
+// stats.Sample). Merge locks the two sketches in sequence, never
+// simultaneously, so any lock order is deadlock free.
+type Sketch struct {
+	mu    sync.Mutex
+	alpha float64 // relative accuracy, in [MinAlpha, MaxAlpha]
+	gamma float64 // (1+α)/(1-α)
+	lnG   float64 // ln γ
+	// Buckets: pos[k] counts observations in (γ^(k-1), γ^k]; neg[k]
+	// counts observations in [-γ^k, -γ^(k-1)); zero counts exact zeros.
+	pos, neg map[int32]int64
+	zero     int64
+	count    int64
+	// Exact extremes; +Inf/-Inf when empty so Merge is identity-friendly.
+	min, max float64
+}
+
+// New returns an empty sketch with the given relative accuracy α.
+// Panics when α is outside [MinAlpha, MaxAlpha]: the accuracy is a
+// compile-time-style configuration, and two sketches only merge when
+// their α match exactly.
+func New(alpha float64) *Sketch {
+	if !(alpha >= MinAlpha && alpha <= MaxAlpha) { // rejects NaN too
+		panic("sketch: alpha out of range")
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Sketch{
+		alpha: alpha,
+		gamma: gamma,
+		lnG:   math.Log(gamma),
+		pos:   make(map[int32]int64),
+		neg:   make(map[int32]int64),
+		min:   math.Inf(1),
+		max:   math.Inf(-1),
+	}
+}
+
+// NewDefault returns an empty sketch at DefaultAlpha.
+func NewDefault() *Sketch { return New(DefaultAlpha) }
+
+// Alpha returns the sketch's relative-accuracy parameter.
+func (s *Sketch) Alpha() float64 { return s.alpha }
+
+// key maps a positive magnitude to its bucket index: the smallest k with
+// γ^k ≥ v. math.Log is a pure-Go deterministic function, so the mapping
+// is reproducible across runs and shards.
+func (s *Sketch) key(v float64) int32 {
+	return int32(math.Ceil(math.Log(v) / s.lnG))
+}
+
+// centroid returns bucket k's representative magnitude, the midpoint
+// estimate 2γ^k/(γ+1). A function of k alone — never of the data —
+// which is what makes every read order-independent.
+func (s *Sketch) centroid(k int32) float64 {
+	return math.Exp(float64(k)*s.lnG) * 2 / (s.gamma + 1)
+}
+
+// Add records one observation. NaN and ±Inf are rejected (dropped
+// without touching the state): campaign observations are finite by
+// construction, and a stray NaN must not poison a mergeable summary.
+func (s *Sketch) Add(x float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case x == 0:
+		s.zero++
+	case x > 0:
+		s.pos[s.key(x)]++
+	default:
+		s.neg[s.key(-x)]++
+	}
+	s.count++
+	s.min = math.Min(s.min, x)
+	s.max = math.Max(s.max, x)
+}
+
+// Count returns the number of recorded observations (exact).
+func (s *Sketch) Count() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Len is Count as an int, mirroring stats.Sample.Len.
+func (s *Sketch) Len() int { return int(s.Count()) }
+
+// Min returns the smallest observation, exactly (0 for empty, matching
+// stats.Sample).
+func (s *Sketch) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation, exactly (0 for empty).
+func (s *Sketch) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// bucket is one occupied cell in canonical value order.
+type bucket struct {
+	value float64
+	n     int64
+}
+
+// clampLocked bounds a centroid by the exact extremes, so estimates
+// never step outside the observed range (and a single-element sketch
+// reads back exactly). Callers must hold s.mu.
+func (s *Sketch) clampLocked(v float64) float64 {
+	return math.Min(math.Max(v, s.min), s.max)
+}
+
+// orderedLocked returns the occupied buckets in canonical ascending
+// value order: negative buckets from most to least negative, the zero
+// bucket, then positive buckets ascending. Every order-dependent read
+// folds over this one order, which is what makes the floating-point
+// arithmetic a deterministic function of the sketch state. Callers must
+// hold s.mu.
+func (s *Sketch) orderedLocked() []bucket {
+	out := make([]bucket, 0, len(s.neg)+len(s.pos)+1)
+	nk := make([]int32, 0, len(s.neg))
+	for k := range s.neg {
+		nk = append(nk, k)
+	}
+	sort.Slice(nk, func(i, j int) bool { return nk[i] > nk[j] })
+	for _, k := range nk {
+		out = append(out, bucket{value: s.clampLocked(-s.centroid(k)), n: s.neg[k]})
+	}
+	if s.zero > 0 {
+		out = append(out, bucket{value: 0, n: s.zero})
+	}
+	pk := make([]int32, 0, len(s.pos))
+	for k := range s.pos {
+		pk = append(pk, k)
+	}
+	sort.Slice(pk, func(i, j int) bool { return pk[i] < pk[j] })
+	for _, k := range pk {
+		out = append(out, bucket{value: s.clampLocked(s.centroid(k)), n: s.pos[k]})
+	}
+	return out
+}
+
+// Mean returns the estimated arithmetic mean (0 for empty): bucket
+// centroids folded in canonical order, so the same multiset of
+// observations yields the same bits however it was sharded.
+func (s *Sketch) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range s.orderedLocked() {
+		sum += b.value * float64(b.n)
+	}
+	return sum / float64(s.count)
+}
+
+// valueAtRank returns the estimated value of the rank-th order statistic
+// (0-based) given the canonical bucket fold.
+func valueAtRank(bs []bucket, rank int64) float64 {
+	var cum int64
+	for _, b := range bs {
+		cum += b.n
+		if cum > rank {
+			return b.value
+		}
+	}
+	return bs[len(bs)-1].value
+}
+
+// Quantile returns the estimated q-quantile (0 ≤ q ≤ 1) with the same
+// linear interpolation between adjacent order statistics that
+// stats.Sample.Quantile uses; each order statistic is resolved to its
+// bucket centroid, hence the α relative-error contract.
+func (s *Sketch) Quantile(q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	bs := s.orderedLocked()
+	pos := q * float64(s.count-1)
+	lo := int64(math.Floor(pos))
+	frac := pos - float64(lo)
+	vlo := valueAtRank(bs, lo)
+	if frac == 0 || lo+1 >= s.count {
+		return s.clampLocked(vlo)
+	}
+	vhi := valueAtRank(bs, lo+1)
+	return s.clampLocked(vlo*(1-frac) + vhi*frac)
+}
+
+// Median returns the 0.5 quantile.
+func (s *Sketch) Median() float64 { return s.Quantile(0.5) }
+
+// CDFAt returns the estimated fraction of observations ≤ x: each
+// bucket's mass sits at its centroid, so the threshold resolves at
+// bucket (α) resolution.
+func (s *Sketch) CDFAt(x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	var cum int64
+	for _, b := range s.orderedLocked() {
+		if b.value > x {
+			break
+		}
+		cum += b.n
+	}
+	return float64(cum) / float64(s.count)
+}
+
+// OutageBelow returns the estimated fraction of observations strictly
+// below x — P[g < x], the outage probability against a threshold,
+// mirroring stats.Sample.OutageBelow.
+func (s *Sketch) OutageBelow(x float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.count == 0 {
+		return 0
+	}
+	var cum int64
+	for _, b := range s.orderedLocked() {
+		if b.value >= x {
+			break
+		}
+		cum += b.n
+	}
+	return float64(cum) / float64(s.count)
+}
+
+// FadeMarginDB returns how many dB the q-quantile observation sits below
+// the mean: 10·log10(mean / Quantile(q)), 0 when either term is
+// non-positive — the stats.Sample.FadeMarginDB contract over sketch
+// estimates.
+func (s *Sketch) FadeMarginDB(q float64) float64 {
+	m := s.Mean()
+	v := s.Quantile(q)
+	if m <= 0 || v <= 0 {
+		return 0
+	}
+	return 10 * math.Log10(m/v)
+}
+
+// Buckets returns the number of occupied buckets — the sketch's memory
+// footprint in cells. Bounded by the value range and α, never by the
+// observation count: the O(sketch) guarantee campaign pools rely on.
+func (s *Sketch) Buckets() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.pos) + len(s.neg)
+	if s.zero > 0 {
+		n++
+	}
+	return n
+}
+
+// snapshot returns a deep copy of the sketch state under its own lock,
+// so Merge never holds two locks at once.
+func (s *Sketch) snapshot() *Sketch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := &Sketch{
+		alpha: s.alpha, gamma: s.gamma, lnG: s.lnG,
+		pos: make(map[int32]int64, len(s.pos)), neg: make(map[int32]int64, len(s.neg)),
+		zero: s.zero, count: s.count, min: s.min, max: s.max,
+	}
+	for k, n := range s.pos {
+		cp.pos[k] = n
+	}
+	for k, n := range s.neg {
+		cp.neg[k] = n
+	}
+	return cp
+}
+
+// Clone returns an independent copy of the sketch.
+func (s *Sketch) Clone() *Sketch { return s.snapshot() }
+
+// Merge folds o into s: per-bucket integer counts add, extremes combine
+// by min/max — all exact, so merging is associative and commutative bit
+// for bit, and merging a shard's sketch is indistinguishable from having
+// Added its observations directly. o is unchanged (merging a sketch with
+// itself doubles it). The accuracies must match exactly: the γ grids of
+// different α do not align, so cross-α merges are refused rather than
+// approximated.
+func (s *Sketch) Merge(o *Sketch) error {
+	if o.alpha != s.alpha {
+		return errAlphaMismatch
+	}
+	snap := o.snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, n := range snap.pos {
+		s.pos[k] += n
+	}
+	for k, n := range snap.neg {
+		s.neg[k] += n
+	}
+	s.zero += snap.zero
+	s.count += snap.count
+	s.min = math.Min(s.min, snap.min)
+	s.max = math.Max(s.max, snap.max)
+	return nil
+}

@@ -1,0 +1,314 @@
+package sketch
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// distributions are the shapes the property suite sweeps: the issue's
+// uniform/normal/bimodal/heavy-tail set, covering negative mass, exact
+// zeros, and multi-decade dynamic range.
+var distributions = []struct {
+	name string
+	draw func(rng *rand.Rand) float64
+}{
+	{"uniform", func(rng *rand.Rand) float64 { return 0.5 + 1.5*rng.Float64() }},
+	{"normal", func(rng *rand.Rand) float64 { return rng.NormFloat64() }},
+	{"bimodal", func(rng *rand.Rand) float64 {
+		if rng.Intn(2) == 0 {
+			return 1 + 0.05*rng.NormFloat64()
+		}
+		return 3 + 0.05*rng.NormFloat64()
+	}},
+	{"heavy-tail", func(rng *rand.Rand) float64 { return math.Exp(2 * rng.NormFloat64()) }},
+	{"zero-inflated", func(rng *rand.Rand) float64 {
+		if rng.Intn(4) == 0 {
+			return 0
+		}
+		return rng.Float64()
+	}},
+}
+
+func fill(s *Sketch, draw func(*rand.Rand) float64, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = draw(rng)
+		s.Add(xs[i])
+	}
+	return xs
+}
+
+// TestMergeCommutativeAssociative is the headline property: merges are
+// bit-for-bit order independent. merge(A,B) == merge(B,A) and
+// merge(merge(A,B),C) == merge(A,merge(B,C)), compared on the canonical
+// encoding.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			a, b, c := NewDefault(), NewDefault(), NewDefault()
+			fill(a, d.draw, 500, 1)
+			fill(b, d.draw, 1200, 2)
+			fill(c, d.draw, 7, 3)
+
+			ab := a.Clone()
+			if err := ab.Merge(b); err != nil {
+				t.Fatal(err)
+			}
+			ba := b.Clone()
+			if err := ba.Merge(a); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ab.Encode(), ba.Encode()) {
+				t.Error("merge(A,B) != merge(B,A)")
+			}
+
+			abc1 := ab.Clone()
+			if err := abc1.Merge(c); err != nil {
+				t.Fatal(err)
+			}
+			bc := b.Clone()
+			if err := bc.Merge(c); err != nil {
+				t.Fatal(err)
+			}
+			abc2 := a.Clone()
+			if err := abc2.Merge(bc); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(abc1.Encode(), abc2.Encode()) {
+				t.Error("merge(merge(A,B),C) != merge(A,merge(B,C))")
+			}
+
+			// Sharding equivalence in miniature: adding the observations
+			// one by one builds the same bits merging ever could.
+			whole := NewDefault()
+			fill(whole, d.draw, 500, 1)
+			fill(whole, d.draw, 1200, 2)
+			fill(whole, d.draw, 7, 3)
+			if !bytes.Equal(whole.Encode(), abc1.Encode()) {
+				t.Error("merged shards != direct accumulation")
+			}
+		})
+	}
+}
+
+// TestQuantileAccuracy pins the accuracy contract against the exact
+// stats.Sample: each order statistic resolves within relative α, so the
+// interpolated quantile sits within α of the interpolation of the two
+// exact order statistics.
+func TestQuantileAccuracy(t *testing.T) {
+	const n = 20000
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			sk := NewDefault()
+			xs := fill(sk, d.draw, n, 42)
+			exact := stats.NewSample(xs)
+			for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+				got := sk.Quantile(q)
+				want := exact.Quantile(q)
+				// The bound is α times the larger magnitude of the two
+				// order statistics the interpolation touches.
+				pos := q * float64(n-1)
+				lo := int(math.Floor(pos))
+				hi := lo
+				if pos != math.Floor(pos) && lo+1 < n {
+					hi = lo + 1
+				}
+				bound := DefaultAlpha*math.Max(math.Abs(exact.Quantile(float64(lo)/(n-1))), math.Abs(exact.Quantile(float64(hi)/(n-1)))) + 1e-12
+				if math.Abs(got-want) > bound {
+					t.Errorf("q=%.2f: sketch %v vs exact %v (bound %v)", q, got, want, bound)
+				}
+			}
+			if sk.Min() != exact.Min() || sk.Max() != exact.Max() {
+				t.Errorf("extremes not exact: [%v,%v] vs [%v,%v]", sk.Min(), sk.Max(), exact.Min(), exact.Max())
+			}
+			if sk.Len() != exact.Len() {
+				t.Errorf("count %d != %d", sk.Len(), exact.Len())
+			}
+			// Mean within α of the exact mean, scaled by mean magnitude.
+			var meanAbs float64
+			for _, x := range xs {
+				meanAbs += math.Abs(x)
+			}
+			meanAbs /= n
+			if math.Abs(sk.Mean()-exact.Mean()) > DefaultAlpha*meanAbs+1e-12 {
+				t.Errorf("mean %v vs exact %v (|x| mean %v)", sk.Mean(), exact.Mean(), meanAbs)
+			}
+		})
+	}
+}
+
+// TestCDFAndOutage checks the threshold reads away from bucket
+// boundaries, where the α-resolution attribution is unambiguous.
+func TestCDFAndOutage(t *testing.T) {
+	s := NewDefault()
+	for _, x := range []float64{1, 2, 3} {
+		s.Add(x)
+	}
+	if got := s.CDFAt(2.5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("CDFAt(2.5) = %v, want 2/3", got)
+	}
+	if got := s.CDFAt(0.5); got != 0 {
+		t.Errorf("CDFAt(0.5) = %v, want 0", got)
+	}
+	if got := s.CDFAt(4); got != 1 {
+		t.Errorf("CDFAt(4) = %v, want 1", got)
+	}
+	if got := s.OutageBelow(2.5); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("OutageBelow(2.5) = %v, want 2/3", got)
+	}
+	if got := s.OutageBelow(0.5); got != 0 {
+		t.Errorf("OutageBelow(0.5) = %v, want 0", got)
+	}
+	// FadeMarginDB mirrors the Sample helper's guardrails.
+	if got := NewDefault().FadeMarginDB(0.05); got != 0 {
+		t.Errorf("empty FadeMarginDB = %v", got)
+	}
+	if s.FadeMarginDB(0.05) <= 0 {
+		t.Error("positive-valued sketch has no fade margin")
+	}
+}
+
+// TestEdgeCases covers empty, single-element, constant, and NaN/Inf
+// rejection.
+func TestEdgeCases(t *testing.T) {
+	empty := NewDefault()
+	if empty.Mean() != 0 || empty.Min() != 0 || empty.Max() != 0 ||
+		empty.Quantile(0.5) != 0 || empty.CDFAt(1) != 0 || empty.OutageBelow(1) != 0 {
+		t.Error("empty sketch reads are not all zero")
+	}
+
+	one := NewDefault()
+	one.Add(3.7)
+	for _, q := range []float64{0, 0.3, 0.5, 1} {
+		if got := one.Quantile(q); got != 3.7 {
+			t.Errorf("single-element Quantile(%v) = %v, want exactly 3.7", q, got)
+		}
+	}
+	if one.Mean() != 3.7 || one.Min() != 3.7 || one.Max() != 3.7 {
+		t.Error("single-element sketch not exact")
+	}
+
+	constant := NewDefault()
+	for i := 0; i < 100; i++ {
+		constant.Add(-2.25)
+	}
+	if constant.Mean() != -2.25 || constant.Quantile(0.5) != -2.25 {
+		t.Errorf("constant sketch drifted: mean %v median %v", constant.Mean(), constant.Quantile(0.5))
+	}
+
+	nan := NewDefault()
+	nan.Add(1)
+	before := nan.Encode()
+	nan.Add(math.NaN())
+	nan.Add(math.Inf(1))
+	nan.Add(math.Inf(-1))
+	if nan.Count() != 1 {
+		t.Errorf("NaN/Inf changed the count: %d", nan.Count())
+	}
+	if !bytes.Equal(before, nan.Encode()) {
+		t.Error("NaN/Inf mutated the sketch state")
+	}
+}
+
+func TestMergeAlphaMismatchAndEmpty(t *testing.T) {
+	a := New(0.005)
+	b := New(0.01)
+	if err := a.Merge(b); err == nil {
+		t.Error("cross-alpha merge did not fail")
+	}
+
+	filled := NewDefault()
+	fill(filled, distributions[0].draw, 100, 9)
+	before := filled.Encode()
+	if err := filled.Merge(NewDefault()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, filled.Encode()) {
+		t.Error("merging an empty sketch changed the state")
+	}
+	emptyInto := NewDefault()
+	if err := emptyInto.Merge(filled); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, emptyInto.Encode()) {
+		t.Error("merging into an empty sketch lost state")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, d := range distributions {
+		t.Run(d.name, func(t *testing.T) {
+			s := NewDefault()
+			fill(s, d.draw, 3000, 7)
+			enc := s.Encode()
+			dec, err := Decode(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(enc, dec.Encode()) {
+				t.Error("Decode∘Encode is not the identity")
+			}
+			if dec.Mean() != s.Mean() || dec.Quantile(0.9) != s.Quantile(0.9) {
+				t.Error("decoded sketch reads differ")
+			}
+		})
+	}
+	if _, err := Decode(NewDefault().Encode()); err != nil {
+		t.Errorf("empty sketch does not round-trip: %v", err)
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	valid := func() []byte {
+		s := NewDefault()
+		s.Add(1)
+		s.Add(-2)
+		s.Add(0)
+		return s.Encode()
+	}()
+	cases := map[string][]byte{
+		"empty input": {},
+		"bad magic":   append([]byte("nope"), valid[4:]...),
+		"truncated":   valid[:len(valid)-1],
+		"trailing":    append(append([]byte{}, valid...), 0),
+	}
+	// Field-level corruptions: alpha, counts, extremes.
+	badAlpha := append([]byte{}, valid...)
+	for i := 4; i < 12; i++ {
+		badAlpha[i] = 0xff
+	}
+	cases["NaN alpha"] = badAlpha
+	badCount := append([]byte{}, valid...)
+	badCount[12] ^= 0x01
+	cases["count mismatch"] = badCount
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: decode accepted corrupt input", name)
+		}
+	}
+}
+
+// TestFootprintFlat is the O(sketch) memory pin: 100× the observations
+// must not grow the sketch — bucket occupancy saturates with the value
+// range, not the count. (The campaign-level assertion rides on this via
+// the SketchRecorder pin in internal/sim.)
+func TestFootprintFlat(t *testing.T) {
+	size := func(n int) (buckets, encoded int) {
+		s := NewDefault()
+		fill(s, distributions[0].draw, n, 11)
+		return s.Buckets(), len(s.Encode())
+	}
+	b1k, e1k := size(1_000)
+	b100k, e100k := size(100_000)
+	if b100k > b1k+b1k/5 {
+		t.Errorf("buckets grew with n: %d at 1k vs %d at 100k", b1k, b100k)
+	}
+	if e100k > e1k+e1k/5 {
+		t.Errorf("encoding grew with n: %dB at 1k vs %dB at 100k", e1k, e100k)
+	}
+}

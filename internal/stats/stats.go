@@ -21,12 +21,24 @@ import (
 // order-dependent reader (Min, Max, Quantile, CDF, CDFAt, OutageBelow)
 // a mutator under the hood, so reads take the same lock writes do —
 // without it, two concurrent readers would race on the deferred sort.
-// Each method is individually consistent; a multi-call aggregate
-// (FormatCDF) interleaved with concurrent Adds may span several states.
+// Each method — including FormatCDF, which renders under one lock — is
+// individually consistent.
 type Sample struct {
 	mu       sync.Mutex
 	xs       []float64
 	unsorted bool
+	// cdf caches the empirical CDF across repeated reads (nil = stale):
+	// campaign reporting renders the same distribution several times,
+	// and rebuilding one point per observation on every call made every
+	// re-read an O(n) allocation. Add invalidates it.
+	cdf []CDFPoint
+	// fmtCache caches the last FormatCDF rendering the same way.
+	fmtCache struct {
+		label   string
+		maxRows int
+		out     string
+		valid   bool
+	}
 }
 
 // NewSample returns a sample over a copy of xs.
@@ -43,6 +55,8 @@ func (s *Sample) Add(x float64) {
 	defer s.mu.Unlock()
 	s.xs = append(s.xs, x)
 	s.unsorted = true
+	s.cdf = nil
+	s.fmtCache.valid = false
 }
 
 // ensureSorted establishes the sorted order every order-dependent
@@ -66,6 +80,10 @@ func (s *Sample) Len() int {
 func (s *Sample) Mean() float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.meanLocked()
+}
+
+func (s *Sample) meanLocked() float64 {
 	if len(s.xs) == 0 {
 		return 0
 	}
@@ -102,6 +120,10 @@ func (s *Sample) Max() float64 {
 func (s *Sample) Quantile(q float64) float64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.quantileLocked(q)
+}
+
+func (s *Sample) quantileLocked(q float64) float64 {
 	n := len(s.xs)
 	if n == 0 {
 		return 0
@@ -131,15 +153,26 @@ type CDFPoint struct {
 	Frac float64
 }
 
-// CDF returns the full empirical CDF, one point per observation.
+// CDF returns the full empirical CDF, one point per observation. The
+// returned slice is cached and shared across calls — it is valid until
+// the next Add and must not be modified by the caller. Repeated reads
+// allocate nothing (pinned by TestCDFRepeatedReadsDoNotAllocate).
 func (s *Sample) CDF() []CDFPoint {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.cdfLocked()
+}
+
+func (s *Sample) cdfLocked() []CDFPoint {
+	if s.cdf != nil {
+		return s.cdf
+	}
 	s.ensureSorted()
 	out := make([]CDFPoint, len(s.xs))
 	for i, x := range s.xs {
 		out[i] = CDFPoint{X: x, Frac: float64(i+1) / float64(len(s.xs))}
 	}
+	s.cdf = out
 	return out
 }
 
@@ -186,12 +219,20 @@ func (s *Sample) FadeMarginDB(q float64) float64 {
 
 // FormatCDF renders the CDF as the two-column text series the paper's
 // figures plot, sampled at up to maxRows evenly spaced observations.
+// The rendering is cached: repeating the call with the same label and
+// maxRows on an unchanged sample returns the cached string without
+// allocating (the per-figure reporting paths re-render the same pools).
 func (s *Sample) FormatCDF(label string, maxRows int) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c := &s.fmtCache; c.valid && c.label == label && c.maxRows == maxRows {
+		return c.out
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "# %s: n=%d mean=%.4f median=%.4f min=%.4f max=%.4f\n",
-		label, s.Len(), s.Mean(), s.Median(), s.Min(), s.Max())
+		label, len(s.xs), s.meanLocked(), s.quantileLocked(0.5), s.quantileLocked(0), s.quantileLocked(1))
 	fmt.Fprintf(&b, "# %-12s %s\n", "value", "cum.fraction")
-	cdf := s.CDF()
+	cdf := s.cdfLocked()
 	step := 1
 	if maxRows > 0 && len(cdf) > maxRows {
 		step = (len(cdf) + maxRows - 1) / maxRows
@@ -203,7 +244,11 @@ func (s *Sample) FormatCDF(label string, maxRows int) string {
 		last := cdf[len(cdf)-1]
 		fmt.Fprintf(&b, "%-14.4f %.4f\n", last.X, last.Frac)
 	}
-	return b.String()
+	s.fmtCache.label = label
+	s.fmtCache.maxRows = maxRows
+	s.fmtCache.out = b.String()
+	s.fmtCache.valid = true
+	return s.fmtCache.out
 }
 
 // GainRatio returns a/b, guarding against a zero denominator (returns 0

@@ -297,3 +297,40 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		t.Errorf("Len = %d after 200 concurrent Adds to 3 seeds", s.Len())
 	}
 }
+
+// TestCDFRepeatedReadsDoNotAllocate is the alloc pin for the CDF cache:
+// campaign reporting re-reads the same pools, and before the cache every
+// CDF() rebuilt one point per observation and every FormatCDF re-rendered
+// the whole series. Repeated reads of an unchanged sample must now be
+// allocation free, and an Add must invalidate both caches.
+func TestCDFRepeatedReadsDoNotAllocate(t *testing.T) {
+	s := NewSample(nil)
+	for i := 0; i < 1000; i++ {
+		s.Add(float64(i%97) / 9.7)
+	}
+	s.CDF()                   // warm the CDF cache
+	s.FormatCDF("pinned", 25) // warm the format cache
+	if allocs := testing.AllocsPerRun(50, func() { _ = s.CDF() }); allocs != 0 {
+		t.Errorf("repeated CDF() allocates %.1f per call, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() { _ = s.FormatCDF("pinned", 25) }); allocs != 0 {
+		t.Errorf("repeated FormatCDF allocates %.1f per call, want 0", allocs)
+	}
+
+	// Different rendering parameters are not served from the stale cache.
+	wide := s.FormatCDF("pinned", 50)
+	if wide == s.FormatCDF("pinned", 25) {
+		t.Error("FormatCDF ignored a maxRows change")
+	}
+
+	// Adding invalidates: the cached views must grow with the sample.
+	before := len(s.CDF())
+	s.Add(123.456)
+	after := s.CDF()
+	if len(after) != before+1 {
+		t.Fatalf("CDF cache stale after Add: %d points, want %d", len(after), before+1)
+	}
+	if !strings.Contains(s.FormatCDF("pinned", 0), "123.4560") {
+		t.Error("FormatCDF cache stale after Add")
+	}
+}
