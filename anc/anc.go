@@ -186,6 +186,20 @@ type Workspace = core.Workspace
 // use and are retained.
 func NewWorkspace() *Workspace { return core.NewWorkspace() }
 
+// BatchItem is one reception of a decode burst; build it with
+// Node.BatchItem so the item carries the node's decoder and sent-buffer
+// lookup.
+type BatchItem = core.BatchItem
+
+// BatchResult is one burst item's outcome, exactly what the equivalent
+// Node.Receive would have returned.
+type BatchResult = core.BatchResult
+
+// DecodeBatch decodes a burst of receptions in one pass, amortizing
+// per-reception setup across the batch. Results are bit-identical to
+// decoding each item individually; see core.DecodeBatch.
+var DecodeBatch = core.DecodeBatch
+
 // SentRecord is a transmission a node remembers so it can later cancel it
 // out of an interfered reception.
 type SentRecord = frame.SentRecord
@@ -428,6 +442,10 @@ type SinkFunc = sim.SinkFunc
 // WithLinkTraces makes a streaming campaign run every scheme under a
 // TraceRecorder, attaching per-slot link-gain traces to each Row.
 var WithLinkTraces = sim.WithLinkTraces
+
+// WithWorkers sets a streaming campaign's worker-goroutine count (≤ 0
+// keeps the GOMAXPROCS default); rows are bit-identical at any count.
+var WithWorkers = sim.WithWorkers
 
 // Scenario registry access.
 var (

@@ -364,6 +364,52 @@ func BenchmarkInterferenceDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkInterferenceDecodeBatch is BenchmarkInterferenceDecode through
+// the burst entry point: four distinct relayed collisions decoded as one
+// core.DecodeBatch call over decoders sharing a workspace — the shape of
+// one simulation slot. Its per-reception B/op and allocs/op columns are
+// what the batch pipeline buys over per-call setup; the benchdiff gate
+// holds them alongside the single-decode budgets.
+func BenchmarkInterferenceDecodeBatch(b *testing.B) {
+	ws := core.NewWorkspace()
+	items := make([]core.BatchItem, 0, 4)
+	var total int
+	for i := 0; i < 4; i++ {
+		rng := rand.New(rand.NewSource(int64(5 + i)))
+		m := msk.New()
+		payloadA := make([]byte, 128)
+		payloadB := make([]byte, 128)
+		rng.Read(payloadA)
+		rng.Read(payloadB)
+		pktA := frame.NewPacket(1, 2, uint32(1+i), payloadA)
+		pktB := frame.NewPacket(2, 1, uint32(1+i), payloadB)
+		bitsA := frame.Marshal(pktA)
+		sigA := m.Modulate(bitsA)
+		sigB := m.Modulate(frame.Marshal(pktB))
+
+		mix := sigA.Scale(complex(0.8, 0)).Add(applyCFO(sigB, 0.01).Delay(1100 + 50*i))
+		rx := dsp.NewNoiseSource(1e-3, int64(6+i)).AddTo(mix.PadTo(len(mix) + 500))
+		total += len(rx)
+
+		buf := frame.NewSentBuffer(0)
+		buf.Put(frame.SentRecord{Packet: pktA, Bits: bitsA, Samples: sigA})
+		dec := core.NewDecoder(core.DefaultConfig(m, 1e-3))
+		dec.SetWorkspace(ws)
+		items = append(items, core.BatchItem{Decoder: dec, Rx: rx, Lookup: buf.Get})
+	}
+	out := make([]core.BatchResult, len(items))
+	b.SetBytes(int64(total * 16)) // complex128 samples
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out = core.DecodeBatch(items, out)
+		for j := range out {
+			if out[j].Err != nil {
+				b.Fatal(out[j].Err)
+			}
+		}
+	}
+}
+
 // BenchmarkInterferenceDecodeFresh is BenchmarkInterferenceDecode with a
 // new decoder (and therefore a cold workspace) per iteration — what every
 // decode paid before buffer reuse. The gap between the two benchmarks'

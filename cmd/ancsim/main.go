@@ -41,6 +41,8 @@ import (
 	"io"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -75,6 +77,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		trace    = fs.Bool("trace", false, "retain per-slot link gains and report outage statistics (-format json|ndjson)")
 		shard    = fs.String("shard", "", "run one worker's slice of the campaign, as i/k (1-based; requires -scenario and -format ndjson)")
 		merge    = fs.String("merge", "", "comma-separated worker NDJSON files to merge into the unsharded JSON document (excludes -scenario and -shard)")
+		workers  = fs.Int("workers", runtime.GOMAXPROCS(0), "campaign worker goroutines; results are identical at any count")
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -96,6 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return 2
 	}
+	if *workers < 1 {
+		fmt.Fprintf(stderr, "ancsim: -workers must be ≥ 1, got %d\n", *workers)
+		fs.Usage()
+		return 2
+	}
 	if math.IsNaN(*snr) || math.IsInf(*snr, 0) {
 		fmt.Fprintf(stderr, "ancsim: -snr must be a finite dB value, got %v\n", *snr)
 		fs.Usage()
@@ -112,6 +122,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ancsim: -trace requires -format json or ndjson (per-slot outage statistics do not fit %s output)\n", *format)
 		fs.Usage()
 		return 2
+	}
+
+	// Profiling wraps the whole command: the CPU profile runs until run()
+	// returns and the heap profile snapshots the exit state.
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(stderr, "ancsim: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "ancsim: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(stderr, "ancsim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap accounting before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "ancsim: -memprofile: %v\n", err)
+			}
+		}()
 	}
 
 	// Coordinator mode: merge worker outputs and exit. The merge reads
@@ -193,7 +236,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *packets > 0 {
 		cfg.Packets = *packets
 	}
-	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed, Schemes: schemes}
+	opts := experiments.Options{Runs: *runs, Sim: cfg, Seed: *seed, Schemes: schemes, Workers: *workers}
 
 	if *scenario != "" {
 		return runScenario(stdout, stderr, *scenario, opts, *maxRows, *format, *trace, shardIdx, shardCnt)

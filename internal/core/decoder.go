@@ -147,8 +147,25 @@ func (d *Decoder) workspace() *Workspace {
 // Decode processes one reception window: it detects the packet, classifies
 // interference, and runs either the standard demodulator or the
 // interference decoder (forward, then backward) as Algorithm 1 prescribes.
+//
+// Decode is a DecodeBatch of one — the single-reception and burst paths
+// are the same code, which is what keeps them bit-identical by
+// construction.
 func (d *Decoder) Decode(rx dsp.Signal, lookup KnownLookup) (*Result, error) {
 	ws := d.workspace()
+	ws.oneItem[0] = BatchItem{Decoder: d, Rx: rx, Lookup: lookup}
+	out := DecodeBatch(ws.oneItem[:], ws.oneOut[:])
+	res, err := out[0].Result, out[0].Err
+	// Drop the references so the workspace does not pin the reception
+	// buffer or the result past this decode.
+	ws.oneItem[0] = BatchItem{}
+	ws.oneOut[0] = BatchResult{}
+	return res, err
+}
+
+// decodeOne is the Algorithm 1 body shared by Decode and DecodeBatch; the
+// caller has already prepared ws for at least len(rx) samples.
+func (d *Decoder) decodeOne(ws *Workspace, rx dsp.Signal, lookup KnownLookup) (*Result, error) {
 	det := DetectWith(ws, rx, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !det.Present {
 		return nil, ErrNoPacket
@@ -183,6 +200,7 @@ func (d *Decoder) Decode(rx dsp.Signal, lookup KnownLookup) (*Result, error) {
 // snoop succeeded (§11.5).
 func (d *Decoder) TryClean(rx dsp.Signal) (*Result, error) {
 	ws := d.workspace()
+	ws.prepareBatch(len(rx))
 	det := DetectWith(ws, rx, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !det.Present {
 		return nil, ErrNoPacket
@@ -196,6 +214,7 @@ func (d *Decoder) TryClean(rx dsp.Signal) (*Result, error) {
 // overhear started second in a collision.
 func (d *Decoder) TryCleanBackward(rx dsp.Signal) (*Result, error) {
 	ws := d.workspace()
+	ws.prepareBatch(len(rx))
 	rxb := ConjReverseInto(ws.conj, rx)
 	ws.conj = rxb
 	det := DetectWith(ws, rxb, d.cfg.NoiseFloor, d.cfg.Detector)
@@ -212,6 +231,7 @@ func (d *Decoder) TryCleanBackward(rx dsp.Signal) (*Result, error) {
 // Either pointer may be nil if that header did not decode.
 func (d *Decoder) PeekHeaders(rx dsp.Signal) (first, last *frame.Header) {
 	ws := d.workspace()
+	ws.prepareBatch(len(rx))
 	det := DetectWith(ws, rx, d.cfg.NoiseFloor, d.cfg.Detector)
 	if !det.Present {
 		return nil, nil
@@ -258,7 +278,34 @@ func (d *Decoder) findHead(ws *Workspace, rx dsp.Signal, start, limit int) (fram
 	}
 	// Every sub-symbol offset is scored by pilot bit errors and the best
 	// one wins: a half-symbol misalignment often still demodulates the
-	// pilot, but would skew the phase-difference matcher downstream.
+	// pilot, but would skew the phase-difference matcher downstream. All
+	// offsets' views are demodulated as one batch — they share the modem's
+	// internal scratch while each keeps its own bit storage, so scoring
+	// needs no double buffering.
+	views := dsp.GrowSignals(ws.headViews, sps)[:0]
+	for off := 0; off < sps; off++ {
+		lo := start + off
+		if lo >= limit {
+			break
+		}
+		views = append(views, rx[lo:limit])
+	}
+	ws.headViews = views
+	if len(views) == 0 {
+		return frame.Header{}, 0, nil, ErrNoPilot
+	}
+	// The per-offset bit destinations are equal-stride views into one
+	// retained flat buffer: each slot's capacity is clamped to its stride,
+	// so DemodulateInto writes in place (views[0] is the longest view, so
+	// the stride bounds every slot) and one buffer serves the whole batch.
+	stride := m.NumBits(len(views[0]))
+	flat := dsp.GrowBytes(ws.headFlat, len(views)*stride)
+	ws.headFlat = flat
+	dsts := dsp.GrowByteSlices(ws.headBatch, len(views))
+	for i := range dsts {
+		dsts[i] = flat[i*stride : i*stride : (i+1)*stride]
+	}
+	ws.headBatch = m.DemodulateBatchInto(&ws.modem, dsts, views)
 	type candidate struct {
 		h        frame.Header
 		frameRef int
@@ -266,13 +313,7 @@ func (d *Decoder) findHead(ws *Workspace, rx dsp.Signal, start, limit int) (fram
 		errs     int
 	}
 	best := candidate{errs: 1 << 30}
-	for off := 0; off < sps; off++ {
-		lo := start + off
-		if lo >= limit {
-			break
-		}
-		bs := m.DemodulateInto(&ws.modem, ws.headBits, rx[lo:limit])
-		ws.headBits = bs
+	for off, bs := range ws.headBatch {
 		k, errs := FindPatternScored(bs, d.pilot, d.cfg.PilotMaxErrors)
 		if k < 0 || errs >= best.errs {
 			continue
@@ -284,11 +325,11 @@ func (d *Decoder) findHead(ws *Workspace, rx dsp.Signal, start, limit int) (fram
 		// k is a bit index; the frame reference sits k/bitsPerSymbol
 		// symbols into the stream (a non-symbol-aligned k is a false
 		// match whose header would have failed above).
-		ref := lo + k/m.BitsPerSymbol()*sps
+		ref := start + off + k/m.BitsPerSymbol()*sps
 		best = candidate{h: h, frameRef: ref, bits: bs[k:], errs: errs}
-		// Swap the double buffer so the next offset's demodulation does
-		// not overwrite the best candidate's bits.
-		ws.headBits, ws.bestBits = ws.bestBits, bs
+	}
+	for i := range views {
+		views[i] = nil // don't pin the reception past this call
 	}
 	if best.errs == 1<<30 {
 		return frame.Header{}, 0, nil, ErrNoPilot
@@ -313,22 +354,8 @@ func (d *Decoder) findHead(ws *Workspace, rx dsp.Signal, start, limit int) (fram
 // maximizes Σ cos(observed ∆ − expected ∆) over the pilot region.
 func (d *Decoder) refineRef(rx dsp.Signal, ref, limit int) int {
 	sps := d.cfg.Modem.SamplesPerSymbol()
-	pilotDiffs := d.pilotDiffs
-	bestRef, bestScore := ref, math.Inf(-1)
-	for shift := -sps + 1; shift < sps; shift++ {
-		r := ref + shift
-		if r < 0 || r+len(pilotDiffs)+1 > limit {
-			continue
-		}
-		var score float64
-		for mi, want := range pilotDiffs {
-			score += math.Cos(dsp.PhaseDiff(rx[r+mi], rx[r+mi+1]) - want)
-		}
-		if score > bestScore {
-			bestRef, bestScore = r, score
-		}
-	}
-	return bestRef
+	best, _ := dsp.BestSignalCorrelation(rx, d.pilotDiffs, ref-sps+1, ref+sps, limit, ref)
+	return best
 }
 
 // alignWanted locates the wanted frame's reference sample in the
@@ -385,21 +412,7 @@ func (d *Decoder) alignWanted(ws *Workspace, diffs []float64, lo, hi int) (int, 
 	// In both orientations the stream's leading wanted region decodes to
 	// the forward pilot (that is what the coarse match above verified),
 	// so the soft profile is the pilot's forward difference sequence.
-	exp := d.pilotDiffs
-	bestRef, bestScore := best, math.Inf(-1)
-	for shift := -sps + 1; shift < sps; shift++ {
-		o := best + shift
-		if o < 0 || o+len(exp) > len(diffs) {
-			continue
-		}
-		var score float64
-		for mi, e := range exp {
-			score += math.Cos(diffs[o+mi] - e)
-		}
-		if score > bestScore {
-			bestRef, bestScore = o, score
-		}
-	}
+	bestRef, _ := dsp.BestDiffsCorrelation(diffs, d.pilotDiffs, best-sps+1, best+sps, best)
 	return bestRef, bestErrs
 }
 

@@ -80,11 +80,7 @@ func DetectWith(ws *Workspace, rx dsp.Signal, noiseFloor float64, cfg DetectorCo
 		energy = growFloats(&ws.energy, len(rx))
 		variance = growFloats(&ws.variance, len(rx))
 	}
-	for i, v := range rx {
-		stats.Push(v)
-		energy[i] = stats.Mean()
-		variance[i] = stats.Variance()
-	}
+	stats.ProfileInto(energy, variance, rx)
 
 	start, end := -1, -1
 	for i, e := range energy {

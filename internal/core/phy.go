@@ -37,6 +37,15 @@ type PhyModem interface {
 	// search calls it once per sub-symbol offset per reception, so this is
 	// the allocation-free path of the hot loop.
 	DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte
+	// DemodulateBatchInto demodulates a batch of signal views in one
+	// call, writing view i's bits into dsts[i]'s storage (the slot slice
+	// grown to len(sigs), retained slot buffers reused). The views share
+	// scratch's internal working buffers while every dst slot keeps its
+	// own storage, so all results of one batch stay valid simultaneously
+	// — the contract the clean-head sub-symbol search needs to score
+	// every offset after a single demodulation burst. Bit values must be
+	// identical to per-view DemodulateInto calls.
+	DemodulateBatchInto(scratch *dsp.Scratch, dsts [][]byte, sigs []dsp.Signal) [][]byte
 	// PhaseDiffs returns the transmitted per-sample phase differences
 	// for a bit stream: entry m is the phase change from sample m to
 	// m+1. The interference matcher compares candidates against these

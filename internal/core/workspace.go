@@ -13,6 +13,16 @@ import "repro/internal/dsp"
 // the discipline sim.Scratch applies to reception synthesis, extended down
 // the decode stack.
 //
+// The buffers whose size is the reception length itself — the detector
+// profiles and the decision-bit scratch — are carved from one
+// bump-allocator Arena (prepareBatch), so the memory a decode sweeps over
+// sits contiguously; DecodeBatch re-carves once per batch at the batch's
+// largest reception length. The remaining buffers (the frame-sized ∆φ and
+// magnitude scratch, the backward-only conjugate stream) grow on demand at
+// their use sites and are retained, so they too stop allocating after the
+// first decode of their size — and a forward-only workload never pays for
+// the backward path's buffers at all.
+//
 // Ownership rule: one Workspace per worker goroutine, shared freely among
 // that worker's decoders/nodes but never between goroutines — decoding
 // mutates it. Buffers grow to the largest reception seen and are retained.
@@ -31,22 +41,69 @@ type Workspace struct {
 	weights  []float64        // conditioning weights of diffs
 	altDiffs []float64        // ∆φ stream of the swapped-assignment trial
 	altWts   []float64        // weights of the swapped-assignment trial
-	headBits []byte           // clean-head demodulation, current candidate
-	bestBits []byte           // clean-head demodulation, best candidate so far
+	headBits []byte           // clean-head demodulation at the refined reference
 	alignLog []byte           // per-offset pilot decisions in alignWanted
 	wanted   []byte           // final symbol decisions before the owned copy
 	mag2     []float64        // |y|² scratch of the moment estimator
 	mags     []float64        // |y| scratch of the envelope estimator (sorted)
+
+	// arena backs every buffer above (except the modem scratch and the
+	// moving window); batchCap is the reception length the current
+	// carving supports.
+	arena    dsp.Arena
+	batchCap int
+
+	// headViews/headBatch hold the clean-head search's per-sub-symbol
+	// signal views and their batch-demodulated bits; the bit slots are
+	// equal-stride views into the retained headFlat buffer.
+	headViews []dsp.Signal
+	headBatch [][]byte
+	headFlat  []byte
+
+	// oneItem/oneOut let Decoder.Decode run as a DecodeBatch of one
+	// without allocating the batch slices.
+	oneItem [1]BatchItem
+	oneOut  [1]BatchResult
 }
 
 // NewWorkspace returns an empty workspace; buffers grow on first use.
 func NewWorkspace() *Workspace { return &Workspace{} }
 
+// prepareBatch carves the reception-length buffers for receptions up to n
+// samples from the workspace arena: the detector's energy/variance
+// profiles and the decision-bit scratch, laid out contiguously. It
+// re-carves only when n grows, so the batch-of-one path (Decoder.Decode)
+// pays a single comparison in steady state. Only buffers sized by the
+// reception length itself are carved — over-reserving the frame-sized and
+// backward-only buffers at n would roughly double a worker's cold-start
+// footprint for nothing (they reach their true size on the first decode
+// and never grow again). Individual decodes may still Grow* past the
+// carving in rare cases (correct, just no longer contiguous).
+func (ws *Workspace) prepareBatch(n int) {
+	if n <= ws.batchCap {
+		return
+	}
+	ws.batchCap = n
+	// 2 profile float blocks and 3 bit blocks, each of n elements.
+	ws.arena.Reserve(2*n, 3*n, 0)
+	ws.energy = ws.arena.Floats(n)
+	ws.variance = ws.arena.Floats(n)
+	ws.headBits = ws.arena.Bytes(n)
+	ws.alignLog = ws.arena.Bytes(n)
+	ws.wanted = ws.arena.Bytes(n)
+}
+
 // detectStats returns the workspace's moving-window detector reset to the
-// given window length.
+// given window length. Re-requesting the current length only rewinds the
+// running sums — the amortization that makes a batch of same-config
+// detections pay the window setup once.
 func (ws *Workspace) detectStats(window int) *dsp.MovingStats {
 	if ws.stats == nil {
 		ws.stats = dsp.NewMovingStats(window)
+		return ws.stats
+	}
+	if ws.stats.Window() == window {
+		ws.stats.Reset()
 		return ws.stats
 	}
 	ws.stats.Rewindow(window)

@@ -153,6 +153,21 @@ func (m *Modem) DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) [
 	return out
 }
 
+// DemodulateBatchInto demodulates a batch of signal views in one call,
+// writing view i's recovered bits into dsts[i]'s storage (the slot slice
+// is grown to len(sigs), retained slot buffers are reused). The π/4-DQPSK
+// demodulator needs no internal working buffers, so scratch may be nil;
+// every dst slot keeps its own storage and the whole batch of results
+// remains valid simultaneously. Bit values are identical to per-view
+// DemodulateInto calls.
+func (m *Modem) DemodulateBatchInto(scratch *dsp.Scratch, dsts [][]byte, sigs []dsp.Signal) [][]byte {
+	dsts = dsp.GrowByteSlices(dsts, len(sigs))
+	for i, s := range sigs {
+		dsts[i] = m.DemodulateInto(scratch, dsts[i], s)
+	}
+	return dsts
+}
+
 // nearestJump returns the symbol whose jump is closest (wrapped) to d.
 func nearestJump(d float64) int {
 	best, bestErr := 0, math.Inf(1)

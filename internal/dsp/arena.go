@@ -1,0 +1,80 @@
+package dsp
+
+// Arena is a bump allocator over contiguous backing arrays, one per
+// element type. The burst decode path carves every per-reception scratch
+// buffer of a batch from one Arena so the buffers a decode touches
+// together sit together in memory — the cache-locality half of the
+// ndn-dpdk "bursts plus preallocated arenas" idiom (the other half, the
+// free-list of reception sample buffers, lives in the simulator's
+// Scratch).
+//
+// Usage: Reserve the batch's total element counts once, then carve blocks
+// with Floats/Bytes/Complex128s. Blocks carved from one Reserve are
+// adjacent in memory and have their capacity clamped to the block
+// (three-index slicing), so a later append or Grow* on one block can
+// never bleed into its neighbor. A carve that exceeds the reservation
+// falls back to a dedicated allocation — correct, just not contiguous.
+//
+// An Arena is not safe for concurrent use.
+type Arena struct {
+	f64  []float64
+	b    []byte
+	c128 []complex128
+
+	fOff, bOff, cOff int
+}
+
+// Reserve ensures backing capacity for at least the given element counts
+// and resets the carve offsets, invalidating previously carved blocks.
+// Reserving within the existing capacity reuses the backing arrays, so a
+// steady-state caller re-reserving per batch allocates nothing.
+func (a *Arena) Reserve(floats, bytes, complexes int) {
+	if cap(a.f64) < floats {
+		a.f64 = make([]float64, floats)
+	}
+	if cap(a.b) < bytes {
+		a.b = make([]byte, bytes)
+	}
+	if cap(a.c128) < complexes {
+		a.c128 = make([]complex128, complexes)
+	}
+	a.Reset()
+}
+
+// Reset makes the entire reserved capacity available for carving again.
+// Previously carved blocks still point at valid memory but may alias
+// blocks carved after the Reset.
+func (a *Arena) Reset() { a.fOff, a.bOff, a.cOff = 0, 0, 0 }
+
+// Floats carves an n-element float64 block (contents undefined).
+func (a *Arena) Floats(n int) []float64 {
+	if a.fOff+n > cap(a.f64) {
+		return make([]float64, n)
+	}
+	blk := a.f64[a.fOff : a.fOff+n : a.fOff+n]
+	a.fOff += n
+	return blk
+}
+
+// Bytes carves an n-element byte block (contents undefined).
+func (a *Arena) Bytes(n int) []byte {
+	if a.bOff+n > cap(a.b) {
+		return make([]byte, n)
+	}
+	blk := a.b[a.bOff : a.bOff+n : a.bOff+n]
+	a.bOff += n
+	return blk
+}
+
+// Complex128s carves an n-element complex128 block (contents undefined).
+func (a *Arena) Complex128s(n int) []complex128 {
+	if a.cOff+n > cap(a.c128) {
+		return make([]complex128, n)
+	}
+	blk := a.c128[a.cOff : a.cOff+n : a.cOff+n]
+	a.cOff += n
+	return blk
+}
+
+// Signal carves an n-sample Signal block (contents undefined).
+func (a *Arena) Signal(n int) Signal { return Signal(a.Complex128s(n)) }

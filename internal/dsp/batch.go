@@ -1,0 +1,173 @@
+package dsp
+
+import "math"
+
+// This file holds the batched kernels of the burst decode path: the
+// detector's profile filter, the pilot correlation scans, and the shared
+// symbol matched filter / Viterbi stages of the oversampled demodulators.
+// Each kernel evaluates a whole block of work (a signal, a batch of
+// candidate offsets) per call, so the decode pipeline's inner loops live
+// here rather than being re-expressed at every call site.
+
+// ProfileInto fills energy[i] and variance[i] with the windowed mean and
+// population variance of per-sample energy after pushing s[i] — the
+// one-pass filter sweep the §7.1 detectors scan. The window state is
+// Reset first, so consecutive calls on one MovingStats are independent
+// and a batch of signals can share a single re-wound window. energy and
+// variance must be at least len(s) long.
+func (m *MovingStats) ProfileInto(energy, variance []float64, s Signal) {
+	m.Reset()
+	for i, v := range s {
+		m.Push(v)
+		energy[i] = m.Mean()
+		variance[i] = m.Variance()
+	}
+}
+
+// CorrelatePhaseDiffs returns Σ cos(diffs[k] − expected[k]) over the
+// expected profile — the soft pilot-correlation score of one candidate
+// alignment in a recovered ∆φ stream (§7.2 refinement). diffs must be at
+// least len(expected) long.
+func CorrelatePhaseDiffs(diffs, expected []float64) float64 {
+	var score float64
+	for k, e := range expected {
+		score += math.Cos(diffs[k] - e)
+	}
+	return score
+}
+
+// CorrelateSignalDiffs returns Σ cos(∆θ[k] − expected[k]) where ∆θ[k] is
+// the observed phase difference from s[k] to s[k+1] — the signal-domain
+// form of CorrelatePhaseDiffs. s must have at least len(expected)+1
+// samples.
+func CorrelateSignalDiffs(s Signal, expected []float64) float64 {
+	var score float64
+	for k, e := range expected {
+		score += math.Cos(PhaseDiff(s[k], s[k+1]) - e)
+	}
+	return score
+}
+
+// BestDiffsCorrelation scans the batch of candidate offsets [lo, hi) of a
+// ∆φ stream and returns the one whose window diffs[o:o+len(expected)]
+// maximizes CorrelatePhaseDiffs, skipping offsets that would read out of
+// bounds. Ties keep the earliest offset; when no offset is valid the
+// fallback is returned with a −Inf score.
+func BestDiffsCorrelation(diffs, expected []float64, lo, hi, fallback int) (int, float64) {
+	best, bestScore := fallback, math.Inf(-1)
+	for o := lo; o < hi; o++ {
+		if o < 0 || o+len(expected) > len(diffs) {
+			continue
+		}
+		if score := CorrelatePhaseDiffs(diffs[o:], expected); score > bestScore {
+			best, bestScore = o, score
+		}
+	}
+	return best, bestScore
+}
+
+// BestSignalCorrelation is BestDiffsCorrelation in the signal domain: it
+// scans candidate start samples [lo, hi) and returns the one maximizing
+// CorrelateSignalDiffs over the expected profile, skipping starts whose
+// window would read at or past limit. Ties keep the earliest start; when
+// no start is valid the fallback is returned with a −Inf score.
+func BestSignalCorrelation(s Signal, expected []float64, lo, hi, limit, fallback int) (int, float64) {
+	best, bestScore := fallback, math.Inf(-1)
+	for r := lo; r < hi; r++ {
+		if r < 0 || r+len(expected)+1 > limit {
+			continue
+		}
+		if score := CorrelateSignalDiffs(s[r:], expected); score > bestScore {
+			best, bestScore = r, score
+		}
+	}
+	return best, bestScore
+}
+
+// BoxcarSymbolsInto fills g[i] with the sum of symbol i's sps samples
+// (s[1+i·sps] .. s[(i+1)·sps], past the leading reference sample) — the
+// symbol-length matched filter every constant-envelope oversampled
+// receiver here shares. The symbol count is len(g).
+func BoxcarSymbolsInto(g []complex128, s Signal, sps int) []complex128 {
+	for i := range g {
+		var acc complex128
+		base := 1 + i*sps
+		for k := 0; k < sps; k++ {
+			acc += s[base+k]
+		}
+		g[i] = acc
+	}
+	return g
+}
+
+// ViterbiHalfStep runs the two-state maximum-likelihood sequence detector
+// over a matched-filtered symbol stream g with partial-response binary
+// phase transitions: the observation at symbol i is the phase difference
+// from g[i−1] to g[i] (for i = 0, from the phase reference ref to g[0]),
+// state b ∈ {0, 1} is the previous bit, the hypothesized observation for
+// a (prev p, next b) transition is (steps[b]+steps[p])/2, and the first
+// observation hypothesizes steps[b]/2. The branch metric is the squared
+// wrapped phase error. Observations are derived from g on the fly — no
+// materialized observation stream — so the kernel's only storage is the
+// caller's: dst receives the len(g) decided bits; back is the
+// back-pointer scratch and must hold at least 2·len(g) bytes.
+func ViterbiHalfStep(back []byte, dst []byte, ref complex128, g []complex128, steps [2]float64) []byte {
+	n := len(g)
+	metric := [2]float64{}
+	obs := PhaseDiff(ref, g[0])
+	for b := 0; b < 2; b++ {
+		e := WrapPhase(obs - steps[b]/2)
+		metric[b] = e * e
+	}
+	for i := 1; i < n; i++ {
+		obs = PhaseDiff(g[i-1], g[i])
+		var next [2]float64
+		for b := 0; b < 2; b++ {
+			best := math.Inf(1)
+			var bestPrev uint8
+			for p := 0; p < 2; p++ {
+				e := WrapPhase(obs - (steps[b]+steps[p])/2)
+				c := metric[p] + e*e
+				if c < best {
+					best, bestPrev = c, uint8(p)
+				}
+			}
+			next[b] = best
+			back[2*i+b] = bestPrev
+		}
+		metric = next
+	}
+	state := uint8(0)
+	if metric[1] < metric[0] {
+		state = 1
+	}
+	for i := n - 1; i >= 0; i-- {
+		dst[i] = state
+		if i > 0 {
+			state = back[2*i+int(state)]
+		}
+	}
+	return dst
+}
+
+// GrowByteSlices returns dst resized to n slots, preserving the retained
+// per-slot buffers so a reusing caller keeps every slot's storage — the
+// slice-of-slices form of GrowBytes the batch demodulators use.
+func GrowByteSlices(dst [][]byte, n int) [][]byte {
+	if cap(dst) < n {
+		grown := make([][]byte, n)
+		copy(grown, dst)
+		return grown
+	}
+	return dst[:n]
+}
+
+// GrowSignals is GrowByteSlices for slices of signal views.
+func GrowSignals(dst []Signal, n int) []Signal {
+	if cap(dst) < n {
+		grown := make([]Signal, n)
+		copy(grown, dst)
+		return grown
+	}
+	return dst[:n]
+}

@@ -81,3 +81,15 @@ func (ns *NoiseSource) AddInPlace(s Signal) {
 func (ns *NoiseSource) Reseed(seed int64) {
 	ns.rng.Seed(seed)
 }
+
+// SetPower reconfigures the source's average sample power, letting a
+// pooled source be retargeted across runs without reallocating its
+// generator. Combined with Reseed it is behaviorally identical to a
+// fresh NewNoiseSource(power, seed).
+func (ns *NoiseSource) SetPower(power float64) {
+	if power < 0 {
+		panic("dsp: negative noise power")
+	}
+	ns.power = power
+	ns.sigma = math.Sqrt(power / 2)
+}

@@ -45,6 +45,11 @@ func (m *MovingStats) Push(v complex128) {
 // Full reports whether the window has seen at least window samples.
 func (m *MovingStats) Full() bool { return m.count == m.window }
 
+// Window returns the configured window length. A caller re-using one
+// detector across receptions can skip Rewindow (and just Reset) when the
+// length is unchanged.
+func (m *MovingStats) Window() int { return m.window }
+
 // Mean returns the windowed mean energy. Zero before any sample.
 func (m *MovingStats) Mean() float64 {
 	if m.count == 0 {

@@ -31,6 +31,9 @@ type Options struct {
 	// supported by the scenario. Empty keeps the default gain framing:
 	// ANC and routing required, COPE when the scenario supports it.
 	Schemes []sim.Scheme
+	// Workers is the campaign worker-goroutine count (ancsim -workers);
+	// ≤ 0 means GOMAXPROCS. Results are bit-identical at any count.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's campaign sizes scaled to simulation:
@@ -192,7 +195,7 @@ func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
 		}
 		return nil
 	})
-	if err := sim.NewEngine(opts.Sim).CampaignStream(sc, plan.schemes, campaignSeeds(opts), sink); err != nil {
+	if err := sim.NewEngine(opts.Sim).CampaignStream(sc, plan.schemes, campaignSeeds(opts), sink, streamOpts(false, opts.Workers)...); err != nil {
 		return nil, err
 	}
 	return res, nil

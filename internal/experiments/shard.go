@@ -164,7 +164,7 @@ func WriteCampaignNDJSON(w io.Writer, opts StreamOptions, name string, shard, sh
 		}
 		return bw.WriteByte('\n')
 	})
-	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds[r.Lo:r.Hi], sink, streamOpts(opts.Trace)...); err != nil {
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds[r.Lo:r.Hi], sink, streamOpts(opts.Trace, opts.Workers)...); err != nil {
 		return err
 	}
 	rec := shardSummary{

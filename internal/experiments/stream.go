@@ -330,11 +330,15 @@ func (c *campaignContext) renderRow(opts StreamOptions, row sim.Row) CampaignRow
 }
 
 // streamOpts returns the CampaignStream options the context needs.
-func streamOpts(trace bool) []sim.StreamOption {
+func streamOpts(trace bool, workers int) []sim.StreamOption {
+	var out []sim.StreamOption
 	if trace {
-		return []sim.StreamOption{sim.WithLinkTraces()}
+		out = append(out, sim.WithLinkTraces())
 	}
-	return nil
+	if workers > 0 {
+		out = append(out, sim.WithWorkers(workers))
+	}
+	return out
 }
 
 // docWriter emits the campaign JSON document layout. It is the single
@@ -420,7 +424,7 @@ func WriteCampaignJSON(w io.Writer, opts StreamOptions, name string) error {
 		}
 		return doc.row(b)
 	})
-	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(opts.Trace)...); err != nil {
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(opts.Trace, opts.Workers)...); err != nil {
 		return err
 	}
 	return doc.close(pools.summary())
@@ -471,7 +475,7 @@ func WriteCampaignCSV(w io.Writer, opts StreamOptions, name string) error {
 		}
 		return cw.Write(rec)
 	})
-	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink); err != nil {
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(false, opts.Workers)...); err != nil {
 		return err
 	}
 	cw.Flush()

@@ -60,6 +60,15 @@ func (b *SentBuffer) Put(rec SentRecord) {
 	b.order = append(b.order, k)
 }
 
+// Reset empties the buffer, keeping its allocated storage so a pooled
+// node can start a fresh run without rebuilding the map.
+func (b *SentBuffer) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	clear(b.items)
+	b.order = b.order[:0]
+}
+
 // Get looks up the record for a header key.
 func (b *SentBuffer) Get(k Key) (SentRecord, bool) {
 	b.mu.Lock()

@@ -202,58 +202,45 @@ func (m *Modem) demodulateMLSE(scratch *dsp.Scratch, dst []byte, s dsp.Signal) [
 		// retained buffer and re-allocate on the next full-size call.
 		return dst[:0]
 	}
-	// g[i] = average of symbol i's samples (indices i·S+1 .. (i+1)·S).
-	g := scratch.Complex128s(n)
-	for i := 0; i < n; i++ {
-		var acc complex128
-		base := 1 + i*m.sps
-		for k := 0; k < m.sps; k++ {
-			acc += s[base+k]
-		}
-		g[i] = acc
-	}
+	// g[i] = sum of symbol i's samples (indices i·S+1 .. (i+1)·S).
+	g := dsp.BoxcarSymbolsInto(scratch.Complex128s(n), s, m.sps)
 	steps := [2]float64{-PhaseStep, PhaseStep}
 
-	// First symbol: the reference sample s[0] has phase traj(0), so the
-	// observed difference arg(g[0]/s[0]) hypothesizes d_0/2 = ±π/4.
-	obs0 := dsp.PhaseDiff(s[0], g[0])
-	metric := [2]float64{}
-	for b := 0; b < 2; b++ {
-		e := dsp.WrapPhase(obs0 - steps[b]/2)
-		metric[b] = e * e
-	}
+	// The detector derives its observations from g on the fly: the first
+	// is measured against the reference sample s[0] (phase traj(0)), so
+	// it hypothesizes d_0/2 = ±π/4; later ones are inter-symbol
+	// differences hypothesizing (d_i + d_{i−1})/2.
 	// back[2i+b] is the surviving predecessor state of state b at symbol i.
 	back := scratch.Bytes(2 * n)
-	for i := 1; i < n; i++ {
-		obs := dsp.PhaseDiff(g[i-1], g[i])
-		var next [2]float64
-		for b := 0; b < 2; b++ {
-			best := math.Inf(1)
-			var bestPrev uint8
-			for p := 0; p < 2; p++ {
-				e := dsp.WrapPhase(obs - (steps[b]+steps[p])/2)
-				c := metric[p] + e*e
-				if c < best {
-					best, bestPrev = c, uint8(p)
-				}
+	return dsp.ViterbiHalfStep(back, dsp.GrowBytes(dst, n), s[0], g, steps)
+}
+
+// DemodulateBatchInto demodulates a batch of signal views in one call,
+// writing view i's recovered bits into dsts[i]'s storage (the slot slice
+// is grown to len(sigs), retained slot buffers are reused). All views
+// share scratch's internal buffers — sized once for the largest view —
+// while every dst slot keeps its own storage, so the whole batch of
+// results remains valid simultaneously; that is the property the
+// decoder's clean-head sub-symbol search relies on. Bit values are
+// identical to per-view DemodulateInto calls.
+func (m *Modem) DemodulateBatchInto(scratch *dsp.Scratch, dsts [][]byte, sigs []dsp.Signal) [][]byte {
+	dsts = dsp.GrowByteSlices(dsts, len(sigs))
+	if scratch != nil {
+		// Pre-size the shared working buffers to the largest view so the
+		// per-view borrows below never re-check capacity mid-batch.
+		maxN := 0
+		for _, s := range sigs {
+			if n := m.NumBits(len(s)); n > maxN {
+				maxN = n
 			}
-			next[b] = best
-			back[2*i+b] = bestPrev
 		}
-		metric = next
+		scratch.Complex128s(maxN)
+		scratch.Bytes(2 * maxN)
 	}
-	out := dsp.GrowBytes(dst, n)
-	state := uint8(0)
-	if metric[1] < metric[0] {
-		state = 1
+	for i, s := range sigs {
+		dsts[i] = m.DemodulateInto(scratch, dsts[i], s)
 	}
-	for i := n - 1; i >= 0; i-- {
-		out[i] = state
-		if i > 0 {
-			state = back[2*i+int(state)]
-		}
-	}
-	return out
+	return dsts
 }
 
 // PhaseDiffs returns the transmitted per-sample phase differences

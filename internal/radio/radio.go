@@ -22,7 +22,10 @@ type Node struct {
 
 	buffer  *frame.SentBuffer
 	decoder *core.Decoder
-	seq     uint32
+	// lookup is the buffer's Get bound once at construction, so Receive
+	// and BatchItem never re-create the method-value closure.
+	lookup core.KnownLookup
+	seq    uint32
 }
 
 // NewNode builds a node with the repository-default decoder configuration
@@ -34,13 +37,24 @@ func NewNode(id uint16, m core.PhyModem, noiseFloor float64, opts ...func(*core.
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &Node{
+	n := &Node{
 		ID:         id,
 		Modem:      m,
 		NoiseFloor: noiseFloor,
 		buffer:     frame.NewSentBuffer(0),
 		decoder:    core.NewDecoder(cfg),
 	}
+	n.lookup = n.buffer.Get
+	return n
+}
+
+// Reset clears the node's per-run state — the Sent Packet Buffer and the
+// sequence counter — so a pooled node starts its next run exactly like a
+// freshly built one. The decoder and its cached protocol constants are
+// run-independent and stay.
+func (n *Node) Reset() {
+	n.buffer.Reset()
+	n.seq = 0
 }
 
 // NextSeq allocates the next sequence number for an outgoing packet.
@@ -77,7 +91,14 @@ func (n *Node) Knows(h frame.Header) bool {
 
 // Receive runs the full receive pipeline (Alg. 1) on a reception window.
 func (n *Node) Receive(rx dsp.Signal) (*core.Result, error) {
-	return n.decoder.Decode(rx, n.buffer.Get)
+	return n.decoder.Decode(rx, n.lookup)
+}
+
+// BatchItem packages a reception for core.DecodeBatch: decoding the item
+// is exactly this node's Receive, deferred so a slot's receptions can be
+// decoded as one burst.
+func (n *Node) BatchItem(rx dsp.Signal) core.BatchItem {
+	return core.BatchItem{Decoder: n.decoder, Rx: rx, Lookup: n.lookup}
 }
 
 // Overhear attempts an opportunistic single-signal decode of a snooped

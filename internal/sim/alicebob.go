@@ -3,6 +3,7 @@ package sim
 import (
 	"repro/internal/channel"
 	"repro/internal/cope"
+	"repro/internal/core"
 	"repro/internal/dsp"
 	"repro/internal/frame"
 	"repro/internal/mac"
@@ -87,10 +88,11 @@ func stepAliceBobANC(e *Env, r Recorder, ai, ri, bi int) {
 	rxB := e.receive(channel.Transmission{Signal: relayed, Link: linkRB})
 	e.release(relayed)
 
-	e.accountANCDecode(r, alice, rxA, recB)
-	e.accountANCDecode(r, bob, rxB, recA)
-	e.release(rxA)
-	e.release(rxB)
+	// Both downlink receptions decode as one burst: queue order matches
+	// the old sequential call order, so accounting is bit-identical.
+	e.queueANCDecode(alice, rxA, recB)
+	e.queueANCDecode(bob, rxB, recA)
+	e.flushANCDecodes(r)
 
 	r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
 	r.RecordAirTime(float64(2 * (delta + e.frameLen + e.guard)))
@@ -100,6 +102,14 @@ func stepAliceBobANC(e *Env, r Recorder, ai, ri, bi int) {
 // payload BER against the wanted frame, and charges goodput/loss.
 func (e *Env) accountANCDecode(r Recorder, n *radio.Node, rx dsp.Signal, wanted frame.SentRecord) {
 	res, err := n.Receive(rx)
+	e.accountANCResult(r, res, err, wanted)
+}
+
+// accountANCResult applies the ANC accounting rule to one decode outcome:
+// a failed decode (or one whose BER exceeds what FEC can repair) loses the
+// wanted packet; otherwise its payload bits are delivered, discounted by
+// the BER-dependent redundancy charge.
+func (e *Env) accountANCResult(r Recorder, res *core.Result, err error, wanted frame.SentRecord) {
 	if err != nil {
 		r.RecordLost(1)
 		return

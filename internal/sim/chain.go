@@ -64,13 +64,18 @@ func stepChainANC(e *Env, r Recorder, i int) {
 	// One packet traverses the chain per cycle. Its quality is set by
 	// the ANC decode it went through at N2 (measured here on the
 	// statistically identical decode of p_{i+1}) and it reaches the
-	// sink only if N4's clean reception of p_i succeeds.
-	resN2, errN2 := n2.Receive(rxN2)
-	e.release(rxN2)
+	// sink only if N4's clean reception of p_i succeeds. Both receptions
+	// are synthesized first (reception synthesis is where the RNG draws
+	// happen), then decoded as one burst; the accounting below reads the
+	// batch results in queue order.
+	e.queueANCDecode(n2, rxN2, frame.SentRecord{})
 	link34, _ := e.graph.Link(topology.ChainN3, topology.ChainN4)
 	rxN4 := e.receive(channel.Transmission{Signal: recOld.Samples, Link: link34, Delay: dOld})
-	resN4, errN4 := n4.Receive(rxN4)
-	e.release(rxN4)
+	e.queueANCDecode(n4, rxN4, frame.SentRecord{})
+	out := e.flushBatch()
+	resN2, errN2 := out[0].Result, out[0].Err
+	resN4, errN4 := out[1].Result, out[1].Err
+	e.finishBatch()
 	sinkOK := errN4 == nil && resN4.BodyOK
 
 	if errN2 != nil {

@@ -100,15 +100,7 @@ func stepChainNANC(e *Env, r Recorder, n, i int) {
 			channel.Transmission{Signal: recFresh.Samples, Link: linkUp, Delay: dFresh},
 			channel.Transmission{Signal: recKnown.Samples, Link: linkDown, Delay: dKnown},
 		)
-		res, err := e.nodes[j].Receive(rx)
-		e.release(rx)
-		if err != nil {
-			ok = false
-		} else {
-			ber := payloadBER(recFresh.Bits, res.WantedBits, int(fresh.Header.Len))
-			r.RecordANCDecode(ber)
-			good *= e.cfg.Redundancy.Goodput(ber)
-		}
+		e.queueANCDecode(e.nodes[j], rx, recFresh)
 		r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
 		// Collisions at odd j happen while the even nodes transmit
 		// (slot A); at even j, while the odd nodes do (slot B).
@@ -118,6 +110,25 @@ func stepChainNANC(e *Env, r Recorder, n, i int) {
 			maxDeltaB = max(maxDeltaB, delta)
 		}
 	}
+
+	// Flush the whole pipeline's decode burst — every stage's collision
+	// decodes in one pass — before the sink packet below draws from the
+	// run RNG. Decodes consume no randomness, so the flush position does
+	// not move any draw relative to the sequential schedule.
+	out := e.flushBatch()
+	b := &e.scratch.batch
+	for k := range out {
+		res, err := out[k].Result, out[k].Err
+		if err != nil {
+			ok = false
+			continue
+		}
+		wanted := b.wanted[k]
+		ber := payloadBER(wanted.Bits, res.WantedBits, int(wanted.Packet.Header.Len))
+		r.RecordANCDecode(ber)
+		good *= e.cfg.Redundancy.Goodput(ber)
+	}
+	e.finishBatch()
 
 	// The sink's reception: its upstream neighbor transmits with no one
 	// downstream to collide with.

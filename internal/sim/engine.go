@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strings"
 	"sync"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dsp"
 	"repro/internal/phy"
+	"repro/internal/radio"
 )
 
 // Scratch is the per-worker reusable storage of a campaign: a free list of
@@ -27,6 +29,119 @@ import (
 type Scratch struct {
 	free []dsp.Signal
 	ws   *core.Workspace
+
+	// batch is the slot decode burst (see slotBatch). sequentialDecodes
+	// forces the flush to call Decode per item instead of DecodeBatch —
+	// the hook the batched==sequential equivalence tests flip.
+	batch             slotBatch
+	sequentialDecodes bool
+
+	// Per-run construction pool (see newEnv): the run RNG is reseeded,
+	// pooled nodes are Reset, the noise source is rewound and the Env
+	// shell is overwritten, so a campaign worker's steady state builds
+	// nothing per run except the topology graph — whose construction
+	// draws from the run RNG and is therefore inherently per-run.
+	rng      *rand.Rand
+	noiseSrc *dsp.NoiseSource
+	env      *Env
+	modem    phy.Modem
+	modemKey modemKey
+	nodes    []*radio.Node
+	nodesKey nodesKey
+}
+
+// modemKey identifies a pooled modem instance.
+type modemKey struct {
+	name string
+	sps  int
+}
+
+// nodesKey identifies the decoder configuration a pooled node set was
+// built for; any mismatch rebuilds the set.
+type nodesKey struct {
+	name      string
+	sps       int
+	floor     float64
+	frameBits int
+}
+
+// runRNG returns the worker's run RNG reseeded to seed. Seed fully resets
+// a rand.Rand (including its Read state), so the pooled generator's draws
+// are bit-identical to a fresh rand.New(rand.NewSource(seed)).
+func (s *Scratch) runRNG(seed int64) *rand.Rand {
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(seed))
+		return s.rng
+	}
+	s.rng.Seed(seed)
+	return s.rng
+}
+
+// modemFor returns a pooled modem instance for (name, sps). Modems are
+// stateless, so one instance per configuration serves every run.
+func (s *Scratch) modemFor(name string, sps int) phy.Modem {
+	key := modemKey{name: name, sps: sps}
+	if s.modem == nil || s.modemKey != key {
+		s.modem = phy.MustNew(name, sps)
+		s.modemKey = key
+	}
+	return s.modem
+}
+
+// noiseSourceFor returns the worker's pooled noise source set to the given
+// power. Env.noise reseeds the generator before every reception, so state
+// carried over from a previous run never leaks into this one's samples.
+func (s *Scratch) noiseSourceFor(power float64) *dsp.NoiseSource {
+	if s.noiseSrc == nil {
+		s.noiseSrc = dsp.NewNoiseSource(power, 0)
+		return s.noiseSrc
+	}
+	s.noiseSrc.SetPower(power)
+	return s.noiseSrc
+}
+
+// nodesFor returns n run-ready nodes for the given decoder parameters,
+// reusing the pooled set (each node Reset to a fresh-run state) when the
+// configuration matches the previous run's. Runs with a DecoderTweak
+// always build fresh nodes: two distinct closures can share one function
+// pointer (parameterized tweaks from the same literal), so no key can
+// safely establish a tweak's identity.
+func (s *Scratch) nodesFor(cfg Config, name string, modem phy.Modem, floor float64, frameBits, n int) []*radio.Node {
+	opt := func(c *core.Config) {
+		c.FallbackFrameBits = frameBits
+		if cfg.DecoderTweak != nil {
+			cfg.DecoderTweak(c)
+		}
+	}
+	if cfg.DecoderTweak != nil {
+		nodes := make([]*radio.Node, n)
+		for i := range nodes {
+			nodes[i] = radio.NewNode(uint16(i+1), modem, floor, opt)
+		}
+		return nodes
+	}
+	key := nodesKey{name: name, sps: modem.SamplesPerSymbol(), floor: floor, frameBits: frameBits}
+	if s.nodesKey != key {
+		s.nodes = s.nodes[:0]
+		s.nodesKey = key
+	}
+	for len(s.nodes) < n {
+		s.nodes = append(s.nodes, radio.NewNode(uint16(len(s.nodes)+1), modem, floor, opt))
+	}
+	nodes := s.nodes[:n]
+	for _, nd := range nodes {
+		nd.Reset()
+	}
+	return nodes
+}
+
+// envShell returns the worker's reusable Env allocation; newEnv overwrites
+// every field per run.
+func (s *Scratch) envShell() *Env {
+	if s.env == nil {
+		s.env = &Env{}
+	}
+	return s.env
 }
 
 // NewScratch returns an empty buffer pool.
@@ -42,8 +157,17 @@ func (s *Scratch) Workspace() *core.Workspace {
 	return s.ws
 }
 
+// takeQuantum is the capacity granularity of fresh take allocations:
+// 4096 samples (64 KiB of complex128).
+const takeQuantum = 1 << 12
+
 // take returns a buffer with capacity at least n (contents undefined; the
-// users overwrite every sample).
+// users overwrite every sample). Fresh allocations round their capacity up
+// to the next takeQuantum multiple: reception lengths creep upward as the
+// per-packet delay draw varies, and slot batching keeps every reception of
+// a slot live at once, so without rounding each concurrently live buffer
+// would reallocate at every new maximum instead of converging on one
+// pooled allocation.
 func (s *Scratch) take(n int) dsp.Signal {
 	for i, b := range s.free {
 		if cap(b) >= n {
@@ -54,7 +178,7 @@ func (s *Scratch) take(n int) dsp.Signal {
 			return b[:n]
 		}
 	}
-	return make(dsp.Signal, n)
+	return make(dsp.Signal, n, (n+takeQuantum-1)&^(takeQuantum-1))
 }
 
 // give returns a buffer to the pool.
@@ -210,13 +334,23 @@ func (f SinkFunc) Consume(r Row) error { return f(r) }
 type StreamOption func(*streamConfig)
 
 type streamConfig struct {
-	trace bool
+	trace   bool
+	workers int
 }
 
 // WithLinkTraces runs every scheme's run under a TraceRecorder, so each
 // Row carries per-slot link-gain traces alongside its Metrics.
 func WithLinkTraces() StreamOption {
 	return func(c *streamConfig) { c.trace = true }
+}
+
+// WithWorkers sets the campaign's worker-goroutine count. Values ≤ 0 keep
+// the default (GOMAXPROCS); the pool never exceeds the seed count. Rows
+// are emitted in seed order and are bit-identical at any worker count —
+// each seed's run is self-contained — so this only trades parallelism
+// against memory (each worker owns a Scratch).
+func WithWorkers(n int) StreamOption {
+	return func(c *streamConfig) { c.workers = n }
 }
 
 // campaignWindow bounds the rows in flight — executing, queued, or
@@ -253,7 +387,10 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 	if len(seeds) == 0 {
 		return nil
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
@@ -367,12 +504,12 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 // wrapper over CampaignStream — use the stream directly when the
 // campaign is too large to hold, or when rows should feed analysis as
 // they arrive.
-func (eng *Engine) Campaign(sc Scenario, schemes []Scheme, seeds []int64) ([][]Metrics, error) {
+func (eng *Engine) Campaign(sc Scenario, schemes []Scheme, seeds []int64, opts ...StreamOption) ([][]Metrics, error) {
 	out := make([][]Metrics, len(seeds))
 	err := eng.CampaignStream(sc, schemes, seeds, SinkFunc(func(r Row) error {
 		out[r.Index] = r.Metrics
 		return nil
-	}))
+	}), opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -254,20 +254,18 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 		scratch = NewScratch()
 	}
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(seed))
-	modem := cfg.modem()
+	rng := scratch.runRNG(seed)
+	name := cfg.Modem
+	if name == "" {
+		name = phy.Default
+	}
+	modem := scratch.modemFor(name, cfg.SamplesPerSymbol)
 	g := build(cfg.Topology, rng)
 	floor := cfg.Topology.MeanPowerGain / dsp.FromDB(*cfg.SNRdB)
 	fixedFrame := frame.FrameBits(cfg.PayloadBytes)
-	nodes := make([]*radio.Node, g.N)
+	nodes := scratch.nodesFor(cfg, name, modem, floor, fixedFrame, g.N)
 	ws := scratch.Workspace()
 	for i := range nodes {
-		nodes[i] = radio.NewNode(uint16(i+1), modem, floor, func(c *core.Config) {
-			c.FallbackFrameBits = fixedFrame
-			if cfg.DecoderTweak != nil {
-				cfg.DecoderTweak(c)
-			}
-		})
 		// All of a run's nodes decode on one goroutine, so they share the
 		// worker's decode workspace and steady-state decodes allocate
 		// nothing.
@@ -275,7 +273,8 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 	}
 	L := modem.NumSamples(frame.FrameBits(cfg.PayloadBytes))
 	window := 4 * cfg.SamplesPerSymbol * 8
-	return &Env{
+	e := scratch.envShell()
+	*e = Env{
 		cfg:        cfg,
 		seed:       seed,
 		rng:        rng,
@@ -287,8 +286,9 @@ func newEnv(cfg Config, seed int64, build func(topology.Config, *rand.Rand) *top
 		guard:      mac.Guard(*cfg.GuardFrac, L),
 		tailPad:    4 * window,
 		scratch:    scratch,
-		noiseSrc:   dsp.NewNoiseSource(floor, 0),
+		noiseSrc:   scratch.noiseSourceFor(floor),
 	}
+	return e
 }
 
 // noise returns a deterministic noise source for one reception. The

@@ -92,10 +92,11 @@ func stepXANC(e *Env, r Recorder) {
 	rxN4 := e.receive(channel.Transmission{Signal: relayed, Link: downTo4})
 	e.release(relayed)
 
-	e.accountANCDecode(r, n2, rxN2, rec3)
-	e.accountANCDecode(r, n4, rxN4, rec1)
-	e.release(rxN2)
-	e.release(rxN4)
+	// Both destinations' decodes run as one burst (the overhears above
+	// already stored their cancellation references).
+	e.queueANCDecode(n2, rxN2, rec3)
+	e.queueANCDecode(n4, rxN4, rec1)
+	e.flushANCDecodes(r)
 
 	r.RecordCollision(mac.OverlapFraction(e.frameLen, delta))
 	r.RecordAirTime(float64(2 * (delta + e.frameLen + e.guard)))
