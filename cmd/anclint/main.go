@@ -1,0 +1,104 @@
+// Command anclint is the repository's static-analysis multichecker: it
+// proves the simulator's runtime contracts — determinism, byte-stable
+// encoders, *Into buffer ownership, the zero-allocation hot path, the
+// Recorder results discipline — on every build instead of only on the
+// configurations the tests exercise.
+//
+// Usage:
+//
+//	anclint [packages]     # default ./...
+//	go tool anclint ./...  # via the go.mod tool directive
+//
+// Exit status: 0 when the analyzed packages are clean, 1 when any
+// analyzer reported findings, 2 on usage or load errors.
+//
+// The determinism analyzer is scoped to the simulation packages (any
+// package with a path segment in core, sim, dsp, channel, frame,
+// topology, phy, msk, dqpsk, stats, experiments); the other analyzers
+// run everywhere. The suite is built only on the standard library's
+// go/ast and go/types — see internal/analysis.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/hotalloc"
+	"repro/internal/analysis/intoownership"
+	"repro/internal/analysis/maporder"
+	"repro/internal/analysis/recorderdiscipline"
+)
+
+// deterministicPackages are the path segments naming packages under the
+// reproducibility contract: everything a simulation run's output can
+// depend on.
+var deterministicPackages = map[string]bool{
+	"core": true, "sim": true, "dsp": true, "channel": true,
+	"frame": true, "topology": true, "phy": true, "msk": true,
+	"dqpsk": true, "stats": true, "experiments": true,
+}
+
+// checks pairs each analyzer with the package filter that decides where
+// it runs; a nil filter means everywhere.
+var checks = []struct {
+	analyzer *analysis.Analyzer
+	applies  func(importPath string) bool
+}{
+	{determinism.Analyzer, func(p string) bool { return analysis.PathHasSegment(p, deterministicPackages) }},
+	{maporder.Analyzer, nil},
+	{intoownership.Analyzer, nil},
+	{hotalloc.Analyzer, nil},
+	{recorderdiscipline.Analyzer, nil},
+}
+
+func main() {
+	os.Exit(run(".", os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run analyzes the packages matched by args (resolved relative to dir)
+// and returns the process exit code.
+func run(dir string, args []string, stdout, stderr io.Writer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, a := range patterns {
+		if len(a) > 0 && a[0] == '-' {
+			fmt.Fprintf(stderr, "usage: anclint [packages]\nanclint takes go package patterns only (default ./...)\n")
+			return 2
+		}
+	}
+	pkgs, err := analysis.Load(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "anclint: %v\n", err)
+		return 2
+	}
+	findings := 0
+	for _, pkg := range pkgs {
+		if !pkg.Root {
+			continue
+		}
+		for _, c := range checks {
+			if c.applies != nil && !c.applies(pkg.ImportPath) {
+				continue
+			}
+			diags, err := analysis.Run(c.analyzer, pkg)
+			if err != nil {
+				fmt.Fprintf(stderr, "anclint: %v\n", err)
+				return 2
+			}
+			for _, d := range diags {
+				fmt.Fprintf(stdout, "%s: %s\n", pkg.Fset.Position(d.Pos), d.Message)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "anclint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBadModule runs the multichecker over the deliberately-bad fixture
+// module and asserts every analyzer fires and the exit code is 1 — the
+// same contract the CI lint job relies on.
+func TestBadModule(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run("testdata/badmod", []string{"./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range []string{"determinism", "maporder", "intoownership", "hotalloc", "recorderdiscipline"} {
+		if !strings.Contains(out, name+":") {
+			t.Errorf("no %s finding in output:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "finding(s)") {
+		t.Errorf("stderr missing findings summary: %q", stderr.String())
+	}
+}
+
+// TestFlagArgsRejected pins the usage contract: anclint takes package
+// patterns only, anything flag-shaped is exit 2.
+func TestFlagArgsRejected(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run(".", []string{"-json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage:") {
+		t.Errorf("stderr missing usage line: %q", stderr.String())
+	}
+}
+
+// TestRepoClean asserts the zero-finding baseline over the repository
+// itself — the acceptance bar for every PR.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-repo lint pass in -short mode")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run("../..", []string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("anclint over the repo: exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}

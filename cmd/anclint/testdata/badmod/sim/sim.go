@@ -1,0 +1,54 @@
+// Package sim is the deliberately-bad smoke-test module for cmd/anclint:
+// one violation per analyzer. The directory is named sim so both the
+// determinism scope filter and the recorderdiscipline Metrics match
+// apply. CI runs anclint over this module and asserts it fails.
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Seed breaks determinism three ways: environment read, global RNG,
+// wall clock.
+func Seed() int64 {
+	if os.Getenv("ANC_SEED") != "" {
+		return int64(rand.Int())
+	}
+	return time.Now().UnixNano()
+}
+
+// Dump breaks maporder: emission directly out of map iteration order.
+func Dump(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// CopyInto breaks the ownership contract: append reallocates the
+// caller's destination behind its back.
+func CopyInto(dst, src []byte) []byte {
+	return append(dst, src...)
+}
+
+// Hot breaks the zero-allocation contract: fmt and string concat on an
+// annotated hot path.
+//
+//anc:hotpath
+func Hot(a, b string) string {
+	fmt.Println("hot!")
+	return a + b
+}
+
+// Metrics mimics the recorder aggregate; Step writes its field directly
+// instead of going through an accessor.
+type Metrics struct {
+	Delivered int
+}
+
+func Step(m *Metrics) {
+	m.Delivered++
+}

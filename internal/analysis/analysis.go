@@ -1,0 +1,244 @@
+// Package analysis is a self-contained static-analysis framework in the
+// shape of golang.org/x/tools/go/analysis, built only on the standard
+// library's go/ast, go/types and go/importer (the module deliberately has
+// no external dependencies; stdlib export data is obtained through
+// `go list -export`, see load.go).
+//
+// It exists to make the simulator's runtime contracts — deterministic
+// seeded randomness, byte-identical encoder output, *Into buffer
+// ownership, the zero-allocation hot path, Recorder-mediated metrics —
+// properties the toolchain proves on every build rather than properties
+// the test matrix happens to exercise. The analyzers themselves live in
+// the subpackages (determinism, maporder, intoownership, hotalloc,
+// recorderdiscipline); cmd/anclint is the multichecker driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and drivers.
+	Name string
+	// Doc is the analyzer's one-paragraph documentation.
+	Doc string
+	// Run applies the analyzer to a package, reporting findings through
+	// pass.Reportf.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass is one (analyzer, package) unit of work, carrying the syntax and
+// type information the analyzer inspects.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostics returns the findings reported so far, sorted by position.
+func (p *Pass) Diagnostics() []Diagnostic {
+	sort.SliceStable(p.diagnostics, func(i, j int) bool {
+		return p.diagnostics[i].Pos < p.diagnostics[j].Pos
+	})
+	return p.diagnostics
+}
+
+// Run applies a single analyzer to one loaded package and returns its
+// findings sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+	}
+	return pass.Diagnostics(), nil
+}
+
+// WalkStack traverses the file preorder, invoking fn with each node and
+// the stack of its ancestors (outermost first, not including the node
+// itself). Returning false prunes the node's subtree.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}
+
+// --- suppression and annotation comments ---
+
+// CommentDirectives returns, for one file, the set of lines carrying a
+// comment that contains the directive text (e.g. "anclint:sorted"). A
+// directive applies to code on its own line (a trailing comment) and to
+// the line immediately below it (a preceding comment line), so both
+// placements are honored by Suppressed.
+func CommentDirectives(file *ast.File, fset *token.FileSet, directive string) map[int]bool {
+	lines := make(map[int]bool)
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, directive) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// Suppressed reports whether a node at pos is suppressed by a directive
+// comment on the same line or on the line immediately above.
+func Suppressed(lines map[int]bool, fset *token.FileSet, pos token.Pos) bool {
+	l := fset.Position(pos).Line
+	return lines[l] || lines[l-1]
+}
+
+// HasDirective reports whether the doc comment group contains the given
+// directive (as a dedicated comment line).
+func HasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.Contains(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// --- shared type/AST helpers the analyzers use ---
+
+// PkgFuncOf returns the import path and name of the package-level
+// function or variable a selector expression like rand.Intn or
+// rand.Reader refers to, or ("", "") if e is not a qualified reference
+// to another package.
+func PkgFuncOf(info *types.Info, e ast.Expr) (pkgPath, name string) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// CalleeOf returns the object called by e, unwrapping parens, or nil for
+// calls through non-identifier expressions (function values, conversions).
+func CalleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsBuiltin reports whether the call invokes the named builtin
+// (append, make, new, cap, len, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// CapGuarded reports whether the node sits inside an if statement whose
+// condition inspects a buffer's capacity or length (a call to cap or
+// len) — the sanctioned grow-on-demand idiom:
+//
+//	if cap(buf) < n { buf = make(T, n) }
+//
+// Such a reallocation happens only while the buffer is still growing and
+// is amortized away in steady state, which is exactly the contract of
+// the dsp.Grow* helpers.
+func CapGuarded(info *types.Info, stack []ast.Node) bool {
+	for _, n := range stack {
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if IsBuiltin(info, call, "cap") || IsBuiltin(info, call, "len") {
+					guarded = true
+					return false
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// IsSliceType reports whether t's underlying type is a slice.
+func IsSliceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// Deref returns the pointee type if t is a pointer, else t.
+func Deref(t types.Type) types.Type {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// PathHasSegment reports whether any "/"-separated segment of an import
+// path equals one of the names.
+func PathHasSegment(path string, names map[string]bool) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if names[seg] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,288 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixtures —
+// the stdlib-only equivalent of golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout mirrors x/tools: <testdata>/src/<pkg>/... holds one
+// package per directory. Fixture packages may import each other by
+// directory name ("sim") and the standard library; stdlib type
+// information is resolved through the compiler export data `go list
+// -export` materializes, so the harness needs no network and no module
+// downloads.
+//
+// Expectations are `// want` comments on the offending line:
+//
+//	_ = rand.Intn(4) // want "math/rand"
+//	for k := range m { // want "maporder" "randomized"
+//
+// Each double-quoted string is a regular expression that must match a
+// diagnostic reported on that line; every diagnostic must be matched by
+// some expectation on its line. Unmatched expectations and unexpected
+// diagnostics both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads the named fixture packages from testdata/src, applies the
+// analyzer to each, and reports expectation mismatches on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	l := &loader{
+		src:     filepath.Join(testdata, "src"),
+		fset:    token.NewFileSet(),
+		parsed:  make(map[string][]*ast.File),
+		checked: make(map[string]*analysis.Package),
+		exports: make(map[string]string),
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	// Parse every reachable fixture package first so one `go list` call
+	// resolves all external imports.
+	for _, p := range pkgs {
+		if err := l.parse(p); err != nil {
+			t.Fatalf("parsing fixture %s: %v", p, err)
+		}
+	}
+	if err := l.resolveExternal(); err != nil {
+		t.Fatalf("resolving stdlib imports: %v", err)
+	}
+	for _, p := range pkgs {
+		pkg, err := l.check(p)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", p, err)
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on fixture %s: %v", a.Name, p, err)
+		}
+		compare(t, l.fset, pkg.Files, diags)
+	}
+}
+
+type loader struct {
+	src     string
+	fset    *token.FileSet
+	parsed  map[string][]*ast.File
+	checked map[string]*analysis.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (l *loader) fixtureDir(path string) (string, bool) {
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	st, err := os.Stat(dir)
+	return dir, err == nil && st.IsDir()
+}
+
+// parse loads the package's files and, recursively, every fixture
+// package it imports; external imports are only collected.
+func (l *loader) parse(path string) error {
+	if _, ok := l.parsed[path]; ok {
+		return nil
+	}
+	dir, ok := l.fixtureDir(path)
+	if !ok {
+		return fmt.Errorf("fixture package %q not found under %s", path, l.src)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("fixture package %q has no Go files", path)
+	}
+	l.parsed[path] = files
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, ok := l.fixtureDir(ip); ok {
+				if err := l.parse(ip); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// resolveExternal collects every import of a parsed fixture that is not
+// itself a fixture and materializes export data for the whole dependency
+// cone with one `go list -export` run.
+func (l *loader) resolveExternal() error {
+	external := make(map[string]bool)
+	for _, files := range l.parsed {
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || ip == "unsafe" {
+					continue
+				}
+				if _, ok := l.fixtureDir(ip); !ok {
+					external[ip] = true
+				}
+			}
+		}
+	}
+	if len(external) == 0 {
+		return nil
+	}
+	paths := make([]string, 0, len(external))
+	for p := range external {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	listed, err := analysis.GoListExport(".", paths)
+	if err != nil {
+		return err
+	}
+	for p, export := range listed {
+		l.exports[p] = export
+	}
+	return nil
+}
+
+func (l *loader) check(path string) (*analysis.Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	files := l.parsed[path]
+	info := analysis.NewTypesInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(ip string) (*types.Package, error) {
+			if ip == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if _, ok := l.fixtureDir(ip); ok {
+				pkg, err := l.check(ip)
+				if err != nil {
+					return nil, err
+				}
+				return pkg.Types, nil
+			}
+			return l.gc.Import(ip)
+		}),
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &analysis.Package{
+		ImportPath: path,
+		Fset:       l.fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// --- expectation matching ---
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// compare checks the diagnostics against the fixtures' want comments.
+func compare(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*expectation) // "file:line" -> expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRE.FindAllStringSubmatch(m[1], -1) {
+					pat, err := strconv.Unquote(`"` + q[1] + `"`)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", key, q[0], err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, pat, err)
+						continue
+					}
+					wants[key] = append(wants[key], &expectation{re: re, raw: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.raw)
+			}
+		}
+	}
+}

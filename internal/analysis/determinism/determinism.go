@@ -1,0 +1,99 @@
+// Package determinism forbids the ambient-entropy escape hatches that
+// would silently break the simulator's reproducibility contract: every
+// run is a pure function of (scenario, config, seed), goldens are
+// byte-identical across machines, and shard merges reproduce the
+// unsharded document bit for bit. One stray time.Now or global
+// math/rand call anywhere in the simulation core voids all of that.
+//
+// Within its scope (the driver applies it to the simulation packages:
+// core, sim, dsp, channel, frame, topology, phy, msk, dqpsk, stats,
+// experiments) the analyzer flags
+//
+//   - global math/rand (and math/rand/v2) functions — rand.Intn,
+//     rand.Float64, rand.Shuffle, rand.Seed, ... — whose hidden global
+//     state escapes seeding. Constructor functions (rand.New,
+//     rand.NewSource, rand.NewZipf, ...) are the sanctioned idiom:
+//     explicitly seeded generators threaded through the call graph.
+//   - wall-clock reads: time.Now, time.Since, time.Until. Simulated
+//     time is the only clock a run may observe.
+//   - crypto/rand in any form (unseedable entropy by construction).
+//   - environment reads: os.Getenv, os.LookupEnv, os.Environ,
+//     os.ExpandEnv. Configuration reaches a run through Config values,
+//     never ambiently.
+//
+// There is deliberately no suppression comment: a scoped package with a
+// legitimate need for any of these does not exist by definition of the
+// reproducibility contract.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid ambient entropy (global math/rand, wall clock, crypto/rand, environment reads) in simulation packages",
+	Run:  run,
+}
+
+// forbidden maps package path -> referenced name -> explanation.
+// An empty name key applies to every reference from that package.
+var forbidden = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read; runs must observe simulated time only",
+		"Since": "wall-clock read; runs must observe simulated time only",
+		"Until": "wall-clock read; runs must observe simulated time only",
+	},
+	"crypto/rand": {
+		"": "unseedable entropy; use a seeded rand.New(rand.NewSource(seed))",
+	},
+	"os": {
+		"Getenv":    "environment read; thread configuration through Config values",
+		"LookupEnv": "environment read; thread configuration through Config values",
+		"Environ":   "environment read; thread configuration through Config values",
+		"ExpandEnv": "environment read; thread configuration through Config values",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name := analysis.PkgFuncOf(pass.TypesInfo, sel)
+			if pkgPath == "" {
+				return true
+			}
+			if _, isType := pass.TypesInfo.Uses[sel.Sel].(*types.TypeName); isType {
+				// Type references (*rand.Rand, time.Duration) carry no
+				// entropy; only functions and variables do.
+				return true
+			}
+			if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+				// Only the global-state functions are forbidden; the New*
+				// constructors are the sanctioned way to build a seeded
+				// generator, and everything else reached through a *Rand
+				// value is a method, not a package-level reference.
+				if !strings.HasPrefix(name, "New") {
+					pass.Reportf(n.Pos(), "determinism: %s.%s uses the global generator; use a seeded rand.New(rand.NewSource(seed)) instead", pkgPath, name)
+				}
+				return true
+			}
+			if byName, ok := forbidden[pkgPath]; ok {
+				if why, ok := byName[name]; ok {
+					pass.Reportf(n.Pos(), "determinism: %s.%s: %s", pkgPath, name, why)
+				} else if why, ok := byName[""]; ok {
+					pass.Reportf(n.Pos(), "determinism: %s.%s: %s", pkgPath, name, why)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+// Package dsp is a determinism-analyzer fixture: it exercises every
+// forbidden ambient-entropy source and every sanctioned idiom.
+package dsp
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	"os"
+	"time"
+)
+
+var t0 time.Time
+
+func violations() {
+	_ = rand.Intn(4)                   // want "math/rand.Intn uses the global generator"
+	_ = rand.Float64()                 // want "math/rand.Float64 uses the global generator"
+	rand.Seed(7)                       // want "math/rand.Seed uses the global generator"
+	rand.Shuffle(1, func(i, j int) {}) // want "math/rand.Shuffle uses the global generator"
+
+	_ = time.Now()     // want "time.Now: wall-clock read"
+	_ = time.Since(t0) // want "time.Since: wall-clock read"
+	_ = time.Until(t0) // want "time.Until: wall-clock read"
+
+	var b [8]byte
+	_, _ = crand.Read(b[:]) // want "crypto/rand.Read: unseedable entropy"
+	_ = crand.Reader        // want "crypto/rand.Reader: unseedable entropy"
+
+	_ = os.Getenv("SEED")       // want "os.Getenv: environment read"
+	_, _ = os.LookupEnv("SEED") // want "os.LookupEnv: environment read"
+	_ = os.Environ()            // want "os.Environ: environment read"
+}
+
+func sanctioned() {
+	// The one sanctioned RNG construction: an explicitly seeded
+	// generator threaded through the call graph.
+	r := rand.New(rand.NewSource(42))
+	_ = r.Intn(4)
+	_ = r.Float64()
+	_ = rand.NewZipf(r, 1.1, 1, 10)
+
+	// Durations and type references carry no entropy.
+	var d time.Duration = 3 * time.Second
+	_ = d
+	var rr *rand.Rand
+	_ = rr
+
+	// Non-environment os use is out of scope for this analyzer.
+	_ = os.Args
+}

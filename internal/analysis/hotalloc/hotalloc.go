@@ -1,0 +1,240 @@
+// Package hotalloc statically audits the zero-allocation decode path.
+// Functions annotated with an `//anc:hotpath` directive in their doc
+// comment — Decoder.Decode, core.DecodeBatch, both modems'
+// demodulators, the dsp batch kernels, the Recorder methods — must not
+// contain the allocation sources the runtime AllocsPerRun pins can only
+// catch on the configurations the tests happen to run:
+//
+//   - make / new, unless cap/len-guarded (the grow-on-demand idiom the
+//     dsp.Grow* helpers implement: a reallocation that amortizes to
+//     zero) or explicitly waived with an `//anclint:coldstart` comment
+//     on the statement's line (a documented one-time cold-start
+//     fallback).
+//   - slice or map composite literals, and &T{...} (escaping composite
+//     pointers) — same waivers as make/new.
+//   - function literals: a closure that captures variables allocates
+//     its capture block per call.
+//   - conversions that box a non-pointer-shaped value into an
+//     interface (call arguments, assignments, returns): each boxing is
+//     a hidden heap allocation. Pointer, channel, map, func and
+//     interface values are pointer-shaped and exempt; nil is exempt.
+//   - any fmt call (fmt boxes every operand and allocates internally).
+//   - string concatenation (+ / +=) — builds a new string per
+//     evaluation.
+//   - go and defer statements (closure + frame bookkeeping).
+//
+// Calls to other functions are deliberately not followed: the analyzer
+// is intraprocedural, and helpers like dsp.GrowBytes are the sanctioned
+// amortization points. append is allowed for the same reason — the
+// pools that grow through it (Metrics.BERs) are amortized by doubling
+// and owned by the hot structure itself.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive marks a function as part of the zero-allocation hot path.
+const Directive = "anc:hotpath"
+
+// ColdStart waives one make/new/composite-literal line inside a hotpath
+// function as a documented cold-start fallback.
+const ColdStart = "anclint:coldstart"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbid allocation sources (make/new, closures, interface boxing, fmt, string concat) in //anc:hotpath functions",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		waived := analysis.CommentDirectives(file, pass.Fset, ColdStart)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !analysis.HasDirective(fn.Doc, Directive) {
+				continue
+			}
+			checkFunc(pass, fn, waived)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, waived map[int]bool) {
+	info := pass.TypesInfo
+	name := fn.Name.Name
+	report := func(pos token.Pos, format string, args ...any) {
+		if analysis.Suppressed(waived, pass.Fset, pos) {
+			return
+		}
+		args = append([]any{name}, args...)
+		pass.Reportf(pos, "hotalloc: %s: "+format, args...)
+	}
+	// Result types for positional checking of return-statement boxing.
+	var results []types.Type
+	if fn.Type.Results != nil {
+		for _, r := range fn.Type.Results.List {
+			n := len(r.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				results = append(results, info.TypeOf(r.Type))
+			}
+		}
+	}
+
+	analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			report(n.Pos(), "closure literal allocates its capture block; hoist the function or pass state explicitly")
+			return false // the literal's body is the closure's problem
+		case *ast.GoStmt:
+			report(n.Pos(), "go statement allocates a goroutine; the hot path is single-threaded per worker")
+		case *ast.DeferStmt:
+			report(n.Pos(), "defer in a hot function adds per-call bookkeeping; restructure with explicit cleanup")
+		case *ast.CallExpr:
+			checkCall(pass, n, stack, report)
+		case *ast.CompositeLit:
+			t := info.TypeOf(n)
+			if t == nil {
+				return true
+			}
+			// Struct and array value literals live on the stack; only
+			// slice and map literals (reference types) allocate.
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				if !analysis.CapGuarded(info, stack) {
+					report(n.Pos(), "slice literal allocates; carve from the workspace or grow a retained buffer")
+				}
+			case *types.Map:
+				if !analysis.CapGuarded(info, stack) {
+					report(n.Pos(), "map literal allocates; hoist the map to init-time state")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok && !analysis.CapGuarded(info, stack) {
+					report(n.Pos(), "&composite literal escapes to the heap; reuse a retained value")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				report(n.Pos(), "string concatenation allocates; hot paths carry bytes, not strings")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				report(n.Pos(), "string concatenation allocates; hot paths carry bytes, not strings")
+			}
+			checkAssignBoxing(pass, n, report)
+		case *ast.ValueSpec:
+			for i, v := range n.Values {
+				if i < len(n.Names) {
+					checkBoxing(pass, info.TypeOf(n.Names[i]), v, report)
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(n.Results) == len(results) {
+				for i, res := range n.Results {
+					checkBoxing(pass, results[i], res, report)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	if analysis.IsBuiltin(info, call, "make") || analysis.IsBuiltin(info, call, "new") {
+		if !analysis.CapGuarded(info, stack) {
+			report(call.Pos(), "unguarded %s allocates on every call; guard with a cap/len check (the Grow idiom) or annotate //anclint:coldstart", ast.Unparen(call.Fun).(*ast.Ident).Name)
+		}
+		return
+	}
+	if pkgPath, fname := analysis.PkgFuncOf(info, call.Fun); pkgPath == "fmt" {
+		report(call.Pos(), "fmt.%s boxes every operand and allocates internally; hot paths must not format", fname)
+		return
+	}
+	// Conversion to an interface type: T(x) where T is an interface.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			checkBoxing(pass, tv.Type, call.Args[0], report)
+		}
+		return
+	}
+	// Interface-typed parameters receiving concrete arguments.
+	sig, ok := typeOfCallee(info, call).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				if i == params.Len()-1 {
+					pt = params.At(params.Len() - 1).Type()
+				}
+			} else if s, ok := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		checkBoxing(pass, pt, arg, report)
+	}
+}
+
+func typeOfCallee(info *types.Info, call *ast.CallExpr) types.Type {
+	if t := info.TypeOf(call.Fun); t != nil {
+		return t.Underlying()
+	}
+	return nil
+}
+
+func checkAssignBoxing(pass *analysis.Pass, n *ast.AssignStmt, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	if len(n.Lhs) != len(n.Rhs) {
+		return // multi-value call assignment: tuple elements keep their types
+	}
+	for i := range n.Lhs {
+		checkBoxing(pass, info.TypeOf(n.Lhs[i]), n.Rhs[i], report)
+	}
+}
+
+// checkBoxing reports when expr, of some concrete non-pointer-shaped
+// type, is implicitly converted to the interface type target.
+func checkBoxing(pass *analysis.Pass, target types.Type, expr ast.Expr, report func(token.Pos, string, ...any)) {
+	if target == nil || !types.IsInterface(target) {
+		return
+	}
+	info := pass.TypesInfo
+	tv, ok := info.Types[expr]
+	if !ok || tv.IsNil() {
+		return
+	}
+	src := tv.Type
+	if src == nil || types.IsInterface(src) {
+		return
+	}
+	switch src.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // pointer-shaped: stored directly in the interface word
+	}
+	report(expr.Pos(), "boxing %s into %s allocates; keep hot-path data concrete", src.String(), target.String())
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

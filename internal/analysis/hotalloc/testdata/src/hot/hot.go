@@ -1,0 +1,96 @@
+// Package hot is a hotalloc-analyzer fixture: every allocation source
+// the analyzer forbids inside //anc:hotpath functions, next to the
+// sanctioned grow idiom, the //anclint:coldstart waiver, and an
+// unannotated function that allocates freely.
+package hot
+
+import "fmt"
+
+type scratch struct {
+	buf []byte
+}
+
+// allocEverything trips every rule.
+//
+//anc:hotpath
+func allocEverything(n int, w interface{ Write([]byte) }) interface{} {
+	b := make([]byte, n) // want "unguarded make allocates on every call"
+	p := new(scratch)    // want "unguarded new allocates on every call"
+	_ = p
+
+	f := func() int { return n } // want "closure literal allocates its capture block"
+	_ = f
+
+	go func() {}()          // want "go statement allocates a goroutine" "closure literal"
+	defer fmt.Println(done) // want "defer in a hot function" "fmt.Println boxes every operand"
+
+	s := []int{1, 2, 3}         // want "slice literal allocates"
+	m := map[string]int{"a": 1} // want "map literal allocates"
+	q := &scratch{buf: b}       // want "&composite literal escapes to the heap"
+	_, _, _ = s, m, q
+
+	msg := "a" + string(b) // want "string concatenation allocates"
+	msg += "!"             // want "string concatenation allocates"
+	_ = msg
+
+	var boxed interface{} = n // want "boxing int into interface"
+	_ = boxed
+	boxed = n // want "boxing int into interface"
+
+	fmt.Printf("%d", n) // want "fmt.Printf boxes every operand"
+
+	return n // want "boxing int into interface"
+}
+
+const done = "done"
+
+// growGuarded is the sanctioned amortized-growth idiom: the make only
+// runs when capacity is insufficient.
+//
+//anc:hotpath
+func growGuarded(s *scratch, n int) {
+	if cap(s.buf) < n {
+		s.buf = make([]byte, n)
+	}
+	s.buf = s.buf[:n]
+	for i := range s.buf {
+		s.buf[i] = 0
+	}
+}
+
+// coldFallback documents its one-time allocation with the waiver.
+//
+//anc:hotpath
+func coldFallback(s *scratch, n int) {
+	if s == nil {
+		s = &scratch{} //anclint:coldstart — one-shot arena for scratchless callers
+	}
+	growGuarded(s, n)
+}
+
+// pointerShaped passes only pointer-shaped values through interfaces:
+// no boxing allocation.
+//
+//anc:hotpath
+func pointerShaped(s *scratch) interface{} {
+	var i interface{} = s
+	i = error(nil)
+	_ = i
+	return s
+}
+
+// appendAllowed: append is the sanctioned amortization point for pools
+// owned by the hot structure itself.
+//
+//anc:hotpath
+func appendAllowed(s *scratch, b byte) {
+	s.buf = append(s.buf, b)
+}
+
+// coldSetup has no annotation: it may allocate, format, and close over
+// whatever it likes.
+func coldSetup(n int) func() []byte {
+	buf := make([]byte, n)
+	fmt.Println("cold", n)
+	return func() []byte { return buf }
+}

@@ -1,0 +1,222 @@
+// Package intoownership machine-checks the README's buffer-ownership
+// contract for `*Into` / `*InPlace` functions: the destination buffer
+// belongs to the caller. The function writes into the destination's
+// storage, may grow it only through the cap-guarded grow idiom (a
+// `Grow*` helper, or `if cap(dst) < n { dst = make(...) }`), returns the
+// same storage (resliced at most), and must not retain it.
+//
+// Concretely, for the destination parameter (the first slice-typed
+// parameter, or the receiver of a slice-shaped type when no parameter is
+// slice-typed) the analyzer flags:
+//
+//   - append to the destination: `append(dst, ...)` reallocates with
+//     amortized doubling behind the caller's back, silently splitting
+//     the caller's retained buffer from the written-to storage — the
+//     aliasing bug class the zero-allocation pipeline cannot tolerate.
+//   - reassignment of the destination from anything but a slice
+//     expression of itself or a Grow helper (`dst = dsp.GrowBytes(dst,
+//     n)`, `dst = growSignal(&dst, n)`), unless cap-guarded.
+//   - returning fresh storage (`return nil`, `return make(...)`,
+//     `return append(...)`, a composite literal) where a slice result is
+//     expected: callers stash the return back into their reuse slot, so
+//     a nil return leaks the retained buffer and fresh storage breaks
+//     the ownership transfer. Empty results must be `dst[:0]`.
+//   - storing the destination into a struct field: the contract says
+//     results are valid until the next call that reuses dst; a retained
+//     alias outlives that window.
+//
+// Multi-destination functions (e.g. ProfileInto(energy, variance, s))
+// have only their first destination checked; the analyzer is a contract
+// guard, not an alias prover.
+package intoownership
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "intoownership",
+	Doc:  "enforce the *Into/*InPlace destination-ownership contract (no append/realloc/replacement/retention of the destination buffer)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !strings.HasSuffix(fn.Name.Name, "Into") && !strings.HasSuffix(fn.Name.Name, "InPlace") {
+				continue
+			}
+			dest := destParam(pass, fn)
+			if dest == nil {
+				continue
+			}
+			check(pass, fn, dest)
+		}
+	}
+	return nil
+}
+
+// destParam picks the destination: the first slice-typed parameter, or
+// the receiver when it is slice-shaped and no parameter is.
+func destParam(pass *analysis.Pass, fn *ast.FuncDecl) *types.Var {
+	for _, field := range fn.Type.Params.List {
+		if !analysis.IsSliceType(pass.TypesInfo.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				return v
+			}
+		}
+		return nil // unnamed destination: nothing to track
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 && len(fn.Recv.List[0].Names) == 1 {
+		name := fn.Recv.List[0].Names[0]
+		if name.Name != "_" && analysis.IsSliceType(pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)) {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, fn *ast.FuncDecl, dest *types.Var) {
+	info := pass.TypesInfo
+	// sliceResult[i] reports whether the i-th result is slice-typed, so
+	// return statements are checked positionally (a `return out, nil`
+	// whose nil is the trailing error must not be flagged).
+	var sliceResult []bool
+	if fn.Type.Results != nil {
+		for _, r := range fn.Type.Results.List {
+			n := len(r.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				sliceResult = append(sliceResult, analysis.IsSliceType(info.TypeOf(r.Type)))
+			}
+		}
+	}
+	analysis.WalkStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if analysis.IsBuiltin(info, n, "append") && len(n.Args) > 0 && refersTo(info, n.Args[0], dest) {
+				pass.Reportf(n.Pos(), "intoownership: %s appends to its destination %q; append reallocates behind the caller — write in place and grow only via the cap-guarded Grow idiom", fn.Name.Name, dest.Name())
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				switch lhs := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if info.Uses[lhs] != dest {
+						continue
+					}
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					if !sanctionedReassign(pass, rhs, dest, stack) {
+						pass.Reportf(n.Pos(), "intoownership: %s reassigns its destination %q; the caller keeps the original storage — use dst = Grow*(dst, n) or a cap-guarded make", fn.Name.Name, dest.Name())
+					}
+				case *ast.SelectorExpr:
+					// x.f = ...dest... — retention in a struct field.
+					if sel, ok := info.Selections[lhs]; ok && sel.Kind() == types.FieldVal {
+						var rhs ast.Expr
+						if len(n.Rhs) == len(n.Lhs) {
+							rhs = n.Rhs[i]
+						}
+						if rhs != nil && refersTo(info, rhs, dest) {
+							pass.Reportf(n.Pos(), "intoownership: %s stores its destination %q in a struct field; results are only valid until the next call that reuses the buffer", fn.Name.Name, dest.Name())
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(sliceResult) == 0 || len(n.Results) != len(sliceResult) {
+				// No slice results, or a bare/single-call return form we
+				// cannot attribute positionally.
+				return true
+			}
+			for i, res := range n.Results {
+				if !sliceResult[i] {
+					continue
+				}
+				switch res := ast.Unparen(res).(type) {
+				case *ast.Ident:
+					if res.Name == "nil" && info.Types[res].IsNil() {
+						pass.Reportf(res.Pos(), "intoownership: %s returns nil instead of %s[:0]; a nil return leaks the caller's retained reuse buffer", fn.Name.Name, dest.Name())
+					}
+				case *ast.CallExpr:
+					if analysis.IsBuiltin(info, res, "make") || analysis.IsBuiltin(info, res, "append") {
+						pass.Reportf(res.Pos(), "intoownership: %s returns fresh storage instead of its destination %q; the caller owns the buffer", fn.Name.Name, dest.Name())
+					}
+				case *ast.CompositeLit:
+					if analysis.IsSliceType(info.TypeOf(res)) {
+						pass.Reportf(res.Pos(), "intoownership: %s returns a slice literal instead of its destination %q; the caller owns the buffer", fn.Name.Name, dest.Name())
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Closures get their own (unchecked) scope; the destination
+			// rules still apply to direct uses inside them, so descend.
+			return true
+		}
+		return true
+	})
+}
+
+// sanctionedReassign reports whether `dest = rhs` keeps the ownership
+// contract: a reslice of dest, dest itself, a Grow-helper call with dest
+// (or &dest) as first argument, or a cap/len-guarded fresh allocation
+// (the grow-on-demand idiom).
+func sanctionedReassign(pass *analysis.Pass, rhs ast.Expr, dest *types.Var, stack []ast.Node) bool {
+	if rhs == nil {
+		// Multi-value assignment from a call: can't attribute, let it go.
+		return true
+	}
+	info := pass.TypesInfo
+	switch rhs := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		return info.Uses[rhs] == dest
+	case *ast.SliceExpr:
+		return refersTo(info, rhs.X, dest)
+	case *ast.CallExpr:
+		if analysis.IsBuiltin(info, rhs, "make") || analysis.IsBuiltin(info, rhs, "new") {
+			return analysis.CapGuarded(info, stack)
+		}
+		if analysis.IsBuiltin(info, rhs, "append") && len(rhs.Args) > 0 && refersTo(info, rhs.Args[0], dest) {
+			// Already reported by the append check; one diagnostic per sin.
+			return true
+		}
+		callee := analysis.CalleeOf(info, rhs)
+		if callee != nil && strings.HasPrefix(strings.ToLower(callee.Name()), "grow") {
+			return len(rhs.Args) > 0 && refersTo(info, rhs.Args[0], dest)
+		}
+	}
+	return false
+}
+
+// refersTo reports whether expr is dest, a reslice/unary-& of dest, or
+// otherwise mentions dest anywhere inside it.
+func refersTo(info *types.Info, expr ast.Expr, dest *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == dest {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package intoownership_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/intoownership"
+)
+
+func TestIntoOwnership(t *testing.T) {
+	analysistest.Run(t, "testdata", intoownership.Analyzer, "buffers")
+}

@@ -1,0 +1,134 @@
+// Package buffers is an intoownership-analyzer fixture: every way an
+// *Into/*InPlace function can break the destination-ownership contract,
+// next to every sanctioned growth idiom.
+package buffers
+
+// Signal mirrors dsp.Signal: a named slice type whose methods use the
+// receiver as the destination.
+type Signal []complex128
+
+// GrowBytes mirrors dsp.GrowBytes — the sanctioned growth helper.
+// (Not itself checked: its name does not end in Into/InPlace.)
+func GrowBytes(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	return dst[:n]
+}
+
+// --- violations ---
+
+func AppendCopyInto(dst, src []byte) []byte {
+	dst = append(dst, src...) // want "appends to its destination"
+	return dst
+}
+
+func ReallocInto(dst []byte, n int) []byte {
+	dst = make([]byte, n) // want "reassigns its destination"
+	for i := range dst {
+		dst[i] = 0
+	}
+	return dst
+}
+
+func SwapInto(dst, src []byte) []byte {
+	dst = src // want "reassigns its destination"
+	return dst
+}
+
+func NilOnEmptyInto(dst, src []byte) []byte {
+	if len(src) == 0 {
+		return nil // want "returns nil instead of dst"
+	}
+	dst = GrowBytes(dst, len(src))
+	copy(dst, src)
+	return dst
+}
+
+func FreshInto(dst []byte, n int) []byte {
+	return make([]byte, n) // want "returns fresh storage"
+}
+
+func AppendReturnInto(dst, src []byte) []byte {
+	return append(dst, src...) // want "appends to its destination" "returns fresh storage"
+}
+
+func LiteralInto(dst []byte) []byte {
+	return []byte{0} // want "returns a slice literal"
+}
+
+type retainer struct {
+	buf []byte
+}
+
+func (r *retainer) RetainInto(dst []byte) []byte {
+	r.buf = dst // want "stores its destination"
+	return dst
+}
+
+func (r *retainer) RetainSliceInto(dst []byte, n int) []byte {
+	r.buf = dst[:n] // want "stores its destination"
+	return dst[:n]
+}
+
+// --- sanctioned ---
+
+// HelperGrowInto grows through a Grow* helper: the caller's storage is
+// reused whenever capacity suffices.
+func HelperGrowInto(dst, src []byte) []byte {
+	dst = GrowBytes(dst, len(src))
+	copy(dst, src)
+	return dst
+}
+
+// CapGuardedInto inlines the grow idiom.
+func CapGuardedInto(dst []byte, n int) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n)
+	}
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = 1
+	}
+	return dst
+}
+
+// EmptyInto returns the contract's empty form, never nil.
+func EmptyInto(dst []byte) []byte {
+	return dst[:0]
+}
+
+// ScaleInPlace uses its slice receiver as the destination.
+func ScaleInPlace(s Signal) Signal {
+	for i := range s {
+		s[i] *= 2
+	}
+	return s
+}
+
+// ReceiverInPlace exercises the receiver-as-destination path.
+type buf []byte
+
+func (b buf) ZeroInPlace() buf {
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// PositionalInto returns (result, error): a trailing nil error must not
+// be mistaken for a nil destination return.
+func PositionalInto(dst, src []byte) ([]byte, error) {
+	dst = GrowBytes(dst, len(src))
+	copy(dst, src)
+	return dst, nil
+}
+
+// WriteThroughInto writes element-wise and via an index assignment —
+// both are in-place writes, not reassignments.
+func WriteThroughInto(dst []byte, v byte) []byte {
+	if len(dst) > 0 {
+		dst[0] = v
+	}
+	return dst
+}

@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one loaded, parsed and type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Root       bool // named by the load patterns (vs. pulled in as a dependency)
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists the packages matching patterns (with the go tool, run in
+// dir), parses and type-checks every non-standard-library package from
+// source, and resolves standard-library imports through the compiler
+// export data `go list -export` materializes in the build cache. The
+// result contains only the source-loaded packages, dependencies first;
+// packages named by the patterns have Root set.
+//
+// Only each package's GoFiles (no _test.go files) are analyzed — the
+// invariants anclint enforces are properties of shipped simulator code.
+// The loader needs the go tool on PATH but no network and no module
+// downloads: the repository has no external dependencies by design.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	imp := &loadImporter{
+		fset:    fset,
+		source:  make(map[string]*types.Package),
+		exports: exports,
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var out []*Package
+	// `go list -deps` emits dependencies before dependents, so a single
+	// in-order pass type-checks every import before its importers.
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Standard {
+			if lp.Export != "" {
+				exports[lp.ImportPath] = lp.Export
+			}
+			continue
+		}
+		pkg, err := checkFromSource(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Root = !lp.DepOnly
+		imp.source[lp.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// GoListExport materializes compiler export data for the named packages
+// and their whole dependency cone, returning import path -> export file.
+// The analysistest harness uses it to give fixture packages real stdlib
+// type information without loading the standard library from source.
+func GoListExport(dir string, paths []string) (map[string]string, error) {
+	listed, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string, len(listed))
+	for _, lp := range listed {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			out[lp.ImportPath] = lp.Export
+		}
+	}
+	return out, nil
+}
+
+// goList runs `go list -export -deps -json` over the patterns.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// checkFromSource parses and type-checks one package.
+func checkFromSource(fset *token.FileSet, imp types.Importer, importPath, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// loadImporter resolves imports during type-checking: module packages
+// from the already-checked source map, the standard library from gc
+// export data.
+type loadImporter struct {
+	fset    *token.FileSet
+	source  map[string]*types.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (imp *loadImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := imp.source[path]; ok {
+		return p, nil
+	}
+	return imp.gc.Import(path)
+}

@@ -1,0 +1,149 @@
+// Package maporder flags iteration over a map whose loop body emits
+// output — writes to an io.Writer, fmt.Fprint* calls, encoder calls, or
+// appends to a byte buffer. Go's map iteration order is deliberately
+// randomized, so such a loop produces a different byte stream on every
+// run: exactly the failure mode that would corrupt the byte-identical
+// NDJSON shard/merge equivalence, the golden fingerprints, and the
+// canonical sketch wire format.
+//
+// The sanctioned idiom is collect-keys-then-sort:
+//
+//	keys := make([]K, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, ...)
+//	for _, k := range keys {
+//		fmt.Fprintf(w, ...)
+//	}
+//
+// (the first loop only appends to a non-byte slice and is not flagged;
+// the second ranges over a slice). Where a map-ordered write really is
+// order-independent, annotate the range statement with an
+// `//anclint:sorted` comment on the same line or the line above.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Directive is the suppression annotation for a map range whose emitted
+// output is genuinely order-independent.
+const Directive = "anclint:sorted"
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc:  "flag map iteration whose body writes to an output stream or encoding buffer (randomized order corrupts byte-identical output)",
+	Run:  run,
+}
+
+// writerMethods are method names that emit bytes into a stream or
+// builder: io.Writer and friends, plus stream encoders.
+var writerMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"WriteTo":     true,
+	"Encode":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		suppressed := analysis.CommentDirectives(file, pass.Fset, Directive)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if analysis.Suppressed(suppressed, pass.Fset, rng.Pos()) {
+				return true
+			}
+			if pos, what := findEmit(pass, rng.Body); pos.IsValid() {
+				pass.Reportf(rng.Pos(), "maporder: map iteration emits output (%s) in randomized order; collect and sort the keys first, or annotate //anclint:sorted if order-independent", what)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findEmit returns the position and description of the first
+// output-emitting operation in the loop body, or (NoPos, "").
+func findEmit(pass *analysis.Pass, body *ast.BlockStmt) (token.Pos, string) {
+	var pos token.Pos
+	var what string
+	ast.Inspect(body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if p, w := emittingCall(pass, n); p.IsValid() {
+				pos, what = p, w
+				return false
+			}
+		case *ast.AssignStmt:
+			// buf = append(buf, ...) growing a byte slice: an encoding
+			// buffer assembled in map order.
+			for _, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !analysis.IsBuiltin(pass.TypesInfo, call, "append") {
+					continue
+				}
+				if isByteSlice(pass.TypesInfo.TypeOf(call)) {
+					pos, what = call.Pos(), "append to []byte encoding buffer"
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return pos, what
+}
+
+// emittingCall classifies one call as output-emitting or not.
+func emittingCall(pass *analysis.Pass, call *ast.CallExpr) (token.Pos, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return token.NoPos, ""
+	}
+	if pkgPath, name := analysis.PkgFuncOf(pass.TypesInfo, sel); pkgPath == "fmt" {
+		switch name {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return call.Pos(), "fmt." + name
+		}
+		return token.NoPos, ""
+	}
+	// A method call: only writer-shaped names count, and only when the
+	// receiver is a real value (not a package qualifier, handled above).
+	if writerMethods[sel.Sel.Name] {
+		if selInfo, ok := pass.TypesInfo.Selections[sel]; ok && selInfo.Kind() == types.MethodVal {
+			return call.Pos(), "method " + sel.Sel.Name
+		}
+	}
+	return token.NoPos, ""
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

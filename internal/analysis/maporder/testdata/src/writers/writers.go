@@ -1,0 +1,80 @@
+// Package writers is a maporder-analyzer fixture: map-ordered emission
+// in every form the analyzer catches, next to the sanctioned
+// collect-then-sort idiom and the //anclint:sorted waiver.
+package writers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+func fprint(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "maporder: map iteration emits output .fmt.Fprintf."
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func builder(m map[string]int) string {
+	var buf bytes.Buffer
+	for k := range m { // want "maporder: map iteration emits output .method WriteString."
+		buf.WriteString(k)
+	}
+	return buf.String()
+}
+
+func encoder(w io.Writer, m map[string]int) error {
+	enc := json.NewEncoder(w)
+	for k := range m { // want "maporder: map iteration emits output .method Encode."
+		if err := enc.Encode(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func appendBytes(m map[string]int) []byte {
+	var out []byte
+	for k := range m { // want "maporder: map iteration emits output .append to ..byte encoding buffer."
+		out = append(out, k...)
+	}
+	return out
+}
+
+// collectThenSort is the sanctioned idiom: the map range only gathers
+// keys (a non-byte append), and the emitting loop ranges over a sorted
+// slice.
+func collectThenSort(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+
+// tally neither writes nor encodes: pure aggregation over a map is
+// order-independent by construction.
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// waived demonstrates the escape hatch for emission that is genuinely
+// order-independent (here: fixed bytes per iteration, count only).
+func waived(w io.Writer, m map[string]int) {
+	//anclint:sorted
+	for range m {
+		_, _ = w.Write([]byte("."))
+	}
+	for range m { //anclint:sorted
+		fmt.Fprint(w, ".")
+	}
+}

@@ -1,0 +1,130 @@
+// Package recorderdiscipline machine-checks the PR 4 results contract:
+// schedule steppers and engine code report observations through the
+// sim.Recorder interface (RecordDelivered, RecordANCDecode, ...) and
+// never poke Metrics result fields directly. Direct field writes bypass
+// every alternative Recorder (TraceRecorder, SketchRecorder, streaming
+// sinks), so an aggregate that only ever ran under the default Metrics
+// recorder would silently diverge the moment a campaign streams.
+//
+// The analyzer flags any assignment, compound assignment or ++/--
+// whose target is a field of the Metrics struct declared in a package
+// named "sim" — including writes that reach a Metrics field through an
+// embedding recorder (TraceRecorder.Delivered++ is still a Metrics
+// write). Exempt are
+//
+//   - methods declared on Metrics itself (the accessor implementations
+//     are where the fields must be written), and
+//   - files named recorder.go or metrics.go (the recorder vocabulary).
+//
+// Whole-value resets (*m = Metrics{}) are not field writes and stay
+// legal: zeroing a recorder is ownership, not accounting.
+package recorderdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "recorderdiscipline",
+	Doc:  "forbid direct writes to sim.Metrics fields outside recorder/metrics code; observations go through the Recorder interface",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(file.Pos()).Filename)
+		if base == "recorder.go" || base == "metrics.go" {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isMetricsMethod(pass, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkWrite(pass, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// isMetricsMethod reports whether fn is declared on (a pointer to) the
+// sim Metrics type.
+func isMetricsMethod(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || len(fn.Recv.List) != 1 {
+		return false
+	}
+	t := pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	return isSimMetrics(analysis.Deref(t))
+}
+
+// checkWrite flags lhs when it denotes a field belonging to the
+// sim.Metrics struct, directly or through embedded fields.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	owner, field := fieldOwner(selection)
+	if owner == nil || !isSimMetrics(owner) {
+		return
+	}
+	pass.Reportf(lhs.Pos(), "recorderdiscipline: direct write to sim.Metrics field %s; emit the observation through the Recorder interface instead", field)
+}
+
+// fieldOwner walks the selection's embedding path and returns the named
+// type that declares the final field, with the field name.
+func fieldOwner(sel *types.Selection) (types.Type, string) {
+	t := analysis.Deref(sel.Recv())
+	index := sel.Index()
+	for i, idx := range index {
+		s, ok := analysis.Deref(t).Underlying().(*types.Struct)
+		if !ok || idx >= s.NumFields() {
+			return nil, ""
+		}
+		f := s.Field(idx)
+		if i == len(index)-1 {
+			return analysis.Deref(t), f.Name()
+		}
+		t = f.Type()
+	}
+	return nil, ""
+}
+
+// isSimMetrics reports whether t is a named type Metrics declared in a
+// package whose path ends in "sim".
+func isSimMetrics(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Metrics" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "sim" || filepath.Base(path) == "sim"
+}

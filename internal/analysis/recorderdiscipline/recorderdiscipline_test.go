@@ -1,0 +1,12 @@
+package recorderdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/recorderdiscipline"
+)
+
+func TestRecorderDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", recorderdiscipline.Analyzer, "sim", "steppers")
+}

@@ -1,0 +1,17 @@
+package sim
+
+// step lives in the sim package but outside recorder.go/metrics.go and
+// outside any Metrics method: the discipline applies to it.
+func step(m *Metrics, tr *TraceRecorder) {
+	m.Delivered++          // want "direct write to sim.Metrics field Delivered"
+	m.Collisions += 2      // want "direct write to sim.Metrics field Collisions"
+	tr.Delivered = 7       // want "direct write to sim.Metrics field Delivered"
+	tr.Metrics.Delivered-- // want "direct write to sim.Metrics field Delivered"
+
+	// Sanctioned: accessor calls, embedded non-Metrics fields, and
+	// whole-value resets.
+	m.RecordDelivered()
+	tr.RecordCollision()
+	tr.Events = tr.Events[:0]
+	*m = Metrics{}
+}

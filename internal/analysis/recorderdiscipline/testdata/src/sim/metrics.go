@@ -1,0 +1,34 @@
+// Package sim is a recorderdiscipline fixture mirroring the real
+// internal/sim recorder vocabulary. This file is named metrics.go, so
+// everything in it — including the Record* accessor bodies — is exempt.
+package sim
+
+// Metrics is the default aggregate Recorder implementation.
+type Metrics struct {
+	Delivered  int
+	Collisions int
+	BERs       []float64
+}
+
+// RecordDelivered is the sanctioned write path.
+func (m *Metrics) RecordDelivered() {
+	m.Delivered++
+}
+
+// RecordCollision is the sanctioned write path.
+func (m *Metrics) RecordCollision() {
+	m.Collisions++
+}
+
+// Reset zeroes the aggregate; whole-value resets are ownership, not
+// accounting, and stay legal everywhere.
+func (m *Metrics) Reset() {
+	*m = Metrics{BERs: m.BERs[:0]}
+}
+
+// TraceRecorder embeds Metrics; writes that reach Metrics fields through
+// the embedding are still Metrics writes.
+type TraceRecorder struct {
+	Metrics
+	Events []string
+}

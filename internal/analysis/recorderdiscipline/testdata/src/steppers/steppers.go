@@ -1,0 +1,32 @@
+// Package steppers is the cross-package half of the recorderdiscipline
+// fixture: a schedule-stepper package importing the sim recorder
+// vocabulary. Its own counters are fair game; sim.Metrics fields are
+// not, whether reached directly or through an embedding recorder.
+package steppers
+
+import "sim"
+
+// stats is a local aggregate, unrelated to sim.Metrics; writing its
+// fields is the stepper's own business.
+type stats struct {
+	Delivered int
+}
+
+// hybrid embeds sim.Metrics one package away from its declaration.
+type hybrid struct {
+	sim.Metrics
+	local int
+}
+
+func step(m *sim.Metrics, h *hybrid, s *stats) {
+	m.Delivered++    // want "direct write to sim.Metrics field Delivered"
+	m.Collisions = 3 // want "direct write to sim.Metrics field Collisions"
+	h.Delivered += 1 // want "direct write to sim.Metrics field Delivered"
+
+	// Sanctioned: accessor calls, local-aggregate writes, embedding
+	// struct's own fields, and reading Metrics fields.
+	m.RecordDelivered()
+	h.RecordCollision()
+	s.Delivered++
+	h.local = s.Delivered + m.Delivered
+}

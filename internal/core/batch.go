@@ -36,6 +36,8 @@ type BatchResult struct {
 //
 // out is reused when its capacity suffices and returned resized to
 // len(items). A nil item Decoder panics, matching a nil-receiver Decode.
+//
+//anc:hotpath
 func DecodeBatch(items []BatchItem, out []BatchResult) []BatchResult {
 	if cap(out) < len(items) {
 		out = make([]BatchResult, len(items))

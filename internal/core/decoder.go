@@ -151,6 +151,8 @@ func (d *Decoder) workspace() *Workspace {
 // Decode is a DecodeBatch of one — the single-reception and burst paths
 // are the same code, which is what keeps them bit-identical by
 // construction.
+//
+//anc:hotpath
 func (d *Decoder) Decode(rx dsp.Signal, lookup KnownLookup) (*Result, error) {
 	ws := d.workspace()
 	ws.oneItem[0] = BatchItem{Decoder: d, Rx: rx, Lookup: lookup}

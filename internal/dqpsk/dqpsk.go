@@ -130,6 +130,8 @@ func (m *Modem) Demodulate(s dsp.Signal) []byte {
 // internal working buffers, so scratch is accepted only to satisfy the
 // shared modem contract and may be nil. Bit values are identical to
 // Demodulate's.
+//
+//anc:hotpath
 func (m *Modem) DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte {
 	nsym := m.NumBits(len(s)) / 2
 	if nsym == 0 {
@@ -160,6 +162,8 @@ func (m *Modem) DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) [
 // every dst slot keeps its own storage and the whole batch of results
 // remains valid simultaneously. Bit values are identical to per-view
 // DemodulateInto calls.
+//
+//anc:hotpath
 func (m *Modem) DemodulateBatchInto(scratch *dsp.Scratch, dsts [][]byte, sigs []dsp.Signal) [][]byte {
 	dsts = dsp.GrowByteSlices(dsts, len(sigs))
 	for i, s := range sigs {
@@ -189,6 +193,8 @@ func (m *Modem) PhaseDiffs(bs []byte) []float64 {
 // PhaseDiffsInto is PhaseDiffs writing into dst's storage (grown when too
 // small). An odd trailing bit is paired with an implicit 0, matching
 // Modulate's padding, without copying the input.
+//
+//anc:hotpath
 func (m *Modem) PhaseDiffsInto(dst []float64, bs []byte) []float64 {
 	nsym := (len(bs) + 1) / 2
 	dst = dsp.GrowFloats(dst, nsym*m.sps)
@@ -218,6 +224,8 @@ func (m *Modem) DecideDiffs(diffs, weights []float64) []byte {
 
 // DecideDiffsInto is DecideDiffs writing into dst's storage (grown when
 // too small).
+//
+//anc:hotpath
 func (m *Modem) DecideDiffsInto(dst []byte, diffs, weights []float64) []byte {
 	nsym := len(diffs) / m.sps
 	out := dsp.GrowBytes(dst, nsym*2)

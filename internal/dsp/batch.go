@@ -15,6 +15,8 @@ import "math"
 // Reset first, so consecutive calls on one MovingStats are independent
 // and a batch of signals can share a single re-wound window. energy and
 // variance must be at least len(s) long.
+//
+//anc:hotpath
 func (m *MovingStats) ProfileInto(energy, variance []float64, s Signal) {
 	m.Reset()
 	for i, v := range s {
@@ -28,6 +30,8 @@ func (m *MovingStats) ProfileInto(energy, variance []float64, s Signal) {
 // expected profile — the soft pilot-correlation score of one candidate
 // alignment in a recovered ∆φ stream (§7.2 refinement). diffs must be at
 // least len(expected) long.
+//
+//anc:hotpath
 func CorrelatePhaseDiffs(diffs, expected []float64) float64 {
 	var score float64
 	for k, e := range expected {
@@ -40,6 +44,8 @@ func CorrelatePhaseDiffs(diffs, expected []float64) float64 {
 // the observed phase difference from s[k] to s[k+1] — the signal-domain
 // form of CorrelatePhaseDiffs. s must have at least len(expected)+1
 // samples.
+//
+//anc:hotpath
 func CorrelateSignalDiffs(s Signal, expected []float64) float64 {
 	var score float64
 	for k, e := range expected {
@@ -53,6 +59,8 @@ func CorrelateSignalDiffs(s Signal, expected []float64) float64 {
 // maximizes CorrelatePhaseDiffs, skipping offsets that would read out of
 // bounds. Ties keep the earliest offset; when no offset is valid the
 // fallback is returned with a −Inf score.
+//
+//anc:hotpath
 func BestDiffsCorrelation(diffs, expected []float64, lo, hi, fallback int) (int, float64) {
 	best, bestScore := fallback, math.Inf(-1)
 	for o := lo; o < hi; o++ {
@@ -71,6 +79,8 @@ func BestDiffsCorrelation(diffs, expected []float64, lo, hi, fallback int) (int,
 // CorrelateSignalDiffs over the expected profile, skipping starts whose
 // window would read at or past limit. Ties keep the earliest start; when
 // no start is valid the fallback is returned with a −Inf score.
+//
+//anc:hotpath
 func BestSignalCorrelation(s Signal, expected []float64, lo, hi, limit, fallback int) (int, float64) {
 	best, bestScore := fallback, math.Inf(-1)
 	for r := lo; r < hi; r++ {
@@ -88,6 +98,8 @@ func BestSignalCorrelation(s Signal, expected []float64, lo, hi, limit, fallback
 // (s[1+i·sps] .. s[(i+1)·sps], past the leading reference sample) — the
 // symbol-length matched filter every constant-envelope oversampled
 // receiver here shares. The symbol count is len(g).
+//
+//anc:hotpath
 func BoxcarSymbolsInto(g []complex128, s Signal, sps int) []complex128 {
 	for i := range g {
 		var acc complex128
@@ -111,6 +123,8 @@ func BoxcarSymbolsInto(g []complex128, s Signal, sps int) []complex128 {
 // materialized observation stream — so the kernel's only storage is the
 // caller's: dst receives the len(g) decided bits; back is the
 // back-pointer scratch and must hold at least 2·len(g) bytes.
+//
+//anc:hotpath
 func ViterbiHalfStep(back []byte, dst []byte, ref complex128, g []complex128, steps [2]float64) []byte {
 	n := len(g)
 	metric := [2]float64{}

@@ -140,9 +140,13 @@ func (m *Modem) Demodulate(s dsp.Signal) []byte {
 // scratch uses a private one-shot arena. The returned slice is valid until
 // the next call that reuses dst or scratch; the bit values are identical
 // to Demodulate's.
+//
+//anc:hotpath
 func (m *Modem) DemodulateInto(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte {
 	if scratch == nil {
-		scratch = &dsp.Scratch{}
+		// One-shot arena for scratchless callers; the engine always
+		// supplies a reused workspace scratch.
+		scratch = &dsp.Scratch{} //anclint:coldstart
 	}
 	if m.sps == 1 {
 		n := m.NumBits(len(s))
@@ -171,6 +175,8 @@ func (m *Modem) SoftDemodulate(s dsp.Signal) []float64 {
 
 // softDemodulateInto fills out (whose length sets the symbol count) with
 // the per-symbol accumulated phase differences.
+//
+//anc:hotpath
 func (m *Modem) softDemodulateInto(out []float64, s dsp.Signal) []float64 {
 	for i := range out {
 		base := 1 + i*m.sps
@@ -194,6 +200,8 @@ func (m *Modem) softDemodulateInto(out []float64, s dsp.Signal) []float64 {
 // (state = previous bit) resolves it optimally; the branch metric is the
 // squared wrapped distance between the observed and hypothesized phase
 // difference.
+//
+//anc:hotpath
 func (m *Modem) demodulateMLSE(scratch *dsp.Scratch, dst []byte, s dsp.Signal) []byte {
 	n := m.NumBits(len(s))
 	if n == 0 {
@@ -223,6 +231,8 @@ func (m *Modem) demodulateMLSE(scratch *dsp.Scratch, dst []byte, s dsp.Signal) [
 // results remains valid simultaneously; that is the property the
 // decoder's clean-head sub-symbol search relies on. Bit values are
 // identical to per-view DemodulateInto calls.
+//
+//anc:hotpath
 func (m *Modem) DemodulateBatchInto(scratch *dsp.Scratch, dsts [][]byte, sigs []dsp.Signal) [][]byte {
 	dsts = dsp.GrowByteSlices(dsts, len(sigs))
 	if scratch != nil {
@@ -254,6 +264,8 @@ func (m *Modem) PhaseDiffs(bs []byte) []float64 {
 
 // PhaseDiffsInto is PhaseDiffs writing into dst's storage (grown when too
 // small).
+//
+//anc:hotpath
 func (m *Modem) PhaseDiffsInto(dst []float64, bs []byte) []float64 {
 	dst = dsp.GrowFloats(dst, len(bs)*m.sps)
 	step := PhaseStep / float64(m.sps)
@@ -286,6 +298,8 @@ func (m *Modem) DecideDiffs(diffs, weights []float64) []byte {
 // too small). The decoder's pilot-alignment search calls it once per
 // candidate offset, so buffer reuse here is what makes alignment
 // allocation free.
+//
+//anc:hotpath
 func (m *Modem) DecideDiffsInto(dst []byte, diffs, weights []float64) []byte {
 	n := len(diffs) / m.sps
 	out := dsp.GrowBytes(dst, n)

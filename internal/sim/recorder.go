@@ -51,25 +51,37 @@ type Recorder interface {
 
 // RecordDelivered implements Recorder: one more delivered packet, its
 // goodput bits added.
+//
+//anc:hotpath
 func (m *Metrics) RecordDelivered(bits float64) {
 	m.Delivered++
 	m.DeliveredBits += bits
 }
 
 // RecordLost implements Recorder.
+//
+//anc:hotpath
 func (m *Metrics) RecordLost(n int) { m.Lost += n }
 
 // RecordANCDecode implements Recorder: the BER joins the run's pool.
+//
+//anc:hotpath
 func (m *Metrics) RecordANCDecode(ber float64) { m.BERs = append(m.BERs, ber) }
 
 // RecordCollision implements Recorder: the overlap joins the run's pool.
+//
+//anc:hotpath
 func (m *Metrics) RecordCollision(overlap float64) { m.Overlaps = append(m.Overlaps, overlap) }
 
 // RecordAirTime implements Recorder.
+//
+//anc:hotpath
 func (m *Metrics) RecordAirTime(samples float64) { m.TimeSamples += samples }
 
 // RecordLinkState implements Recorder as a no-op: the aggregate metrics
 // do not retain channel state. TraceRecorder does.
+//
+//anc:hotpath
 func (m *Metrics) RecordLinkState(slot, from, to int, powerGain float64) {}
 
 // --- TraceRecorder ---
