@@ -14,9 +14,12 @@
 //
 // The determinism analyzer is scoped to the simulation packages (any
 // package with a path segment in core, sim, dsp, channel, frame,
-// topology, phy, msk, dqpsk, stats, experiments); the other analyzers
-// run everywhere. The suite is built only on the standard library's
-// go/ast and go/types — see internal/analysis.
+// topology, phy, msk, dqpsk, stats, experiments) and explicitly
+// sanctions the service layer (serve, ancserve), which reads wall
+// clocks for metrics but sits downstream of every simulation output —
+// see determinism.InScope. The other analyzers run everywhere. The
+// suite is built only on the standard library's go/ast and go/types —
+// see internal/analysis.
 package main
 
 import (
@@ -32,22 +35,15 @@ import (
 	"repro/internal/analysis/recorderdiscipline"
 )
 
-// deterministicPackages are the path segments naming packages under the
-// reproducibility contract: everything a simulation run's output can
-// depend on.
-var deterministicPackages = map[string]bool{
-	"core": true, "sim": true, "dsp": true, "channel": true,
-	"frame": true, "topology": true, "phy": true, "msk": true,
-	"dqpsk": true, "stats": true, "experiments": true,
-}
-
 // checks pairs each analyzer with the package filter that decides where
-// it runs; a nil filter means everywhere.
+// it runs; a nil filter means everywhere. The determinism scope —
+// simulation packages in, sanctioned service packages (serve, ancserve)
+// out — lives with the analyzer itself, so tests and driver agree.
 var checks = []struct {
 	analyzer *analysis.Analyzer
 	applies  func(importPath string) bool
 }{
-	{determinism.Analyzer, func(p string) bool { return analysis.PathHasSegment(p, deterministicPackages) }},
+	{determinism.Analyzer, determinism.InScope},
 	{maporder.Analyzer, nil},
 	{intoownership.Analyzer, nil},
 	{hotalloc.Analyzer, nil},

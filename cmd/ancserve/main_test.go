@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+)
+
+// syncBuffer is a goroutine-safe writer for capturing daemon output
+// while it runs.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-queue", "0"},
+		{"-jobs", "0"},
+		{"-workers", "-1"},
+		{"-write-timeout", "0s"},
+		{"-drain-timeout", "-1s"},
+		{"-nonsense"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		t.Run(strings.Join(args, " "), func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(context.Background(), args, &out, &errb); code != 2 {
+				t.Errorf("run(%v) = %d, want exit 2\nstderr: %s", args, code, errb.String())
+			}
+		})
+	}
+}
+
+func TestBadListenAddress(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-addr", "256.0.0.1:bad"}, &out, &errb); code != 1 {
+		t.Errorf("run with bad addr = %d, want 1", code)
+	}
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, streams a
+// campaign over HTTP, checks the bytes against the CLI writer and the
+// metrics endpoint, then shuts down via context cancellation — the
+// SIGTERM path — and expects a clean exit 0.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	stdout := &syncBuffer{}
+	stderr := &syncBuffer{}
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "5s"}, stdout, stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(stdout.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address\nstdout: %s\nstderr: %s", stdout.String(), stderr.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+
+	// The served stream must be byte-for-byte the CLI's NDJSON output
+	// for the same campaign.
+	resp, err = http.Post(base+"/v1/stream", "application/json",
+		strings.NewReader(`{"scenario":"alice-bob","runs":3,"packets":2,"seed":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d: %s", resp.StatusCode, got)
+	}
+	opts := experiments.StreamOptions{Options: experiments.Options{Runs: 3, Seed: 1}}
+	opts.Sim.Packets = 2
+	opts.Sim.SNRdB = sim.Ptr(25)
+	var want bytes.Buffer
+	if err := experiments.WriteCampaignNDJSON(&want, opts, "alice-bob", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("served stream diverges from the CLI bytes:\nserved: %s\ncli:    %s", got, want.Bytes())
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(metrics, []byte("ancserve_jobs_accepted_total 1")) {
+		t.Errorf("metrics did not count the job:\n%s", metrics)
+	}
+	if !bytes.Contains(metrics, []byte("ancserve_rows_streamed_total 3")) {
+		t.Errorf("metrics did not count the rows:\n%s", metrics)
+	}
+
+	cancel() // the SIGTERM path
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0\nstderr: %s", code, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit after shutdown")
+	}
+	if !strings.Contains(stdout.String(), "stopped") {
+		t.Errorf("missing shutdown message in stdout: %s", stdout.String())
+	}
+}

@@ -5,9 +5,9 @@
 // unsharded document bit for bit. One stray time.Now or global
 // math/rand call anywhere in the simulation core voids all of that.
 //
-// Within its scope (the driver applies it to the simulation packages:
-// core, sim, dsp, channel, frame, topology, phy, msk, dqpsk, stats,
-// experiments) the analyzer flags
+// Within its scope (the simulation packages: any import path with a
+// segment in core, sim, dsp, channel, frame, topology, phy, msk, dqpsk,
+// stats, experiments — see InScope) the analyzer flags
 //
 //   - global math/rand (and math/rand/v2) functions — rand.Intn,
 //     rand.Float64, rand.Shuffle, rand.Seed, ... — whose hidden global
@@ -23,7 +23,14 @@
 //
 // There is deliberately no suppression comment: a scoped package with a
 // legitimate need for any of these does not exist by definition of the
-// reproducibility contract.
+// reproducibility contract. What does exist is a second kind of package
+// entirely: service-layer code (the ancserve daemon and its internal/serve
+// subsystem) that legitimately reads wall clocks for job latency metrics
+// and write deadlines. Those packages are *sanctioned* — named in
+// sanctionedSegments and exempt even when a scoped segment also appears
+// in their path — because nothing a simulation row contains may flow
+// from them: they sit strictly downstream of the engine, consuming its
+// byte streams.
 package determinism
 
 import (
@@ -38,6 +45,38 @@ var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc:  "forbid ambient entropy (global math/rand, wall clock, crypto/rand, environment reads) in simulation packages",
 	Run:  run,
+}
+
+// scopedSegments are the path segments naming packages under the
+// reproducibility contract: everything a simulation run's output can
+// depend on. A package is in scope when any "/"-separated segment of
+// its import path matches.
+var scopedSegments = map[string]bool{
+	"core": true, "sim": true, "dsp": true, "channel": true,
+	"frame": true, "topology": true, "phy": true, "msk": true,
+	"dqpsk": true, "stats": true, "experiments": true,
+}
+
+// sanctionedSegments name the service-layer packages exempt from the
+// contract: they may observe wall clocks and environment because no
+// simulation output depends on them — they only transport engine bytes.
+// Sanctioning takes precedence over scoping, so a path like
+// internal/serve stays exempt even if a scoped segment ever appears
+// alongside it.
+var sanctionedSegments = map[string]bool{
+	"serve": true, "ancserve": true,
+}
+
+// InScope reports whether the analyzer applies to the package at the
+// given import path: any scoped segment present and no sanctioned one.
+// The driver (cmd/anclint) uses this as its package filter, and run
+// itself re-checks it, so the answer is authoritative regardless of how
+// the analyzer is invoked.
+func InScope(importPath string) bool {
+	if analysis.PathHasSegment(importPath, sanctionedSegments) {
+		return false
+	}
+	return analysis.PathHasSegment(importPath, scopedSegments)
 }
 
 // forbidden maps package path -> referenced name -> explanation.
@@ -60,6 +99,9 @@ var forbidden = map[string]map[string]string{
 }
 
 func run(pass *analysis.Pass) error {
+	if !InScope(pass.Pkg.Path()) {
+		return nil
+	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)

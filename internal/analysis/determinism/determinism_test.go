@@ -8,5 +8,30 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, "testdata", determinism.Analyzer, "dsp")
+	// dsp and sim are scoped packages: every fixture violation must be
+	// reported. serve is a sanctioned service-layer package: the same
+	// wall-clock and environment reads must produce zero diagnostics.
+	analysistest.Run(t, "testdata", determinism.Analyzer, "dsp", "sim", "serve")
+}
+
+func TestInScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"repro/internal/sim", true},
+		{"repro/internal/experiments", true},
+		{"repro/internal/phy/msk", true},
+		{"repro/internal/serve", false},
+		{"repro/cmd/ancserve", false},
+		{"repro/cmd/anclint", false},
+		{"repro/internal/analysis", false},
+		// Sanctioning wins even when a scoped segment shares the path.
+		{"repro/internal/serve/sim", false},
+	}
+	for _, c := range cases {
+		if got := determinism.InScope(c.path); got != c.want {
+			t.Errorf("InScope(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
 }

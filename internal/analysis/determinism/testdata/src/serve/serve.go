@@ -1,0 +1,29 @@
+// Package serve is a determinism-analyzer fixture for the sanctioned
+// service layer: it commits every ambient-entropy sin the simulation
+// packages are forbidden — wall-clock reads for job latency, environment
+// reads for listener configuration — and must produce zero diagnostics,
+// because "serve" is a sanctioned segment (see determinism.InScope).
+// There are deliberately no want comments in this file.
+package serve
+
+import (
+	"os"
+	"time"
+)
+
+var started time.Time
+
+func jobLatency() time.Duration {
+	// Metrics legitimately observe the wall clock: job latency is a
+	// property of the service, not of any simulation output.
+	return time.Since(started)
+}
+
+func now() time.Time { return time.Now() }
+
+func listenAddr() string {
+	if addr, ok := os.LookupEnv("ANCSERVE_ADDR"); ok {
+		return addr
+	}
+	return os.Getenv("ADDR")
+}

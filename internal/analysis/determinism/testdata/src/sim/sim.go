@@ -1,0 +1,15 @@
+// Package sim is a determinism-analyzer fixture proving the sanctioned
+// service layer is an exemption, not a hole: the same ambient-entropy
+// reads the serve fixture gets away with still trip in a simulation
+// package, because "sim" is a scoped segment (see determinism.InScope).
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func stillForbidden() {
+	_ = time.Now()   // want "time.Now: wall-clock read"
+	_ = rand.Intn(4) // want "math/rand.Intn uses the global generator"
+}

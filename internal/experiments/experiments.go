@@ -133,6 +133,25 @@ func planSchemes(sc sim.Scenario, filter []sim.Scheme) (campaignPlan, error) {
 	return p, nil
 }
 
+// CampaignSchemes resolves the scheme rows a campaign of the named
+// scenario runs under the given filter — the exact planSchemes rules
+// every campaign writer applies (empty filter: ANC and routing
+// required, COPE when supported; a filter restricts to exactly the
+// named schemes). Exported so request canonicalization (the ancserve
+// content-addressed cache key) hashes the schemes the campaign will
+// actually run, not the unresolved request field.
+func CampaignSchemes(name string, filter []sim.Scheme) ([]sim.Scheme, error) {
+	sc, ok := sim.LookupScenario(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+	}
+	plan, err := planSchemes(sc, filter)
+	if err != nil {
+		return nil, err
+	}
+	return append([]sim.Scheme(nil), plan.schemes...), nil
+}
+
 // campaignSeeds derives the per-run seeds of a campaign.
 func campaignSeeds(opts Options) []int64 {
 	seeds := make([]int64, opts.Runs)
@@ -195,7 +214,7 @@ func runCampaign(opts Options, sc sim.Scenario) (*GainResult, error) {
 		}
 		return nil
 	})
-	if err := sim.NewEngine(opts.Sim).CampaignStream(sc, plan.schemes, campaignSeeds(opts), sink, streamOpts(false, opts.Workers)...); err != nil {
+	if err := sim.NewEngine(opts.Sim).CampaignStream(sc, plan.schemes, campaignSeeds(opts), sink, streamOpts(nil, false, opts.Workers)...); err != nil {
 		return nil, err
 	}
 	return res, nil

@@ -9,7 +9,6 @@ import (
 	"io"
 	"sort"
 
-	"repro/internal/sim"
 	"repro/internal/stats/sketch"
 )
 
@@ -129,58 +128,35 @@ type shardSummary struct {
 	Sketches sketchSet      `json:"sketches"`
 }
 
+func errShardCount(shards int) error {
+	return fmt.Errorf("experiments: shard count %d < 1", shards)
+}
+
+func errShardIndex(shard, shards int) error {
+	return fmt.Errorf("experiments: shard %d outside 1..%d", shard, shards)
+}
+
 // WriteCampaignNDJSON runs shard `shard` of `shards` (1-based) of a
 // registered scenario's campaign and streams it as NDJSON: one
 // CampaignRow object per line — with the global run index, so rows from
 // different workers never collide — then one trailing summary record
 // (shardSummary) carrying the worker's pools as mergeable sketches.
 // Feed the worker outputs to MergeSummaries to reassemble the exact
-// document WriteCampaignJSON would have produced unsharded.
+// document WriteCampaignJSON would have produced unsharded. It is a
+// thin framing wrapper over Streamer — the seam ancserve streams the
+// identical bytes through.
 func WriteCampaignNDJSON(w io.Writer, opts StreamOptions, name string, shard, shards int) error {
-	if shards < 1 {
-		return fmt.Errorf("experiments: shard count %d < 1", shards)
-	}
-	if shard < 1 || shard > shards {
-		return fmt.Errorf("experiments: shard %d outside 1..%d", shard, shards)
-	}
-	c, err := newCampaignContext(opts, name)
+	s, err := NewStreamer(opts, name, shard, shards)
 	if err != nil {
 		return err
 	}
-	r := sim.SplitSeeds(len(c.seeds), shards)[shard-1]
-	pools := newCampaignPools(c.plan)
 	bw := bufio.NewWriter(w)
-	sink := sim.SinkFunc(func(row sim.Row) error {
-		out := c.renderRow(opts, row)
-		// renderRow numbers from the slice start; lift to the global index.
-		out.Run = r.Lo + row.Index
-		pools.observe(c.plan, row, out)
-		b, err := json.Marshal(out)
-		if err != nil {
-			return err
-		}
-		if _, err := bw.Write(b); err != nil {
+	if err := s.Stream(nil, func(line []byte) error {
+		if _, err := bw.Write(line); err != nil {
 			return err
 		}
 		return bw.WriteByte('\n')
-	})
-	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds[r.Lo:r.Hi], sink, streamOpts(opts.Trace, opts.Workers)...); err != nil {
-		return err
-	}
-	rec := shardSummary{
-		Record:   "summary",
-		Header:   c.header,
-		Shard:    shardInfo{Index: shard, Shards: shards, RowLo: r.Lo, RowHi: r.Hi},
-		Sketches: encodeSketchSet(pools),
-	}
-	b, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	if _, err := bw.Write(b); err != nil {
-		return err
-	}
-	if err := bw.WriteByte('\n'); err != nil {
+	}); err != nil {
 		return err
 	}
 	return bw.Flush()

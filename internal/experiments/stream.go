@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
@@ -329,9 +330,13 @@ func (c *campaignContext) renderRow(opts StreamOptions, row sim.Row) CampaignRow
 	return out
 }
 
-// streamOpts returns the CampaignStream options the context needs.
-func streamOpts(trace bool, workers int) []sim.StreamOption {
+// streamOpts returns the CampaignStream options the context needs. A
+// nil ctx streams without cancellation.
+func streamOpts(ctx context.Context, trace bool, workers int) []sim.StreamOption {
 	var out []sim.StreamOption
+	if ctx != nil {
+		out = append(out, sim.WithContext(ctx))
+	}
 	if trace {
 		out = append(out, sim.WithLinkTraces())
 	}
@@ -424,7 +429,7 @@ func WriteCampaignJSON(w io.Writer, opts StreamOptions, name string) error {
 		}
 		return doc.row(b)
 	})
-	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(opts.Trace, opts.Workers)...); err != nil {
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(nil, opts.Trace, opts.Workers)...); err != nil {
 		return err
 	}
 	return doc.close(pools.summary())
@@ -475,7 +480,7 @@ func WriteCampaignCSV(w io.Writer, opts StreamOptions, name string) error {
 		}
 		return cw.Write(rec)
 	})
-	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(false, opts.Workers)...); err != nil {
+	if err := c.eng.CampaignStream(c.sc, c.plan.schemes, c.seeds, sink, streamOpts(nil, false, opts.Workers)...); err != nil {
 		return err
 	}
 	cw.Flush()

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestStreamerMatchesNDJSONWriter pins the seam the campaign server
+// rides on: a Streamer's emitted lines, newline-framed, are byte-for-
+// byte the stream WriteCampaignNDJSON writes for the same request.
+func TestStreamerMatchesNDJSONWriter(t *testing.T) {
+	opts := StreamOptions{Options: Options{Runs: 3, Seed: 1}}
+	opts.Sim.Packets = 2
+
+	var direct bytes.Buffer
+	if err := WriteCampaignNDJSON(&direct, opts, "alice-bob", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := NewStreamer(opts, "alice-bob", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 3 || s.Runs() != 3 {
+		t.Fatalf("Rows()=%d Runs()=%d, want 3/3", s.Rows(), s.Runs())
+	}
+	var streamed bytes.Buffer
+	lines := 0
+	if err := s.Stream(context.Background(), func(line []byte) error {
+		lines++
+		streamed.Write(line)
+		return streamed.WriteByte('\n')
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if lines != 4 { // 3 rows + 1 summary record
+		t.Fatalf("emitted %d lines, want 4", lines)
+	}
+	if !bytes.Equal(direct.Bytes(), streamed.Bytes()) {
+		t.Errorf("streamer bytes diverge from WriteCampaignNDJSON:\ndirect:   %s\nstreamed: %s",
+			direct.Bytes(), streamed.Bytes())
+	}
+}
+
+// TestStreamerCancel cancels the context from the emit callback: the
+// campaign must stop with context.Canceled and emit no further lines.
+func TestStreamerCancel(t *testing.T) {
+	opts := StreamOptions{Options: Options{Runs: 64, Seed: 1}}
+	opts.Sim.Packets = 1
+	s, err := NewStreamer(opts, "alice-bob", 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	lines := 0
+	err = s.Stream(ctx, func(line []byte) error {
+		lines++
+		if lines == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream error = %v, want context.Canceled", err)
+	}
+	if lines < 2 || lines >= 64 {
+		t.Errorf("emitted %d lines; want ≥ 2 (cancel point) and < 64 (full campaign)", lines)
+	}
+}
+
+// TestStreamerValidatesUpFront pins the admission-control property: an
+// invalid request fails at construction, before any run starts.
+func TestStreamerValidatesUpFront(t *testing.T) {
+	opts := StreamOptions{Options: Options{Runs: 2, Seed: 1}}
+	if _, err := NewStreamer(opts, "no-such-scenario", 1, 1); err == nil {
+		t.Error("NewStreamer accepted an unknown scenario")
+	}
+	if _, err := NewStreamer(opts, "alice-bob", 0, 1); err == nil {
+		t.Error("NewStreamer accepted shard index 0")
+	}
+	if _, err := NewStreamer(opts, "alice-bob", 3, 2); err == nil {
+		t.Error("NewStreamer accepted shard 3/2")
+	}
+	if _, err := NewStreamer(opts, "alice-bob", 1, 0); err == nil {
+		t.Error("NewStreamer accepted shard count 0")
+	}
+}

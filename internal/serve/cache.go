@@ -1,0 +1,96 @@
+package serve
+
+import "container/list"
+
+// cache is the content-addressed job index: canonical request hash →
+// Job. It serves three roles at once —
+//
+//   - coalescing: a submission whose hash matches a queued or running
+//     job attaches to it instead of starting a second engine run, so
+//     concurrent identical requests compute once and fan out;
+//   - replay: a completed job's retained lines answer later identical
+//     requests without touching the engine;
+//   - retention: completed jobs are bounded by a byte budget with LRU
+//     eviction. Only completed jobs are ever evicted — queued and
+//     running jobs have live subscribers and pin themselves.
+//
+// Failed and canceled jobs are removed on finalization: their retained
+// lines are a prefix, not the campaign, and must never answer a request.
+type cache struct {
+	maxBytes int64
+	bytes    int64
+	jobs     map[string]*list.Element
+	lru      list.List // completed jobs, front = most recently used
+}
+
+type cacheEntry struct {
+	hash string
+	job  *Job
+	done bool // accounted into bytes and linked into lru
+}
+
+func newCache(maxBytes int64) *cache {
+	c := &cache{maxBytes: maxBytes, jobs: make(map[string]*list.Element)}
+	c.lru.Init()
+	return c
+}
+
+// lookup returns the job for a hash in any live state, refreshing its
+// recency if completed. Callers hold the server lock.
+func (c *cache) lookup(hash string) (*Job, bool) {
+	e, ok := c.jobs[hash]
+	if !ok {
+		return nil, false
+	}
+	ent := e.Value.(*cacheEntry)
+	if ent.done {
+		c.lru.MoveToFront(e)
+	}
+	return ent.job, true
+}
+
+// insert registers a freshly admitted job under its hash.
+func (c *cache) insert(hash string, j *Job) {
+	c.jobs[hash] = c.lru.PushFront(&cacheEntry{hash: hash, job: j})
+}
+
+// remove drops a job from the index (failed, canceled, or rejected by a
+// full queue).
+func (c *cache) remove(hash string) {
+	e, ok := c.jobs[hash]
+	if !ok {
+		return
+	}
+	ent := e.Value.(*cacheEntry)
+	if ent.done {
+		c.bytes -= ent.job.size()
+	}
+	c.lru.Remove(e)
+	delete(c.jobs, hash)
+}
+
+// finalize accounts a completed job into the byte budget and evicts
+// least-recently-used completed jobs until the budget holds. The job
+// that just completed is exempt from its own eviction pass — evicting
+// the entry a subscriber is replaying right now would be absurd even
+// when one campaign alone exceeds the budget.
+func (c *cache) finalize(j *Job, hash string) {
+	e, ok := c.jobs[hash]
+	if !ok {
+		return // canceled and removed while running
+	}
+	ent := e.Value.(*cacheEntry)
+	ent.done = true
+	c.bytes += j.size()
+	c.lru.MoveToFront(e)
+	for e := c.lru.Back(); e != nil && c.bytes > c.maxBytes; {
+		prev := e.Prev()
+		victim := e.Value.(*cacheEntry)
+		// Queued/running entries are unevictable and may sit anywhere in
+		// the list; skip rather than stop at them.
+		if victim.done && victim.job != j {
+			c.remove(victim.hash)
+		}
+		e = prev
+	}
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"sync"
+)
+
+// JobState is a job's lifecycle position.
+type JobState int
+
+const (
+	// JobQueued: admitted, waiting for a runner.
+	JobQueued JobState = iota
+	// JobRunning: a runner is executing the campaign.
+	JobRunning
+	// JobDone: every line streamed; the retained lines are the complete,
+	// replayable campaign.
+	JobDone
+	// JobFailed: the campaign returned an error; retained lines are a
+	// prefix only and the job is evicted from the cache.
+	JobFailed
+	// JobCanceled: aborted by DELETE or server drain.
+	JobCanceled
+)
+
+// String renders the state for status responses.
+func (s JobState) String() string {
+	switch s {
+	case JobQueued:
+		return "queued"
+	case JobRunning:
+		return "running"
+	case JobDone:
+		return "done"
+	case JobFailed:
+		return "failed"
+	case JobCanceled:
+		return "canceled"
+	}
+	return "unknown"
+}
+
+// Job is one campaign execution shared by every subscriber that asked
+// for the same canonical hash: the engine runs once, each appended line
+// is retained, and subscribers read at their own cursors — a late
+// subscriber replays the buffer and then joins the live tail; a slow
+// one never applies backpressure to the engine, because appends never
+// wait on readers. After completion the retained lines double as the
+// cache entry that replays the campaign without re-running it.
+type Job struct {
+	// Campaign is the resolved request this job executes.
+	Campaign *Campaign
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	lines [][]byte
+	bytes int64
+	state JobState
+	err   error
+}
+
+func newJob(c *Campaign) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{Campaign: c, ctx: ctx, cancel: cancel}
+	j.cond = sync.NewCond(&j.mu)
+	return j
+}
+
+// Context returns the job's cancellation context; the runner threads it
+// into the engine via sim.WithContext.
+func (j *Job) Context() context.Context { return j.ctx }
+
+// Cancel aborts the job: the engine stops within one slot batch and
+// blocked subscribers wake with the job's terminal state.
+func (j *Job) Cancel() { j.cancel() }
+
+// setState transitions the lifecycle and wakes every waiting subscriber.
+func (j *Job) setState(s JobState) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// append retains one emitted line (owned by the job; the Streamer
+// allocates each line fresh) and wakes subscribers waiting for it.
+func (j *Job) append(line []byte) {
+	j.mu.Lock()
+	j.lines = append(j.lines, line)
+	j.bytes += int64(len(line))
+	j.mu.Unlock()
+	j.cond.Broadcast()
+}
+
+// finish records the campaign result and wakes all subscribers. A nil
+// err means the full stream was emitted; context cancellation maps to
+// JobCanceled, anything else to JobFailed.
+func (j *Job) finish(err error) JobState {
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = JobDone
+	case j.ctx.Err() != nil:
+		j.state, j.err = JobCanceled, err
+	default:
+		j.state, j.err = JobFailed, err
+	}
+	s := j.state
+	j.mu.Unlock()
+	j.cond.Broadcast()
+	return s
+}
+
+// Snapshot returns the job's current lifecycle state, retained line
+// count, and error (nil unless failed or canceled).
+func (j *Job) Snapshot() (JobState, int, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, len(j.lines), j.err
+}
+
+// size returns the retained byte total (line payloads).
+func (j *Job) size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.bytes
+}
+
+// Subscribe attaches a new reader at the start of the stream. Every
+// subscriber observes the identical line sequence regardless of when it
+// attached: first the retained replay, then the live tail.
+func (j *Job) Subscribe() *Subscription {
+	return &Subscription{job: j}
+}
+
+// Subscription is one reader's cursor into a job's line sequence.
+type Subscription struct {
+	job    *Job
+	cursor int
+}
+
+// Next blocks until the next line is available and returns it, or
+// io.EOF once the stream completed and the cursor drained it, or the
+// job's error if it failed or was canceled (after draining the retained
+// prefix, so a subscriber sees everything the engine produced). A done
+// ctx aborts the wait with ctx.Err(); pair it with context.AfterFunc
+// wired to s.Wake so cancellation actually wakes the wait.
+//
+// The returned slice is owned by the job and must not be modified.
+func (s *Subscription) Next(ctx context.Context) ([]byte, error) {
+	j := s.job
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if s.cursor < len(j.lines) {
+			line := j.lines[s.cursor]
+			s.cursor++
+			return line, nil
+		}
+		switch j.state {
+		case JobDone:
+			return nil, io.EOF
+		case JobFailed, JobCanceled:
+			return nil, j.err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		j.cond.Wait()
+	}
+}
+
+// Wake unblocks a pending Next; meant for context.AfterFunc so a
+// disconnecting subscriber does not wait for the next broadcast.
+func (s *Subscription) Wake() { s.job.cond.Broadcast() }

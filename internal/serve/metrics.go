@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the daemon's instrumentation: plain atomics rendered as
+// Prometheus text exposition (stdlib only, no client library). The
+// catalog is a fixed-order slice, never a map, so /metrics output is
+// byte-stable across scrapes of the same state — the same rendering
+// discipline the rest of the repository holds its encoders to.
+type Metrics struct {
+	JobsAccepted    atomic.Int64 // jobs admitted to the queue
+	JobsCompleted   atomic.Int64 // jobs that streamed to the end
+	JobsFailed      atomic.Int64 // jobs that returned a non-cancellation error
+	JobsCanceled    atomic.Int64 // jobs aborted by DELETE or drain
+	CacheHits       atomic.Int64 // submissions coalesced onto an existing job
+	CacheMisses     atomic.Int64 // submissions that created a new job
+	RowsStreamed    atomic.Int64 // campaign rows produced by the engine
+	SessionsEvicted atomic.Int64 // subscribers dropped for missing the write deadline
+	ActiveSessions  atomic.Int64 // currently attached subscribers
+	QueueDepth      atomic.Int64 // jobs admitted but not yet running
+	RunningJobs     atomic.Int64 // jobs currently on a runner
+	CacheBytes      atomic.Int64 // retained bytes of completed campaign streams
+	JobMicros       atomic.Int64 // summed wall-clock job duration, microseconds
+	JobCount        atomic.Int64 // observations in JobMicros
+}
+
+// ObserveJob records one finished job's wall-clock duration.
+func (m *Metrics) ObserveJob(d time.Duration) {
+	m.JobMicros.Add(d.Microseconds())
+	m.JobCount.Add(1)
+}
+
+// WriteTo renders the Prometheus text exposition format. The catalog
+// order is fixed by construction.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	counters := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"ancserve_jobs_accepted_total", "Campaign jobs admitted to the queue.", &m.JobsAccepted},
+		{"ancserve_jobs_completed_total", "Campaign jobs that streamed to completion.", &m.JobsCompleted},
+		{"ancserve_jobs_failed_total", "Campaign jobs that failed with an error.", &m.JobsFailed},
+		{"ancserve_jobs_canceled_total", "Campaign jobs canceled before completion.", &m.JobsCanceled},
+		{"ancserve_cache_hits_total", "Submissions served by an existing job (shared run or replay).", &m.CacheHits},
+		{"ancserve_cache_misses_total", "Submissions that started a new engine run.", &m.CacheMisses},
+		{"ancserve_rows_streamed_total", "Campaign rows produced by the engine across all jobs.", &m.RowsStreamed},
+		{"ancserve_sessions_evicted_total", "Subscriber sessions dropped for missing the write deadline.", &m.SessionsEvicted},
+	}
+	gauges := []struct {
+		name, help string
+		v          *atomic.Int64
+	}{
+		{"ancserve_active_sessions", "Currently attached streaming subscribers.", &m.ActiveSessions},
+		{"ancserve_queue_depth", "Jobs admitted but not yet running.", &m.QueueDepth},
+		{"ancserve_running_jobs", "Jobs currently executing on a runner.", &m.RunningJobs},
+		{"ancserve_cache_bytes", "Retained bytes of completed campaign streams.", &m.CacheBytes},
+	}
+	var n int64
+	emit := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	for _, c := range counters {
+		if err := emit("# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v.Load()); err != nil {
+			return n, err
+		}
+	}
+	for _, g := range gauges {
+		if err := emit("# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.v.Load()); err != nil {
+			return n, err
+		}
+	}
+	err := emit("# HELP ancserve_job_duration_seconds Wall-clock duration of finished jobs.\n"+
+		"# TYPE ancserve_job_duration_seconds summary\n"+
+		"ancserve_job_duration_seconds_sum %g\n"+
+		"ancserve_job_duration_seconds_count %d\n",
+		float64(m.JobMicros.Load())/1e6, m.JobCount.Load())
+	return n, err
+}

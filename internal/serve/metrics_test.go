@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsExposition pins the Prometheus text rendering: every
+// metric present, fixed order, and byte-stable across scrapes of the
+// same state — the same discipline the repo's other encoders hold.
+func TestMetricsExposition(t *testing.T) {
+	var m Metrics
+	m.JobsAccepted.Store(3)
+	m.JobsCompleted.Store(2)
+	m.CacheHits.Store(5)
+	m.RowsStreamed.Store(120)
+	m.ActiveSessions.Store(1)
+	m.QueueDepth.Store(4)
+	m.CacheBytes.Store(1 << 20)
+	m.ObserveJob(1500 * time.Millisecond)
+	m.ObserveJob(500 * time.Millisecond)
+
+	var a, b bytes.Buffer
+	if _, err := m.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("two scrapes of the same state differ:\n%s\nvs\n%s", a.Bytes(), b.Bytes())
+	}
+
+	out := a.String()
+	for _, want := range []string{
+		"ancserve_jobs_accepted_total 3\n",
+		"ancserve_jobs_completed_total 2\n",
+		"ancserve_jobs_failed_total 0\n",
+		"ancserve_jobs_canceled_total 0\n",
+		"ancserve_cache_hits_total 5\n",
+		"ancserve_cache_misses_total 0\n",
+		"ancserve_rows_streamed_total 120\n",
+		"ancserve_sessions_evicted_total 0\n",
+		"ancserve_active_sessions 1\n",
+		"ancserve_queue_depth 4\n",
+		"ancserve_running_jobs 0\n",
+		"ancserve_cache_bytes 1048576\n",
+		"ancserve_job_duration_seconds_sum 2\n",
+		"ancserve_job_duration_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Counters precede gauges precede the duration summary, in catalog
+	// order — a scrape diff should only ever show value changes.
+	if strings.Index(out, "ancserve_jobs_accepted_total") > strings.Index(out, "ancserve_active_sessions") ||
+		strings.Index(out, "ancserve_active_sessions") > strings.Index(out, "ancserve_job_duration_seconds_sum") {
+		t.Errorf("exposition order broke:\n%s", out)
+	}
+	// Each metric carries HELP and TYPE lines.
+	if !strings.Contains(out, "# TYPE ancserve_jobs_accepted_total counter") ||
+		!strings.Contains(out, "# TYPE ancserve_queue_depth gauge") ||
+		!strings.Contains(out, "# TYPE ancserve_job_duration_seconds summary") {
+		t.Errorf("exposition missing TYPE lines:\n%s", out)
+	}
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func mustResolve(t *testing.T, req Request) *Campaign {
+	t.Helper()
+	c, err := req.Resolve(0)
+	if err != nil {
+		t.Fatalf("Resolve(%+v): %v", req, err)
+	}
+	return c
+}
+
+// TestHashCanonicalization pins the content-address semantics: spelling
+// differences that resolve to the same campaign collide; any semantic
+// one-field change diverges.
+func TestHashCanonicalization(t *testing.T) {
+	base := Request{Scenario: "alice-bob", Runs: 4, Packets: 1}
+	ref := mustResolve(t, base)
+
+	// The resolved default scheme set spelled explicitly is the same
+	// campaign, and must be the same hash.
+	explicit := base
+	for _, s := range ref.Schemes {
+		explicit.Schemes = append(explicit.Schemes, string(s))
+	}
+	if got := mustResolve(t, explicit); got.Hash != ref.Hash {
+		t.Errorf("explicit default schemes changed the hash: %s vs %s", got.Hash, ref.Hash)
+	}
+
+	// Likewise the resolved modem spelled explicitly.
+	modem := base
+	modem.Modem = ref.Modem
+	if got := mustResolve(t, modem); got.Hash != ref.Hash {
+		t.Errorf("explicit default modem changed the hash: %s vs %s", got.Hash, ref.Hash)
+	}
+
+	// Defaults spelled explicitly: {runs:40,seed:1,snr:25} is the
+	// normalized form of the empty request.
+	min := Request{Scenario: "alice-bob"}
+	full := Request{Scenario: "alice-bob", Runs: 40, Seed: 1, SNRdB: sim.Ptr(25), Fading: "static"}
+	if a, b := mustResolve(t, min), mustResolve(t, full); a.Hash != b.Hash {
+		t.Errorf("explicit defaults changed the hash: %s vs %s", a.Hash, b.Hash)
+	}
+
+	// Every one-field semantic change is a different campaign.
+	changes := map[string]Request{
+		"runs":    {Scenario: "alice-bob", Runs: 5, Packets: 1},
+		"seed":    {Scenario: "alice-bob", Runs: 4, Packets: 1, Seed: 2},
+		"snr":     {Scenario: "alice-bob", Runs: 4, Packets: 1, SNRdB: sim.Ptr(10)},
+		"packets": {Scenario: "alice-bob", Runs: 4, Packets: 2},
+		"fading":  {Scenario: "alice-bob", Runs: 4, Packets: 1, Fading: "rayleigh"},
+		"trace":   {Scenario: "alice-bob", Runs: 4, Packets: 1, Trace: true},
+		"schemes": {Scenario: "alice-bob", Runs: 4, Packets: 1, Schemes: []string{"anc", "routing"}},
+	}
+	for field, req := range changes {
+		if got := mustResolve(t, req); got.Hash == ref.Hash {
+			t.Errorf("changing %s did not change the hash", field)
+		}
+	}
+
+	// The worker count is scheduling, not identity.
+	w1, err := base.Resolve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w8, err := base.Resolve(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.Hash != w8.Hash {
+		t.Errorf("worker count changed the hash: %s vs %s", w1.Hash, w8.Hash)
+	}
+}
+
+// TestResolveValidation rejects malformed requests up front with
+// messages naming the offending field.
+func TestResolveValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		req  Request
+		want string
+	}{
+		{"no scenario", Request{}, "no scenario"},
+		{"unknown scenario", Request{Scenario: "no-such"}, "unknown scenario"},
+		{"negative runs", Request{Scenario: "alice-bob", Runs: -1}, "runs"},
+		{"negative packets", Request{Scenario: "alice-bob", Packets: -1}, "packets"},
+		{"bad fading", Request{Scenario: "alice-bob", Fading: "sunny"}, "fading"},
+		{"bad modem", Request{Scenario: "alice-bob", Modem: "fm"}, "modem"},
+		{"bad scheme", Request{Scenario: "alice-bob", Schemes: []string{"carrier-pigeon"}}, "scheme"},
+		{"unsupported scheme", Request{Scenario: "serve-cheap", Schemes: []string{"cope"}}, "cope"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := c.req.Resolve(0)
+			if err == nil {
+				t.Fatalf("Resolve accepted %+v", c.req)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+// TestCampaignResolution pins the resolved metadata the status API
+// reports.
+func TestCampaignResolution(t *testing.T) {
+	c := mustResolve(t, Request{Scenario: "serve-cheap", Runs: 6, Packets: 1})
+	if c.Rows != 6 {
+		t.Errorf("Rows = %d, want 6", c.Rows)
+	}
+	if len(c.Schemes) != 2 || c.Schemes[0] != sim.SchemeANC || c.Schemes[1] != sim.SchemeRouting {
+		t.Errorf("Schemes = %v, want [anc routing]", c.Schemes)
+	}
+	if c.Modem != "msk" {
+		t.Errorf("Modem = %q, want msk", c.Modem)
+	}
+	if c.Req.Runs != 6 || c.Req.Seed != 1 || *c.Req.SNRdB != 25 || c.Req.Fading != "static" {
+		t.Errorf("normalized request %+v lost its defaults", c.Req)
+	}
+	if len(c.Hash) != 64 {
+		t.Errorf("hash %q is not hex sha-256", c.Hash)
+	}
+}

@@ -1,0 +1,268 @@
+package serve
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Minimal RFC 6455 WebSocket server — just the subset a line-streaming
+// daemon needs, built on net/http's hijacker so no dependency enters
+// the module: the opening handshake, unfragmented text/binary frames,
+// ping/pong, and clean closes. Frames from clients must be masked (the
+// RFC requires it); frames to clients never are.
+
+const wsGUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// WebSocket opcodes (RFC 6455 §5.2).
+const (
+	opText   = 0x1
+	opBinary = 0x2
+	opClose  = 0x8
+	opPing   = 0x9
+	opPong   = 0xA
+)
+
+// wsMaxPayload bounds inbound frames: clients only ever send one small
+// request object plus control frames, so anything larger is a protocol
+// error, not a use case.
+const wsMaxPayload = 1 << 20
+
+// wsAccept computes the Sec-WebSocket-Accept token for a handshake key.
+func wsAccept(key string) string {
+	h := sha1.Sum([]byte(key + wsGUID))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// wsConn is one upgraded connection. Writes are mutex-serialized so the
+// streaming goroutine and control-frame replies (pong, close) never
+// interleave partial frames.
+type wsConn struct {
+	conn net.Conn
+	rw   *bufio.ReadWriter
+
+	wmu sync.Mutex
+	// maskWrites makes this endpoint mask its outgoing frames — false
+	// for the server (RFC: server frames are never masked), true for
+	// the in-package test client.
+	maskWrites bool
+	// maskSeed feeds deterministic masking keys for test clients; the
+	// RFC only requires a mask to be present, not unpredictable, and a
+	// fixed sequence keeps tests reproducible.
+	maskSeed uint32
+}
+
+// wsUpgrade performs the opening handshake and hijacks the connection.
+func wsUpgrade(w http.ResponseWriter, r *http.Request) (*wsConn, error) {
+	if r.Method != http.MethodGet {
+		return nil, fmt.Errorf("serve: websocket handshake requires GET, got %s", r.Method)
+	}
+	if !headerHasToken(r.Header, "Connection", "upgrade") || !headerHasToken(r.Header, "Upgrade", "websocket") {
+		return nil, fmt.Errorf("serve: not a websocket upgrade request")
+	}
+	if v := r.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		return nil, fmt.Errorf("serve: unsupported websocket version %q", v)
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		return nil, fmt.Errorf("serve: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return nil, fmt.Errorf("serve: response writer does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, err
+	}
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + wsAccept(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := rw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &wsConn{conn: conn, rw: rw}, nil
+}
+
+// headerHasToken reports whether a comma-separated header contains the
+// token (case-insensitive) — "Connection: keep-alive, Upgrade" counts.
+func headerHasToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// writeFrame emits one unfragmented frame under the write mutex.
+func (c *wsConn) writeFrame(deadline time.Time, opcode byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.conn.SetWriteDeadline(deadline); err != nil {
+		return err
+	}
+	var hdr [14]byte
+	hdr[0] = 0x80 | opcode // FIN + opcode
+	n := 2
+	switch {
+	case len(payload) < 126:
+		hdr[1] = byte(len(payload))
+	case len(payload) <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(len(payload)))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(len(payload)))
+		n = 10
+	}
+	if c.maskWrites {
+		hdr[1] |= 0x80
+		var key [4]byte
+		c.maskSeed = c.maskSeed*1664525 + 1013904223
+		binary.BigEndian.PutUint32(key[:], c.maskSeed)
+		copy(hdr[n:], key[:])
+		n += 4
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ key[i&3]
+		}
+		payload = masked
+	}
+	if _, err := c.rw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := c.rw.Write(payload); err != nil {
+		return err
+	}
+	return c.rw.Flush()
+}
+
+// WriteLine implements lineWriter: one campaign line per text frame.
+func (c *wsConn) WriteLine(deadline time.Time, line []byte) error {
+	return c.writeFrame(deadline, opText, line)
+}
+
+// writeClose sends a close frame carrying a status code and reason.
+func (c *wsConn) writeClose(deadline time.Time, code uint16, reason string) error {
+	if len(reason) > 123 {
+		reason = reason[:123] // control frames carry at most 125 payload bytes
+	}
+	payload := make([]byte, 2+len(reason))
+	binary.BigEndian.PutUint16(payload[:2], code)
+	copy(payload[2:], reason)
+	return c.writeFrame(deadline, opClose, payload)
+}
+
+// readFrame reads one frame, reassembling nothing: fragmented messages
+// are rejected, which is fine for a protocol whose inbound traffic is
+// one request object and control frames.
+func (c *wsConn) readFrame() (opcode byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(c.rw, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	if hdr[0]&0x80 == 0 {
+		return 0, nil, fmt.Errorf("serve: fragmented websocket frames not supported")
+	}
+	if hdr[0]&0x70 != 0 {
+		return 0, nil, fmt.Errorf("serve: websocket reserved bits set")
+	}
+	opcode = hdr[0] & 0x0F
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7F)
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.rw, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.rw, ext[:]); err != nil {
+			return 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > wsMaxPayload {
+		return 0, nil, fmt.Errorf("serve: websocket frame of %d bytes exceeds limit", length)
+	}
+	var key [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.rw, key[:]); err != nil {
+			return 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.rw, payload); err != nil {
+		return 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= key[i&3]
+		}
+	}
+	return opcode, payload, nil
+}
+
+// readText reads data frames until a text/binary payload arrives,
+// answering pings and treating a close frame as io.EOF.
+func (c *wsConn) readText(deadline time.Time) ([]byte, error) {
+	if err := c.conn.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	for {
+		op, payload, err := c.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case opText, opBinary:
+			return payload, nil
+		case opPing:
+			if err := c.writeFrame(time.Now().Add(5*time.Second), opPong, payload); err != nil {
+				return nil, err
+			}
+		case opPong:
+			// Unsolicited pong: ignore.
+		case opClose:
+			return nil, io.EOF
+		default:
+			return nil, fmt.Errorf("serve: unexpected websocket opcode %#x", op)
+		}
+	}
+}
+
+// Close tears the connection down.
+func (c *wsConn) Close() error { return c.conn.Close() }
+
+// newWSClient wraps an already-connected net.Conn (e.g. one end of a
+// net.Pipe) as a masking endpoint — the in-package test client. It does
+// not perform the HTTP handshake; pair it with a server-side wsUpgrade
+// over the same pipe, or use it against a raw frame stream.
+func newWSClient(conn net.Conn) *wsConn {
+	return &wsConn{
+		conn:       conn,
+		rw:         bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn)),
+		maskWrites: true,
+		maskSeed:   0x9E3779B9,
+	}
+}

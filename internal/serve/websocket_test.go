@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestWSAcceptKey pins the handshake token to the RFC 6455 §1.3 example.
+func TestWSAcceptKey(t *testing.T) {
+	got := wsAccept("dGhlIHNhbXBsZSBub25jZQ==")
+	want := "s3pPLMBiTxaQ9kYGzzhZRbK+xOo="
+	if got != want {
+		t.Errorf("wsAccept = %q, want %q", got, want)
+	}
+}
+
+// wsHandshake dials the test server and performs the client side of the
+// opening handshake over a raw TCP connection.
+func wsHandshake(t *testing.T, addr string) *wsConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	key := "dGhlIHNhbXBsZSBub25jZQ=="
+	fmt.Fprintf(conn, "GET /v1/ws HTTP/1.1\r\nHost: %s\r\nUpgrade: websocket\r\nConnection: Upgrade\r\nSec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", addr, key)
+	c := newWSClient(conn)
+	// Read the 101 response through the buffered reader so no frame
+	// bytes are lost to a separate reader.
+	status, err := c.rw.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains([]byte(status), []byte("101")) {
+		t.Fatalf("handshake status line %q, want 101", status)
+	}
+	sawAccept := false
+	for {
+		line, err := c.rw.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		if line == "\r\n" {
+			break
+		}
+		if bytes.HasPrefix([]byte(line), []byte("Sec-WebSocket-Accept: "+wsAccept(key))) {
+			sawAccept = true
+		}
+	}
+	if !sawAccept {
+		t.Fatal("handshake response missing the expected Sec-WebSocket-Accept")
+	}
+	return c
+}
+
+// TestWSStreamEndToEnd runs the full protocol over real TCP: handshake,
+// request frame, one text frame per campaign line (byte-identical to
+// the CLI stream), ping answered mid-stream, then a 1000 close.
+func TestWSStreamEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	req := Request{Scenario: "serve-cheap", Runs: 4, Packets: 1, Seed: 7}
+	want := expectStream(t, req)
+
+	c := wsHandshake(t, ts.Listener.Addr().String())
+	body, _ := json.Marshal(req)
+	if err := c.writeFrame(time.Now().Add(5*time.Second), opText, body); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.writeFrame(time.Now().Add(5*time.Second), opPing, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+
+	var lines bytes.Buffer
+	sawPong := false
+	closeCode := uint16(0)
+	if err := c.conn.SetReadDeadline(time.Now().Add(30 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for closeCode == 0 {
+		op, payload, err := c.readFrame()
+		if err != nil {
+			t.Fatalf("reading frame: %v", err)
+		}
+		switch op {
+		case opText:
+			lines.Write(payload)
+			lines.WriteByte('\n')
+		case opPong:
+			sawPong = true
+			if string(payload) != "hello" {
+				t.Errorf("pong payload %q, want the ping's", payload)
+			}
+		case opClose:
+			if len(payload) < 2 {
+				t.Fatalf("close frame without status code")
+			}
+			closeCode = binary.BigEndian.Uint16(payload[:2])
+		default:
+			t.Fatalf("unexpected opcode %#x", op)
+		}
+	}
+	if closeCode != 1000 {
+		t.Errorf("close code %d, want 1000", closeCode)
+	}
+	if !sawPong {
+		t.Errorf("ping was never answered")
+	}
+	if !bytes.Equal(lines.Bytes(), want) {
+		t.Errorf("websocket stream diverges from the CLI bytes:\nws:  %s\ncli: %s", lines.Bytes(), want)
+	}
+}
+
+// TestWSBadRequestCloses sends an invalid request and expects a policy
+// close (1008), not a hang.
+func TestWSBadRequestCloses(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	c := wsHandshake(t, ts.Listener.Addr().String())
+	if err := c.writeFrame(time.Now().Add(5*time.Second), opText, []byte(`{"scenario":"no-such"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	op, payload, err := c.readFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opClose {
+		t.Fatalf("opcode %#x, want close", op)
+	}
+	if code := binary.BigEndian.Uint16(payload[:2]); code != 1008 {
+		t.Errorf("close code %d, want 1008", code)
+	}
+}
+
+// TestWSRejectsPlainGET pins the handshake validation: a non-upgrade
+// request gets an HTTP error, not a hijacked connection.
+func TestWSRejectsPlainGET(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/ws")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Errorf("plain GET /v1/ws status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -275,6 +276,26 @@ func (eng *Engine) RunReusing(sc Scenario, scheme Scheme, seed int64, scratch *S
 // see the same typed events the default Metrics folds into aggregates.
 // A nil scratch uses a private buffer pool.
 func (eng *Engine) RunRecording(sc Scenario, scheme Scheme, seed int64, rec Recorder, scratch *Scratch) error {
+	return eng.runRecording(nil, sc, scheme, seed, rec, scratch)
+}
+
+// RunRecordingContext is RunRecording under a cancellation context: the
+// run checks ctx between schedule slots and aborts with ctx.Err() — at
+// most one slot batch after cancellation, however long the run is. The
+// cancellation point sits between slots, never inside one, so a run
+// either observes a slot completely or not at all; an aborted run's
+// Recorder holds a prefix of the full run's observations.
+func (eng *Engine) RunRecordingContext(ctx context.Context, sc Scenario, scheme Scheme, seed int64, rec Recorder, scratch *Scratch) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return eng.runRecording(ctx, sc, scheme, seed, rec, scratch)
+}
+
+// runRecording is the shared run loop; a nil ctx skips the per-slot
+// cancellation checks entirely (the zero-overhead path RunRecording and
+// ctx-free campaigns take).
+func (eng *Engine) runRecording(ctx context.Context, sc Scenario, scheme Scheme, seed int64, rec Recorder, scratch *Scratch) error {
 	cfg, err := eng.runConfig(sc)
 	if err != nil {
 		return err
@@ -288,6 +309,13 @@ func (eng *Engine) RunRecording(sc Scenario, scheme Scheme, seed int64, rec Reco
 	// allocates nothing.
 	emit := rec.RecordLinkState
 	for i := 0; i < e.cfg.Packets; i++ {
+		if ctx != nil {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
 		// One schedule cycle is one channel-model slot: every link the
 		// step observes is realized at slot i. Static models make this a
 		// no-op; fading and mobility models evolve in place (no per-slot
@@ -336,12 +364,25 @@ type StreamOption func(*streamConfig)
 type streamConfig struct {
 	trace   bool
 	workers int
+	ctx     context.Context
 }
 
 // WithLinkTraces runs every scheme's run under a TraceRecorder, so each
 // Row carries per-slot link-gain traces alongside its Metrics.
 func WithLinkTraces() StreamOption {
 	return func(c *streamConfig) { c.trace = true }
+}
+
+// WithContext runs the campaign under a cancellation context. When ctx
+// is canceled the campaign stops cleanly: the feeder admits no further
+// seeds, idle workers take no further runs, in-flight runs abort at
+// their next schedule slot (see RunRecordingContext), and
+// CampaignStream returns ctx.Err() — unless every row had already been
+// emitted, in which case the campaign completed and returns nil. Rows
+// emitted before cancellation are valid and have been delivered in
+// order; cancellation never deadlocks the sink or leaks workers.
+func WithContext(ctx context.Context) StreamOption {
+	return func(c *streamConfig) { c.ctx = ctx }
 }
 
 // WithWorkers sets the campaign's worker-goroutine count. Values ≤ 0 keep
@@ -384,6 +425,12 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 	if _, err := eng.runConfig(sc); err != nil {
 		return err
 	}
+	// An already-canceled context never starts a run.
+	if cfg.ctx != nil {
+		if err := cfg.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	if len(seeds) == 0 {
 		return nil
 	}
@@ -417,13 +464,20 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 					res.row.Traces = make([]*TraceRecorder, len(schemes))
 				}
 				for j, scheme := range schemes {
+					// A canceled campaign takes no further runs; the
+					// in-flight run below also aborts at its next slot.
+					if cfg.ctx != nil {
+						if res.err = cfg.ctx.Err(); res.err != nil {
+							break
+						}
+					}
 					var rec Recorder = &res.row.Metrics[j]
 					if cfg.trace {
 						tr := NewTraceRecorder()
 						res.row.Traces[j] = tr
 						rec = tr
 					}
-					if res.err = eng.RunRecording(sc, scheme, seeds[idx], rec, scratch); res.err != nil {
+					if res.err = eng.runRecording(cfg.ctx, sc, scheme, seeds[idx], rec, scratch); res.err != nil {
 						break
 					}
 					if cfg.trace {
@@ -437,7 +491,12 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 
 	// Feeder: admission is token-gated, so at most `window` seeds are in
 	// flight at any moment; tokens are released as rows are emitted (or
-	// discarded after a failure). `done` aborts it without deadlocking.
+	// discarded after a failure). `done` aborts it without deadlocking;
+	// a canceled context stops admission the same way.
+	var cancelCh <-chan struct{}
+	if cfg.ctx != nil {
+		cancelCh = cfg.ctx.Done()
+	}
 	go func() {
 		defer close(next)
 		for idx := range seeds {
@@ -445,10 +504,14 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 			case admit <- struct{}{}:
 			case <-done:
 				return
+			case <-cancelCh:
+				return
 			}
 			select {
 			case next <- idx:
 			case <-done:
+				return
+			case <-cancelCh:
 				return
 			}
 		}
@@ -495,6 +558,12 @@ func (eng *Engine) CampaignStream(sc Scenario, schemes []Scheme, seeds []int64, 
 			}
 			nextEmit++
 		}
+	}
+	if firstErr == nil && cfg.ctx != nil && nextEmit != len(seeds) {
+		// Cancellation stopped the feeder between runs, so no worker
+		// carried the error into a result row: the campaign is short of
+		// rows only because the context fired.
+		firstErr = cfg.ctx.Err()
 	}
 	return firstErr
 }

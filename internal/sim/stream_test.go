@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -266,6 +267,153 @@ func TestCampaignStreamRejectsUnsupportedScheme(t *testing.T) {
 		SinkFunc(func(Row) error { return nil }))
 	if err == nil {
 		t.Fatal("stream accepted an unsupported scheme")
+	}
+}
+
+// TestCampaignStreamPreCanceledContext verifies an already-canceled
+// context starts nothing: no runs, no sink calls, ctx.Err() returned.
+func TestCampaignStreamPreCanceledContext(t *testing.T) {
+	var starts atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := NewEngine(Config{Packets: 1})
+	err := eng.CampaignStream(cheapScenario{starts: &starts}, []Scheme{SchemeANC}, []int64{1, 2, 3},
+		SinkFunc(func(Row) error { return fmt.Errorf("sink must not be called") }),
+		WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CampaignStream error = %v, want context.Canceled", err)
+	}
+	if n := starts.Load(); n != 0 {
+		t.Errorf("%d runs started under a pre-canceled context", n)
+	}
+}
+
+// TestCampaignStreamContextCancelMidStream cancels the campaign from the
+// sink a few rows in: the stream must stop promptly with
+// context.Canceled — a clean error, not a deadlock — after delivering
+// only in-order rows.
+func TestCampaignStreamContextCancelMidStream(t *testing.T) {
+	seeds := make([]int64, 512)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := NewEngine(Config{Packets: 1})
+	got := 0
+	err := eng.CampaignStream(cheapScenario{}, []Scheme{SchemeANC}, seeds, SinkFunc(func(r Row) error {
+		if r.Index != got {
+			return fmt.Errorf("row %d arrived, want %d", r.Index, got)
+		}
+		got++
+		if got == 3 {
+			cancel()
+		}
+		return nil
+	}), WithContext(ctx))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CampaignStream error = %v, want context.Canceled", err)
+	}
+	if got < 3 || got == len(seeds) {
+		t.Errorf("sink consumed %d rows; want ≥ 3 (cancel point) and < %d (full campaign)", got, len(seeds))
+	}
+}
+
+// TestCampaignStreamContextCancelAfterLastRow pins the completion
+// semantics: a context canceled while the final row is at the sink does
+// not turn a fully delivered campaign into an error.
+func TestCampaignStreamContextCancelAfterLastRow(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	eng := NewEngine(Config{Packets: 1})
+	got := 0
+	err := eng.CampaignStream(cheapScenario{}, []Scheme{SchemeANC}, seeds, SinkFunc(func(r Row) error {
+		got++
+		if got == len(seeds) {
+			cancel()
+		}
+		return nil
+	}), WithContext(ctx))
+	if err != nil {
+		t.Fatalf("fully delivered campaign returned %v, want nil", err)
+	}
+	if got != len(seeds) {
+		t.Fatalf("sink consumed %d rows, want %d", got, len(seeds))
+	}
+}
+
+// gateScenario blocks its first schedule slot until released, so a test
+// can cancel a context while a run is provably in flight.
+type gateScenario struct {
+	started chan struct{} // closed when the first slot begins
+	release chan struct{} // the first slot waits for this
+}
+
+func (gateScenario) Name() string        { return "gate" }
+func (gateScenario) Description() string { return "test-only: first slot blocks until released" }
+func (gateScenario) Schemes() []Scheme   { return []Scheme{SchemeANC} }
+func (gateScenario) Build(cfg topology.Config, rng *rand.Rand) *topology.Graph {
+	return topology.AliceBob(cfg, rng)
+}
+func (g gateScenario) Start(e *Env, scheme Scheme) (Stepper, error) {
+	return StepFunc(func(i int, r Recorder) {
+		if i == 0 {
+			close(g.started)
+			<-g.release
+		}
+	}), nil
+}
+
+// TestRunRecordingContextCancelMidRun cancels a context while a run is
+// inside its schedule: the run must abort at the next slot boundary with
+// ctx.Err(), however many packets remain.
+func TestRunRecordingContextCancelMidRun(t *testing.T) {
+	g := gateScenario{started: make(chan struct{}), release: make(chan struct{})}
+	eng := NewEngine(Config{Packets: 100000})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		var m Metrics
+		done <- eng.RunRecordingContext(ctx, g, SchemeANC, 1, &m, nil)
+	}()
+	<-g.started // the run is mid-slot now
+	cancel()
+	close(g.release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunRecordingContext error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled run did not return within 10s (deadlock)")
+	}
+}
+
+// TestCampaignStreamContextCancelMidRun is the same guarantee one layer
+// up: cancellation reaches a worker's in-flight run through the stream
+// option and the campaign returns promptly.
+func TestCampaignStreamContextCancelMidRun(t *testing.T) {
+	g := gateScenario{started: make(chan struct{}), release: make(chan struct{})}
+	eng := NewEngine(Config{Packets: 100000})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- eng.CampaignStream(g, []Scheme{SchemeANC}, []int64{1},
+			SinkFunc(func(Row) error { return nil }), WithContext(ctx))
+	}()
+	<-g.started
+	cancel()
+	close(g.release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("CampaignStream error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled campaign did not return within 10s (deadlock)")
 	}
 }
 
